@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig 1: baseline speedup with 8, 16, 32, and infinite PTWs.
+ *
+ * Paper shape: near-linear speedup up to 32 PTWs for most apps, but the
+ * infinite-PTW speedup saturates around 2x - queueing is removed, the
+ * remaining walk + PCIe latency is not.
+ */
+
+#include "bench/common.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+int
+main(int argc, char **argv)
+{
+    ResultStore store;
+    std::vector<NamedConfig> configs;
+    for (std::uint32_t ptws : {8u, 16u, 32u, 0u}) {
+        SystemConfig cfg = SystemConfig::baselineAts();
+        cfg.iommu.ptws = ptws;
+        configs.push_back(
+            {ptws == 0 ? "inf-PTW" : std::to_string(ptws) + "-PTW", cfg});
+    }
+    const auto &apps = standardSuite();
+    registerRuns(store, configs, apps, envScale());
+    int rc = runBenchmarks(argc, argv);
+    if (rc != 0)
+        return rc;
+
+    store.printSpeedupTable("Fig 1: speedup vs number of PTWs", "8-PTW",
+                            {"16-PTW", "32-PTW", "inf-PTW"}, apps);
+    std::printf("\npaper: near-linear to 32 PTWs; infinite saturates "
+                "around 2x.\n");
+    return 0;
+}

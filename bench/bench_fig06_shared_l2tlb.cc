@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig 6: oracle package-shared L2 TLB (4x entries/bandwidth, no added
+ * latency) vs private per-chiplet L2 TLBs.
+ *
+ * Paper shape: only ~6% average speedup, under half the apps improve -
+ * advanced page mapping already removed most sharable translations, so
+ * TLB sharing alone cannot be the answer.
+ */
+
+#include "bench/common.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+int
+main(int argc, char **argv)
+{
+    ResultStore store;
+    SystemConfig priv = SystemConfig::baselineAts();
+    SystemConfig shared = priv;
+    shared.shared_l2_tlb = true;
+
+    std::vector<NamedConfig> configs{{"private", priv},
+                                     {"shared-oracle", shared}};
+    const auto &apps = standardSuite();
+    registerRuns(store, configs, apps, envScale());
+    int rc = runBenchmarks(argc, argv);
+    if (rc != 0)
+        return rc;
+
+    store.printSpeedupTable("Fig 6: oracle shared L2 TLB", "private",
+                            {"shared-oracle"}, apps);
+    std::printf("\npaper: ~1.06x average; fewer than half the apps "
+                "improve.\n");
+    return 0;
+}

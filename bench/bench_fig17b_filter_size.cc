@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fig 17b: F-Barre speedup with 512- and 1024-row cuckoo filters,
+ * normalized to 256 rows. Paper: +3% / +6% on average.
+ */
+
+#include "bench/common.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+int
+main(int argc, char **argv)
+{
+    ResultStore store;
+    std::vector<NamedConfig> configs;
+    for (std::uint32_t rows : {256u, 512u, 1024u}) {
+        SystemConfig cfg = SystemConfig::fbarreCfg(2);
+        cfg.fbarre.filter.rows = rows;
+        configs.push_back({std::to_string(rows) + "-row", cfg});
+    }
+    const auto &apps = standardSuite();
+    registerRuns(store, configs, apps, envScale());
+    int rc = runBenchmarks(argc, argv);
+    if (rc != 0)
+        return rc;
+
+    store.printSpeedupTable("Fig 17b: filter size sensitivity",
+                            "256-row", {"512-row", "1024-row"}, apps);
+    std::printf("\npaper: +3%% with 512 rows, +6%% with 1024 rows.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig 18: speedup breakdown of F-Barre's two optimizations over Barre:
+ * coalescing-aware PTW scheduling alone (paper: 1.34x) and with peer
+ * coalescing-information sharing (paper: 1.80x).
+ */
+
+#include "bench/common.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+int
+main(int argc, char **argv)
+{
+    ResultStore store;
+
+    SystemConfig barre = SystemConfig::barreCfg();
+
+    // Barre + coalescing-aware PTW scheduling only.
+    SystemConfig sched = SystemConfig::fbarreCfg(1);
+    sched.fbarre.peer_sharing = false;
+    sched.iommu.coal_aware_sched = true;
+
+    // Barre + peer sharing only (no scheduler change).
+    SystemConfig peer = SystemConfig::fbarreCfg(1);
+    peer.fbarre.peer_sharing = true;
+    peer.iommu.coal_aware_sched = false;
+
+    SystemConfig full = SystemConfig::fbarreCfg(1);
+
+    std::vector<NamedConfig> configs{{"Barre", barre},
+                                     {"+PTW-sched", sched},
+                                     {"+peer-sharing", peer},
+                                     {"F-Barre", full}};
+    const auto &apps = standardSuite();
+    registerRuns(store, configs, apps, envScale());
+    int rc = runBenchmarks(argc, argv);
+    if (rc != 0)
+        return rc;
+
+    store.printSpeedupTable("Fig 18: F-Barre speedup breakdown", "Barre",
+                            {"+PTW-sched", "+peer-sharing", "F-Barre"},
+                            apps);
+    std::printf("\npaper: PTW scheduling 1.34x over Barre; peer "
+                "sharing lifts it to 1.80x.\n");
+    return 0;
+}

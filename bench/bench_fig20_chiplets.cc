@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 20: F-Barre speedup on 2/4/8/16-chiplet MCM-GPUs.
+ *
+ * Paper: 1.54x / 1.86x / 2.04x / 2.31x; st2d, matr, gups, spmv scale
+ * almost linearly because F-Barre relieves the growing PCIe and PTW
+ * contention.
+ */
+
+#include "bench/common.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+int
+main(int argc, char **argv)
+{
+    ResultStore store;
+    // The paper highlights these plus low/mid picks; keep the sweep
+    // affordable with a class-balanced subset.
+    std::vector<AppParams> apps{appByName("pr"),   appByName("cov"),
+                                appByName("st2d"), appByName("matr"),
+                                appByName("gups"), appByName("spmv")};
+    for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+        SystemConfig base = SystemConfig::baselineAts();
+        base.chiplets = n;
+        SystemConfig fb = SystemConfig::fbarreCfg(n <= 4 ? 2 : 1);
+        fb.chiplets = n;
+        // Weak scaling: keep the per-chiplet load constant, so larger
+        // packages put proportionally more pressure on the shared PCIe
+        // and PTWs (the contention Fig 20 is about).
+        double scale = envScale() * (static_cast<double>(n) / 4.0);
+        registerRuns(store, {{"base-" + std::to_string(n), base}},
+                     apps, scale);
+        registerRuns(store, {{"fbarre-" + std::to_string(n), fb}},
+                     apps, scale);
+    }
+    int rc = runBenchmarks(argc, argv);
+    if (rc != 0)
+        return rc;
+
+    TextTable table({"app", "2-chip", "4-chip", "8-chip", "16-chip"});
+    std::map<std::string, std::vector<double>> per_n;
+    for (const auto &app : apps) {
+        std::vector<std::string> row{app.name};
+        for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+            const RunMetrics *b =
+                store.get("base-" + std::to_string(n), app.name);
+            const RunMetrics *f =
+                store.get("fbarre-" + std::to_string(n), app.name);
+            double s = static_cast<double>(b->runtime) /
+                       static_cast<double>(f->runtime);
+            per_n[std::to_string(n)].push_back(s);
+            row.push_back(fmt(s));
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (std::uint32_t n : {2u, 4u, 8u, 16u})
+        gm.push_back(fmt(geomean(per_n[std::to_string(n)])));
+    table.addRow(std::move(gm));
+    table.print("Fig 20: F-Barre speedup vs chiplet count");
+    std::printf("\npaper: 1.54x / 1.86x / 2.04x / 2.31x for 2/4/8/16 "
+                "chiplets.\n");
+    return 0;
+}

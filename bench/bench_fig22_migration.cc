@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig 22: Barre Chord under runtime page migration (ACUD [7],
+ * threshold 16). Paper: 1.20x average over plain ACUD.
+ */
+
+#include "bench/common.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+int
+main(int argc, char **argv)
+{
+    ResultStore store;
+    SystemConfig acud = SystemConfig::baselineAts();
+    acud.migration.enabled = true;
+    acud.migration.threshold = 16;
+    SystemConfig acud_bc = SystemConfig::fbarreCfg(2);
+    acud_bc.migration.enabled = true;
+    acud_bc.migration.threshold = 16;
+
+    std::vector<NamedConfig> configs{{"ACUD", acud},
+                                     {"ACUD+BarreChord", acud_bc}};
+    const auto &apps = standardSuite();
+    registerRuns(store, configs, apps, envScale());
+    int rc = runBenchmarks(argc, argv);
+    if (rc != 0)
+        return rc;
+
+    store.printSpeedupTable("Fig 22: Barre Chord under page migration",
+                            "ACUD", {"ACUD+BarreChord"}, apps);
+    std::printf("\npaper: 1.20x average over ACUD.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig 23: F-Barre speedup with 8 / 16 / 32 PTWs.
+ * Paper: 2.12x / 1.86x / 1.51x - the benefit shrinks as raw PTW
+ * parallelism grows, but stays substantial.
+ */
+
+#include "bench/common.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+int
+main(int argc, char **argv)
+{
+    ResultStore store;
+    std::vector<NamedConfig> configs;
+    for (std::uint32_t ptws : {8u, 16u, 32u}) {
+        SystemConfig base = SystemConfig::baselineAts();
+        base.iommu.ptws = ptws;
+        SystemConfig fb = SystemConfig::fbarreCfg(2);
+        fb.iommu.ptws = ptws;
+        configs.push_back({"base-" + std::to_string(ptws), base});
+        configs.push_back({"fbarre-" + std::to_string(ptws), fb});
+    }
+    const auto &apps = standardSuite();
+    registerRuns(store, configs, apps, envScale());
+    int rc = runBenchmarks(argc, argv);
+    if (rc != 0)
+        return rc;
+
+    TextTable table({"app", "8 PTWs", "16 PTWs", "32 PTWs"});
+    std::map<std::string, std::vector<double>> per_p;
+    for (const auto &app : apps) {
+        std::vector<std::string> row{app.name};
+        for (std::uint32_t p : {8u, 16u, 32u}) {
+            const RunMetrics *b =
+                store.get("base-" + std::to_string(p), app.name);
+            const RunMetrics *f =
+                store.get("fbarre-" + std::to_string(p), app.name);
+            double s = static_cast<double>(b->runtime) /
+                       static_cast<double>(f->runtime);
+            per_p[std::to_string(p)].push_back(s);
+            row.push_back(fmt(s));
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (std::uint32_t p : {8u, 16u, 32u})
+        gm.push_back(fmt(geomean(per_p[std::to_string(p)])));
+    table.addRow(std::move(gm));
+    table.print("Fig 23: F-Barre speedup vs PTW count");
+    std::printf("\npaper: 2.12x / 1.86x / 1.51x with 8/16/32 PTWs.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fig 24: F-Barre with 64 KB and 2 MB pages.
+ * Left: original inputs (paper: +2.5% / +0.12% - footprints are small
+ * relative to the enlarged pages). Right: inputs scaled 16x on a
+ * class-balanced subset (paper: +67% / +2%).
+ */
+
+#include "bench/common.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+namespace
+{
+
+void
+sweep(ResultStore &store, const std::string &suffix,
+      const std::vector<AppParams> &apps, double scale,
+      std::uint64_t mem_per_chiplet)
+{
+    std::vector<NamedConfig> configs;
+    for (PageSize ps : {PageSize::size4k, PageSize::size64k,
+                        PageSize::size2m}) {
+        std::string tag = ps == PageSize::size4k    ? "4K"
+                          : ps == PageSize::size64k ? "64K"
+                                                    : "2M";
+        SystemConfig base = SystemConfig::baselineAts();
+        base.page_size = ps;
+        base.mem_bytes_per_chiplet = mem_per_chiplet;
+        SystemConfig fb = SystemConfig::fbarreCfg(2);
+        fb.page_size = ps;
+        fb.mem_bytes_per_chiplet = mem_per_chiplet;
+        configs.push_back({"base-" + tag + suffix, base});
+        configs.push_back({"fbarre-" + tag + suffix, fb});
+    }
+    registerRuns(store, configs, apps, scale);
+}
+
+void
+printPanel(const ResultStore &store, const std::string &title,
+           const std::string &suffix, const std::vector<AppParams> &apps)
+{
+    TextTable table({"app", "4KB", "64KB", "2MB"});
+    std::map<std::string, std::vector<double>> per;
+    for (const auto &app : apps) {
+        std::vector<std::string> row{app.name};
+        for (const char *tag : {"4K", "64K", "2M"}) {
+            const RunMetrics *b =
+                store.get("base-" + std::string(tag) + suffix, app.name);
+            const RunMetrics *f = store.get(
+                "fbarre-" + std::string(tag) + suffix, app.name);
+            double s = static_cast<double>(b->runtime) /
+                       static_cast<double>(f->runtime);
+            per[tag].push_back(s);
+            row.push_back(fmt(s));
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (const char *tag : {"4K", "64K", "2M"})
+        gm.push_back(fmt(geomean(per[tag])));
+    table.addRow(std::move(gm));
+    table.print(title);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ResultStore store;
+    double scale = envScale();
+
+    const auto &apps = standardSuite();
+    sweep(store, "", apps, scale, std::uint64_t{2} << 30);
+
+    // Right panel: 16x inputs on the class-balanced subset. More
+    // memory per chiplet so the footprints fit.
+    std::vector<AppParams> big;
+    for (const auto &a : scaledSubset())
+        big.push_back(a.scaled(16.0));
+    sweep(store, "-16x", big, scale * 0.25,
+          std::uint64_t{8} << 30);
+
+    int rc = runBenchmarks(argc, argv);
+    if (rc != 0)
+        return rc;
+
+    printPanel(store, "Fig 24 (left): F-Barre speedup vs page size", "",
+               apps);
+    printPanel(store,
+               "Fig 24 (right): 16x inputs, class-balanced subset",
+               "-16x", big);
+    std::printf("\npaper: left +2.5%% (64KB) / +0.12%% (2MB); right "
+                "+67%% / +2%%.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig 26: Barre Chord under other page-mapping policies: round-robin,
+ * kernel-wide chunking, and CODA.
+ * Paper: 1.25x / 1.48x / 1.62x average speedups - Barre Chord is
+ * mapping-policy agnostic as long as data spreads across chiplets.
+ */
+
+#include "bench/common.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+int
+main(int argc, char **argv)
+{
+    ResultStore store;
+    std::vector<NamedConfig> configs;
+    auto add = [&](MappingPolicyKind k, const std::string &tag) {
+        SystemConfig base = SystemConfig::baselineAts();
+        base.driver.policy = k;
+        SystemConfig fb = SystemConfig::fbarreCfg(2);
+        fb.driver.policy = k;
+        configs.push_back({"base-" + tag, base});
+        configs.push_back({"fbarre-" + tag, fb});
+    };
+    add(MappingPolicyKind::round_robin, "rr");
+    add(MappingPolicyKind::chunking, "chunk");
+    add(MappingPolicyKind::coda, "coda");
+
+    const auto &apps = standardSuite();
+    registerRuns(store, configs, apps, envScale());
+    int rc = runBenchmarks(argc, argv);
+    if (rc != 0)
+        return rc;
+
+    TextTable table({"app", "round-robin", "chunking", "CODA"});
+    std::map<std::string, std::vector<double>> per;
+    for (const auto &app : apps) {
+        std::vector<std::string> row{app.name};
+        for (const char *tag : {"rr", "chunk", "coda"}) {
+            const RunMetrics *b =
+                store.get("base-" + std::string(tag), app.name);
+            const RunMetrics *f =
+                store.get("fbarre-" + std::string(tag), app.name);
+            double s = static_cast<double>(b->runtime) /
+                       static_cast<double>(f->runtime);
+            per[tag].push_back(s);
+            row.push_back(fmt(s));
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (const char *tag : {"rr", "chunk", "coda"})
+        gm.push_back(fmt(geomean(per[tag])));
+    table.addRow(std::move(gm));
+    table.print("Fig 26: Barre Chord speedup under other mappings");
+    std::printf("\npaper: 1.25x round-robin, 1.48x chunking, 1.62x "
+                "CODA.\n");
+    return 0;
+}

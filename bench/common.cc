@@ -1,0 +1,128 @@
+#include "bench/common.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace barre::bench
+{
+
+double
+envScale(double def)
+{
+    const char *s = std::getenv("BARRE_SCALE");
+    if (!s)
+        return def;
+    double v = std::atof(s);
+    return v > 0 ? v : def;
+}
+
+namespace
+{
+
+std::string
+keyOf(const std::string &cfg, const std::string &app)
+{
+    return cfg + "/" + app;
+}
+
+} // namespace
+
+void
+ResultStore::put(const std::string &cfg, const std::string &app,
+                 const RunMetrics &m)
+{
+    cells_[keyOf(cfg, app)] = m;
+}
+
+const RunMetrics *
+ResultStore::get(const std::string &cfg, const std::string &app) const
+{
+    auto it = cells_.find(keyOf(cfg, app));
+    return it == cells_.end() ? nullptr : &it->second;
+}
+
+std::vector<double>
+ResultStore::speedups(const std::string &base, const std::string &cfg,
+                      const std::vector<AppParams> &apps) const
+{
+    std::vector<double> out;
+    for (const auto &app : apps) {
+        const RunMetrics *b = get(base, app.name);
+        const RunMetrics *c = get(cfg, app.name);
+        barre_assert(b && c, "missing cell %s/%s", cfg.c_str(),
+                     app.name.c_str());
+        out.push_back(static_cast<double>(b->runtime) /
+                      static_cast<double>(c->runtime));
+    }
+    return out;
+}
+
+void
+ResultStore::printSpeedupTable(const std::string &title,
+                               const std::string &base,
+                               const std::vector<std::string> &configs,
+                               const std::vector<AppParams> &apps) const
+{
+    std::vector<std::string> headers{"app"};
+    for (const auto &c : configs)
+        headers.push_back(c);
+    TextTable table(headers);
+
+    std::map<std::string, std::vector<double>> per_cfg;
+    for (const auto &c : configs)
+        per_cfg[c] = speedups(base, c, apps);
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        std::vector<std::string> row{apps[i].name};
+        for (const auto &c : configs)
+            row.push_back(fmt(per_cfg[c][i]));
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (const auto &c : configs)
+        gm.push_back(fmt(geomean(per_cfg[c])));
+    table.addRow(std::move(gm));
+    table.print(title + " (speedup over " + base + ")");
+}
+
+void
+registerRuns(ResultStore &store, const std::vector<NamedConfig> &configs,
+             const std::vector<AppParams> &apps, double scale)
+{
+    for (const auto &nc : configs) {
+        for (const auto &app : apps) {
+            SystemConfig cfg = nc.cfg;
+            cfg.workload_scale *= scale;
+            std::string cfg_name = nc.name;
+            std::string bench_name = cfg_name + "/" + app.name;
+            benchmark::RegisterBenchmark(
+                bench_name.c_str(),
+                [&store, cfg, app, cfg_name](benchmark::State &state) {
+                    for (auto _ : state) {
+                        RunMetrics m = runApp(cfg, app);
+                        store.put(cfg_name, app.name, m);
+                        state.counters["sim_cycles"] =
+                            static_cast<double>(m.runtime);
+                        state.counters["ats_packets"] =
+                            static_cast<double>(m.ats_packets);
+                        state.counters["l2_mpki"] = m.l2_mpki;
+                    }
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+int
+runBenchmarks(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}
+
+} // namespace barre::bench

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harness.
+ *
+ * Each bench binary reproduces one figure/table of the paper: it
+ * registers one google-benchmark per (configuration, application) cell,
+ * runs every cell once, and then prints the paper-shaped series
+ * (applications as rows, configurations as columns, geometric-mean
+ * summary row) next to the paper's reported numbers.
+ *
+ * Environment:
+ *   BARRE_SCALE - workload scale factor (default 1.0). Use e.g.
+ *                 BARRE_SCALE=0.1 for a quick pass.
+ */
+
+#ifndef BARRE_BENCH_COMMON_HH
+#define BARRE_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace barre::bench
+{
+
+/** Workload scale factor from $BARRE_SCALE. */
+double envScale(double def = 1.0);
+
+/** One column of an experiment: a named system configuration. */
+struct NamedConfig
+{
+    std::string name;
+    SystemConfig cfg;
+};
+
+/** Collected metrics for every (config, app) cell. */
+class ResultStore
+{
+  public:
+    void put(const std::string &cfg, const std::string &app,
+             const RunMetrics &m);
+    const RunMetrics *get(const std::string &cfg,
+                          const std::string &app) const;
+
+    /** runtime(base)/runtime(cfg) per app, in @p apps order. */
+    std::vector<double> speedups(const std::string &base,
+                                 const std::string &cfg,
+                                 const std::vector<AppParams> &apps) const;
+
+    /**
+     * Print the classic evaluation table: one row per app with the
+     * speedup of each config over @p base, plus a geomean row.
+     */
+    void printSpeedupTable(const std::string &title,
+                           const std::string &base,
+                           const std::vector<std::string> &configs,
+                           const std::vector<AppParams> &apps) const;
+
+  private:
+    std::map<std::string, RunMetrics> cells_;
+};
+
+/**
+ * Register one google-benchmark per (config, app); each runs the
+ * simulation once and deposits its metrics into @p store. Counters
+ * exposed: sim cycles, ATS packets, L2 MPKI.
+ */
+void registerRuns(ResultStore &store,
+                  const std::vector<NamedConfig> &configs,
+                  const std::vector<AppParams> &apps, double scale);
+
+/** Initialize + run google-benchmark (call from main after register). */
+int runBenchmarks(int argc, char **argv);
+
+} // namespace barre::bench
+
+#endif // BARRE_BENCH_COMMON_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: build a 4-chiplet MCM-GPU, run one workload under the
+ * baseline and under Barre Chord (F-Barre), and compare.
+ *
+ *   $ ./quickstart [app] [scale]
+ *
+ * app   - Table I abbreviation (default: atax)
+ * scale - workload scale factor (default: 0.25 for a fast demo)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.hh"
+
+using namespace barre;
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name = argc > 1 ? argv[1] : "atax";
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+    const AppParams &app = appByName(app_name);
+    std::printf("app: %s (%s, paper L2 TLB MPKI %.3f, class %s)\n",
+                app.name.c_str(), app.full_name.c_str(), app.paper_mpki,
+                app.category.c_str());
+
+    SystemConfig base = SystemConfig::baselineAts();
+    base.workload_scale = scale;
+    SystemConfig fb = SystemConfig::fbarreCfg(/*merge_limit=*/2);
+    fb.workload_scale = scale;
+
+    RunMetrics mb = runApp(base, app);
+    RunMetrics mf = runApp(fb, app);
+
+    TextTable t({"metric", "baseline", "F-Barre-2Merge"});
+    t.addRow({"runtime (cycles)", std::to_string(mb.runtime),
+              std::to_string(mf.runtime)});
+    t.addRow({"L2 TLB MPKI", fmt(mb.l2_mpki), fmt(mf.l2_mpki)});
+    t.addRow({"ATS packets", std::to_string(mb.ats_packets),
+              std::to_string(mf.ats_packets)});
+    t.addRow({"IOMMU walks", std::to_string(mb.walks),
+              std::to_string(mf.walks)});
+    t.addRow({"IOMMU PEC-calculated", std::to_string(mb.iommu_coalesced),
+              std::to_string(mf.iommu_coalesced)});
+    t.addRow({"local calc hits", std::to_string(mb.local_calc_hits),
+              std::to_string(mf.local_calc_hits)});
+    t.addRow({"remote calc hits", std::to_string(mb.remote_hits),
+              std::to_string(mf.remote_hits)});
+    t.addRow({"avg ATS time (cy)", fmt(mb.avg_ats_time, 1),
+              fmt(mf.avg_ats_time, 1)});
+    t.print("quickstart: baseline vs Barre Chord");
+
+    double speedup = static_cast<double>(mb.runtime) /
+                     static_cast<double>(mf.runtime);
+    std::printf("\nspeedup (baseline -> F-Barre): %.3fx\n", speedup);
+    return 0;
+}

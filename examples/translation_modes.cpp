@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Example: compare every translation configuration the library ships -
+ * baseline ATS, Valkyrie, Least, Barre, and F-Barre (with 1/2/4-way
+ * coalescing-group merging) - on a chosen application, reporting the
+ * Fig 15-style speedups plus the mechanism-level statistics that
+ * explain them.
+ *
+ *   $ ./translation_modes [app] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+using namespace barre;
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name = argc > 1 ? argv[1] : "matr";
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    const AppParams &app = appByName(app_name);
+
+    struct Entry
+    {
+        std::string name;
+        SystemConfig cfg;
+    };
+    std::vector<Entry> entries{
+        {"baseline", SystemConfig::baselineAts()},
+        {"Valkyrie", SystemConfig::valkyrieCfg()},
+        {"Least", SystemConfig::leastCfg()},
+        {"Barre", SystemConfig::barreCfg()},
+        {"F-Barre-NoMerge", SystemConfig::fbarreCfg(1)},
+        {"F-Barre-2Merge", SystemConfig::fbarreCfg(2)},
+        {"F-Barre-4Merge", SystemConfig::fbarreCfg(4)},
+    };
+
+    std::printf("app: %s (%s), scale %.2f\n", app.name.c_str(),
+                app.full_name.c_str(), scale);
+
+    TextTable table({"config", "speedup", "ATS", "walks",
+                     "IOMMU-calc", "local-calc", "remote-calc",
+                     "avg ATS cy"});
+    double base_runtime = 0;
+    for (auto &e : entries) {
+        e.cfg.workload_scale = scale;
+        RunMetrics m = runApp(e.cfg, app);
+        if (base_runtime == 0)
+            base_runtime = static_cast<double>(m.runtime);
+        table.addRow({e.name,
+                      fmt(base_runtime / static_cast<double>(m.runtime)),
+                      std::to_string(m.ats_packets),
+                      std::to_string(m.walks),
+                      std::to_string(m.iommu_coalesced),
+                      std::to_string(m.local_calc_hits),
+                      std::to_string(m.remote_hits),
+                      fmt(m.avg_ats_time, 0)});
+    }
+    table.print("translation configurations on " + app.name);
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * "Least" baseline (Li et al., MICRO'21): sharing- and spilling-aware
+ * inter-chiplet L2 TLB design, configured as the paper does in §VII-A
+ * with an *ideal* 1024-entry cuckoo-filter tracker (100% true positive
+ * rate) - modeled as an oracle peek of peer L2 TLB contents.
+ *
+ * On an L2 miss: if any peer L2 TLB holds the exact VPN, fetch the entry
+ * over the interconnect; otherwise fall back to an ATS. On eviction,
+ * entries spill to the next chiplet's L2 TLB so shared translations stay
+ * inside the package.
+ */
+
+#ifndef BARRE_BASELINES_LEAST_HH
+#define BARRE_BASELINES_LEAST_HH
+
+#include <vector>
+
+#include "gpu/translation_service.hh"
+#include "noc/interconnect.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace barre
+{
+
+struct LeastParams
+{
+    bool spilling = true;
+    Cycles peer_tlb_latency = 10;
+    std::uint32_t probe_bytes = 8;
+    std::uint32_t reply_bytes = 16;
+};
+
+class LeastService : public SimObject, public TranslationService
+{
+  public:
+    LeastService(EventQueue &eq, std::string name, Iommu &iommu,
+                 Interconnect &noc, std::uint32_t chiplets,
+                 const LeastParams &params)
+        : SimObject(eq, std::move(name)), iommu_(iommu), noc_(noc),
+          params_(params), l2_tlbs_(chiplets, nullptr)
+    {}
+
+    void attachL2Tlb(ChipletId c, Tlb *tlb) { l2_tlbs_[c] = tlb; }
+
+    void
+    translate(ProcessId pid, Vpn vpn, ChipletId src,
+              Iommu::ResponseHandler done) override
+    {
+        // Ideal tracker: oracle knowledge of peer L2 TLB contents.
+        for (std::uint32_t p = 0; p < l2_tlbs_.size(); ++p) {
+            if (p == src || !l2_tlbs_[p]->peek(pid, vpn))
+                continue;
+            ++remote_lookups_;
+            noc_.send(src, p, params_.probe_bytes,
+                      [this, pid, vpn, src, p,
+                       done = std::move(done)]() mutable {
+                          after(params_.peer_tlb_latency,
+                                [this, pid, vpn, src, p,
+                                 done = std::move(done)]() mutable {
+                                    serveAtPeer(pid, vpn, src, p,
+                                                std::move(done));
+                                });
+                      });
+            return;
+        }
+        ++ats_fallbacks_;
+        iommu_.sendAts(pid, vpn, src, std::move(done));
+    }
+
+    void
+    onL2Evict(ChipletId chiplet, const TlbEntry &entry) override
+    {
+        if (!params_.spilling || in_spill_)
+            return;
+        // Spill to the next chiplet; its own capacity victim is dropped
+        // (no transitive spilling).
+        ChipletId target =
+            static_cast<ChipletId>((chiplet + 1) % l2_tlbs_.size());
+        in_spill_ = true;
+        l2_tlbs_[target]->insert(entry);
+        in_spill_ = false;
+        ++spills_;
+    }
+
+    std::uint64_t remoteLookups() const { return remote_lookups_.value(); }
+    std::uint64_t remoteHits() const { return remote_hits_.value(); }
+    std::uint64_t spills() const { return spills_.value(); }
+    std::uint64_t atsFallbacks() const { return ats_fallbacks_.value(); }
+
+  private:
+    void
+    serveAtPeer(ProcessId pid, Vpn vpn, ChipletId src, ChipletId peer,
+                Iommu::ResponseHandler done)
+    {
+        auto te = l2_tlbs_[peer]->peek(pid, vpn);
+        if (!te) {
+            // Raced an eviction; fall back.
+            ++ats_fallbacks_;
+            noc_.send(peer, src, params_.reply_bytes,
+                      [this, pid, vpn, src,
+                       done = std::move(done)]() mutable {
+                          iommu_.sendAts(pid, vpn, src, std::move(done));
+                      });
+            return;
+        }
+        ++remote_hits_;
+        AtsResponse resp;
+        resp.pid = pid;
+        resp.vpn = vpn;
+        resp.pfn = te->pfn;
+        resp.coal = te->coal;
+        noc_.send(peer, src, params_.reply_bytes,
+                  [done = std::move(done), resp]() { done(resp); });
+    }
+
+    Iommu &iommu_;
+    Interconnect &noc_;
+    LeastParams params_;
+    std::vector<Tlb *> l2_tlbs_;
+    bool in_spill_ = false;
+
+    Counter remote_lookups_;
+    Counter remote_hits_;
+    Counter spills_;
+    Counter ats_fallbacks_;
+};
+
+} // namespace barre
+
+#endif // BARRE_BASELINES_LEAST_HH

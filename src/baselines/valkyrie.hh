@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Valkyrie baseline (Baruah et al., PACT'20), as extended by the paper
+ * for MCM-GPUs (§VII-A): inter-L1 TLB locality sharing within a chiplet
+ * (implemented by the chiplet's sibling-L1 probe, ChipletParams::
+ * sibling_l1_probe) plus an L2 TLB next-page prefetcher, modeled here:
+ * on every demand L2 miss, the service also requests vpn+1..vpn+degree
+ * from the IOMMU and fills the L2 TLB when the responses return.
+ */
+
+#ifndef BARRE_BASELINES_VALKYRIE_HH
+#define BARRE_BASELINES_VALKYRIE_HH
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gpu/translation_service.hh"
+#include "sim/stats.hh"
+
+namespace barre
+{
+
+struct ValkyrieParams
+{
+    bool prefetch = true;
+    std::uint32_t prefetch_degree = 1;
+    /** Skip prefetching when this many translations are in flight. */
+    std::uint32_t pressure_limit = 24;
+};
+
+class ValkyrieService : public TranslationService
+{
+  public:
+    ValkyrieService(Iommu &iommu, const ValkyrieParams &params,
+                    std::uint32_t chiplets)
+        : iommu_(iommu), params_(params), l2_tlbs_(chiplets, nullptr)
+    {}
+
+    void attachL2Tlb(ChipletId c, Tlb *tlb) { l2_tlbs_[c] = tlb; }
+
+    void
+    translate(ProcessId pid, Vpn vpn, ChipletId src,
+              Iommu::ResponseHandler done) override
+    {
+        iommu_.sendAts(pid, vpn, src, std::move(done));
+        if (!params_.prefetch)
+            return;
+        // Stride gate: only prefetch when the chiplet's miss stream
+        // looks sequential (vpn-1 missed recently); blind next-page
+        // prefetching would flood the PTWs.
+        bool streaming = recent_[src].contains(
+            (std::uint64_t{pid} << 52) ^ (vpn - 1));
+        noteRecent(src, pid, vpn);
+        if (!streaming)
+            return;
+        // Don't add prefetch load to an already-saturated IOMMU.
+        if (iommu_.pendingTranslations() >= params_.pressure_limit)
+            return;
+        for (std::uint32_t d = 1; d <= params_.prefetch_degree; ++d) {
+            Vpn pv = vpn + d;
+            std::uint64_t key = (std::uint64_t{pid} << 52) ^
+                                (std::uint64_t{src} << 44) ^ pv;
+            if (l2_tlbs_[src]->peek(pid, pv) || pending_.contains(key))
+                continue;
+            pending_.insert(key);
+            ++prefetches_;
+            iommu_.sendAts(pid, pv, src,
+                           [this, pid, pv, src,
+                            key](const AtsResponse &resp) {
+                               pending_.erase(key);
+                               if (resp.pfn == invalid_pfn)
+                                   return;
+                               TlbEntry te;
+                               te.pid = pid;
+                               te.vpn = pv;
+                               te.pfn = resp.pfn;
+                               te.coal = resp.coal;
+                               te.valid = true;
+                               l2_tlbs_[src]->insert(te);
+                               ++prefetch_fills_;
+                           });
+        }
+    }
+
+    std::uint64_t prefetches() const { return prefetches_.value(); }
+    std::uint64_t prefetchFills() const { return prefetch_fills_.value(); }
+
+  private:
+    /** Sliding window of recent miss VPNs per chiplet (stride gate). */
+    void
+    noteRecent(ChipletId src, ProcessId pid, Vpn vpn)
+    {
+        auto &window = recent_order_[src];
+        auto &set = recent_[src];
+        std::uint64_t key = (std::uint64_t{pid} << 52) ^ vpn;
+        if (set.insert(key).second) {
+            window.push_back(key);
+            if (window.size() > 64) {
+                set.erase(window.front());
+                window.erase(window.begin());
+            }
+        }
+    }
+
+    Iommu &iommu_;
+    ValkyrieParams params_;
+    std::vector<Tlb *> l2_tlbs_;
+    std::unordered_set<std::uint64_t> pending_;
+    std::unordered_map<ChipletId, std::unordered_set<std::uint64_t>>
+        recent_;
+    std::unordered_map<ChipletId, std::vector<std::uint64_t>>
+        recent_order_;
+    Counter prefetches_;
+    Counter prefetch_fills_;
+};
+
+} // namespace barre
+
+#endif // BARRE_BASELINES_VALKYRIE_HH

@@ -1,0 +1,69 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+Cache::Cache(const CacheParams &p) : params_(p)
+{
+    barre_assert(std::has_single_bit(p.line_bytes), "line size not 2^n");
+    line_shift_ = static_cast<std::uint32_t>(std::countr_zero(p.line_bytes));
+    std::uint64_t lines = p.size_bytes / p.line_bytes;
+    barre_assert(lines >= p.ways && lines % p.ways == 0,
+                 "bad cache geometry");
+    sets_ = static_cast<std::uint32_t>(lines / p.ways);
+    ways_.resize(lines);
+}
+
+bool
+Cache::access(Addr paddr)
+{
+    Addr line = paddr >> line_shift_;
+    std::uint32_t set = static_cast<std::uint32_t>(line % sets_);
+    Way *victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Way &way = ways_[std::size_t{set} * params_.ways + w];
+        if (way.valid && way.tag == line) {
+            way.lru = ++stamp_;
+            ++hits_;
+            return true;
+        }
+        if (!way.valid) {
+            if (!victim || victim->valid)
+                victim = &way;
+        } else if (!victim || (victim->valid && way.lru < victim->lru)) {
+            victim = &way;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = line;
+    victim->lru = ++stamp_;
+    return false;
+}
+
+std::uint32_t
+Cache::invalidatePage(Pfn pfn, std::uint32_t page_shift)
+{
+    std::uint32_t dropped = 0;
+    std::uint32_t lines_shift = page_shift - line_shift_;
+    for (Way &way : ways_) {
+        if (way.valid && (way.tag >> lines_shift) == pfn) {
+            way.valid = false;
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Way &way : ways_)
+        way.valid = false;
+}
+
+} // namespace barre

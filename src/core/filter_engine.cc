@@ -1,0 +1,116 @@
+#include "core/filter_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+namespace
+{
+
+CuckooFilterParams
+saltedParams(const CuckooFilterParams &base, std::uint64_t salt)
+{
+    CuckooFilterParams p = base;
+    p.salt = base.salt * 1315423911ull + salt;
+    return p;
+}
+
+} // namespace
+
+FilterEngine::FilterEngine(ChipletId chiplet, std::uint32_t chiplets,
+                           const CuckooFilterParams &params)
+    : owner_(chiplet), chiplets_(chiplets),
+      lcf_(saltedParams(params, std::uint64_t{chiplet} * 2 + 1))
+{
+    barre_assert(chiplet < chiplets, "owner out of range");
+    rcfs_.reserve(chiplets);
+    for (std::uint32_t p = 0; p < chiplets; ++p) {
+        rcfs_.emplace_back(
+            saltedParams(params, (std::uint64_t{chiplet} << 8) | p));
+    }
+}
+
+void
+FilterEngine::lcfInsert(ProcessId pid, Vpn vpn)
+{
+    lcf_.insert(keyOf(pid, vpn));
+}
+
+void
+FilterEngine::lcfErase(ProcessId pid, Vpn vpn)
+{
+    lcf_.erase(keyOf(pid, vpn));
+}
+
+bool
+FilterEngine::lcfContains(ProcessId pid, Vpn vpn) const
+{
+    ++lcf_lookups_;
+    bool hit = lcf_.contains(keyOf(pid, vpn));
+    if (hit)
+        ++lcf_hits_;
+    return hit;
+}
+
+CuckooFilter &
+FilterEngine::rcfFor(ChipletId peer)
+{
+    barre_assert(peer < chiplets_ && peer != owner_,
+                 "bad RCF peer %u", peer);
+    return rcfs_[peer];
+}
+
+const CuckooFilter &
+FilterEngine::rcfFor(ChipletId peer) const
+{
+    return const_cast<FilterEngine *>(this)->rcfFor(peer);
+}
+
+void
+FilterEngine::rcfInsert(ChipletId peer, ProcessId pid, Vpn vpn)
+{
+    rcfFor(peer).insert(keyOf(pid, vpn));
+}
+
+void
+FilterEngine::rcfErase(ChipletId peer, ProcessId pid, Vpn vpn)
+{
+    rcfFor(peer).erase(keyOf(pid, vpn));
+}
+
+std::optional<ChipletId>
+FilterEngine::predictSharer(ProcessId pid, Vpn vpn) const
+{
+    ++rcf_lookups_;
+    std::uint64_t key = keyOf(pid, vpn);
+    for (std::uint32_t p = 0; p < chiplets_; ++p) {
+        if (p == owner_)
+            continue;
+        if (rcfs_[p].contains(key)) {
+            ++rcf_hits_;
+            return static_cast<ChipletId>(p);
+        }
+    }
+    return std::nullopt;
+}
+
+void
+FilterEngine::reset()
+{
+    lcf_.clear();
+    for (auto &f : rcfs_)
+        f.clear();
+}
+
+std::uint64_t
+FilterEngine::storageBits() const
+{
+    std::uint64_t bits = lcf_.storageBits();
+    for (std::uint32_t p = 0; p < chiplets_; ++p)
+        if (p != owner_)
+            bits += rcfs_[p].storageBits();
+    return bits;
+}
+
+} // namespace barre

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * F-Barre's per-chiplet coalescing-group filter engine (paper §V-A).
+ *
+ * Each chiplet owns one *local coalescing-group filter* (LCF) mirroring
+ * its own L2 TLB contents (exact VPNs only), and one *remote
+ * coalescing-group filter* (RCF) per peer chiplet, holding the exact VPN
+ * *and every coalescing VPN* of each entry the peer's L2 TLB holds. A
+ * hit in RCF_j predicts that peer j can translate the VPN via a
+ * coalesced calculation.
+ *
+ * This class is the filter state plus update bookkeeping; message timing
+ * (best-effort, 43-bit updates) is applied by the F-Barre translation
+ * service that owns it.
+ */
+
+#ifndef BARRE_CORE_FILTER_ENGINE_HH
+#define BARRE_CORE_FILTER_ENGINE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "filters/cuckoo_filter.hh"
+#include "mem/types.hh"
+#include "sim/stats.hh"
+
+namespace barre
+{
+
+class FilterEngine
+{
+  public:
+    /**
+     * @param chiplet   owner chiplet id
+     * @param chiplets  total chiplets in the package
+     * @param params    geometry shared by the LCF and all RCFs
+     */
+    FilterEngine(ChipletId chiplet, std::uint32_t chiplets,
+                 const CuckooFilterParams &params);
+
+    ChipletId chiplet() const { return owner_; }
+
+    /** Key filters by (pid, vpn) so multi-app runs do not alias. */
+    static std::uint64_t
+    keyOf(ProcessId pid, Vpn vpn)
+    {
+        return (std::uint64_t{pid} << 52) ^ vpn;
+    }
+
+    /// @name Local filter (mirrors own L2 TLB exact VPNs)
+    /// @{
+    void lcfInsert(ProcessId pid, Vpn vpn);
+    void lcfErase(ProcessId pid, Vpn vpn);
+    bool lcfContains(ProcessId pid, Vpn vpn) const;
+    /// @}
+
+    /// @name Remote filters (one per peer, updated by peer messages)
+    /// @{
+    void rcfInsert(ChipletId peer, ProcessId pid, Vpn vpn);
+    void rcfErase(ChipletId peer, ProcessId pid, Vpn vpn);
+
+    /**
+     * Which peer (if any) is predicted to be able to translate
+     * (pid, vpn)? Checks all RCFs; first hit wins.
+     */
+    std::optional<ChipletId> predictSharer(ProcessId pid, Vpn vpn) const;
+    /// @}
+
+    /** TLB-shootdown reset: clear the LCF and every RCF (paper §VI). */
+    void reset();
+
+    /** Storage cost of all filters in bits (§VII-K). */
+    std::uint64_t storageBits() const;
+
+    std::uint64_t lcfHits() const { return lcf_hits_.value(); }
+    std::uint64_t lcfLookups() const { return lcf_lookups_.value(); }
+    std::uint64_t rcfHits() const { return rcf_hits_.value(); }
+    std::uint64_t rcfLookups() const { return rcf_lookups_.value(); }
+
+  private:
+    CuckooFilter &rcfFor(ChipletId peer);
+    const CuckooFilter &rcfFor(ChipletId peer) const;
+
+    ChipletId owner_;
+    std::uint32_t chiplets_;
+    CuckooFilter lcf_;
+    /** Indexed by peer id; the slot for owner_ is unused but present. */
+    std::vector<CuckooFilter> rcfs_;
+
+    mutable Counter lcf_hits_;
+    mutable Counter lcf_lookups_;
+    mutable Counter rcf_hits_;
+    mutable Counter rcf_lookups_;
+};
+
+} // namespace barre
+
+#endif // BARRE_CORE_FILTER_ENGINE_HH

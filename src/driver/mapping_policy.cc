@@ -1,0 +1,62 @@
+#include "driver/mapping_policy.hh"
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+std::string
+to_string(MappingPolicyKind k)
+{
+    switch (k) {
+      case MappingPolicyKind::lasp:
+        return "LASP";
+      case MappingPolicyKind::chunking:
+        return "chunking";
+      case MappingPolicyKind::coda:
+        return "CODA";
+      case MappingPolicyKind::round_robin:
+        return "round-robin";
+    }
+    barre_panic("unknown mapping policy");
+}
+
+PecEntry
+computeLayout(MappingPolicyKind kind, std::uint64_t pages,
+              std::uint32_t chiplets, const DataTraits &traits)
+{
+    barre_assert(pages > 0, "empty buffer");
+    barre_assert(chiplets >= 1 && chiplets <= PecEntry::max_gpus,
+                 "chiplet count %u unsupported", chiplets);
+
+    PecEntry layout;
+    layout.valid = true;
+    layout.num_gpus = chiplets;
+    for (std::uint32_t i = 0; i < chiplets; ++i)
+        layout.gpu_map[i] = static_cast<std::uint8_t>(i);
+
+    bool fine_grained = false;
+    switch (kind) {
+      case MappingPolicyKind::round_robin:
+        fine_grained = true;
+        break;
+      case MappingPolicyKind::coda:
+        fine_grained = traits.irregular;
+        break;
+      case MappingPolicyKind::lasp:
+      case MappingPolicyKind::chunking:
+        fine_grained = false;
+        break;
+    }
+
+    if (fine_grained || pages < chiplets) {
+        layout.gran = 1;
+    } else {
+        // One coarse stripe per chiplet (ceil so the tail truncates).
+        layout.gran =
+            static_cast<std::uint32_t>((pages + chiplets - 1) / chiplets);
+    }
+    return layout;
+}
+
+} // namespace barre

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Page-mapping policies (paper §II-B, §VII-H6).
+ *
+ * A policy decides, for a buffer of P pages on an N-chiplet package, the
+ * stripe granularity (`gran` = consecutive VPNs per chiplet per round)
+ * and the stripe-order -> chiplet map (GPU_map). All evaluated policies
+ * reduce to this stripe model:
+ *
+ *  - LASP (MICRO'20): compiler-analyzed locality; one stripe of P/N
+ *    consecutive pages per chiplet, CTAs co-located with their stripe.
+ *  - Kernel-wide chunking (MICRO'17): the same coarse chunking but
+ *    runtime-only; CTA co-location is heuristic (weaker locality, which
+ *    we model in the CTA scheduler, not here).
+ *  - CODA (TACO'18): LASP-like chunks for linearly-accessed buffers,
+ *    round-robin (gran = 1) for irregular buffers.
+ *  - Round-robin (Idyll baseline): gran = 1 for everything.
+ */
+
+#ifndef BARRE_DRIVER_MAPPING_POLICY_HH
+#define BARRE_DRIVER_MAPPING_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/pec.hh"
+#include "mem/types.hh"
+
+namespace barre
+{
+
+enum class MappingPolicyKind
+{
+    lasp,
+    chunking,
+    coda,
+    round_robin,
+};
+
+std::string to_string(MappingPolicyKind k);
+
+/** Per-buffer allocation traits the policy may consult. */
+struct DataTraits
+{
+    /** Sparse/irregularly-accessed buffer (CODA round-robins these). */
+    bool irregular = false;
+    /** Read-mostly buffer shared by all CTAs (e.g. an input vector). */
+    bool shared = false;
+};
+
+/**
+ * Compute the stripe layout for one buffer.
+ *
+ * @param kind      the policy
+ * @param pages     buffer size in pages
+ * @param chiplets  chiplets in the package
+ * @param traits    buffer traits
+ * @return a PecEntry with gran/num_gpus/gpu_map filled in (identity
+ *         chiplet order); pid and the VPN range are set by the driver.
+ */
+PecEntry computeLayout(MappingPolicyKind kind, std::uint64_t pages,
+                       std::uint32_t chiplets, const DataTraits &traits);
+
+} // namespace barre
+
+#endif // BARRE_DRIVER_MAPPING_POLICY_HH

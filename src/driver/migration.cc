@@ -1,0 +1,53 @@
+#include "driver/migration.hh"
+
+namespace barre
+{
+
+Cycles
+AcudMigrator::recordAccess(Tick now, ProcessId pid, Vpn vpn,
+                           ChipletId accessor, ChipletId owner)
+{
+    if (!params_.enabled)
+        return 0;
+
+    std::uint64_t key = (std::uint64_t{pid} << 52) ^ vpn;
+    PageState &st = pages_[key];
+
+    // Stall behind any in-flight copy of this page, and behind the
+    // package-wide shootdown/DMA quiesce of any ongoing migration.
+    Tick blocked = std::max(st.busy_until, global_freeze_until_);
+    Cycles stall = blocked > now ? blocked - now : 0;
+
+    if (accessor == owner)
+        return stall;
+
+    std::uint32_t &count = st.remote_counts[accessor];
+    if (++count < params_.threshold)
+        return stall;
+    if (now < st.pinned_until)
+        return stall; // hysteresis: recently migrated
+
+    auto res = driver_.migratePage(pid, vpn, accessor);
+    st.remote_counts.clear();
+    if (!res)
+        return stall;
+
+    ++migrations_;
+    bytes_ += params_.page_bytes;
+    auto copy = static_cast<Cycles>(
+        static_cast<double>(params_.page_bytes) /
+        params_.copy_bytes_per_cycle);
+    Cycles total = copy + params_.shootdown_cost;
+    // The copy contends with regular traffic on the old owner's link.
+    ChipletId old_owner = driver_.memoryMap().chipletOf(res->old_pfn);
+    if (noc_ && old_owner != accessor)
+        noc_->send(old_owner, accessor, params_.page_bytes, [] {});
+    st.busy_until = std::max(st.busy_until, now) + total;
+    st.pinned_until = st.busy_until + params_.cooldown;
+    global_freeze_until_ = std::max(global_freeze_until_, now) + total;
+    if (invalidate_)
+        invalidate_(pid, res->stale_vpns);
+    return st.busy_until - now;
+}
+
+} // namespace barre

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ACUD-style counter-based page migration (paper §VII-G, Griffin [7]).
+ *
+ * Each page keeps per-accessor remote-access counters; when a remote
+ * chiplet's counter crosses the threshold (16 in the paper) the page
+ * migrates to it. Migration costs a page copy over the interconnect plus
+ * a TLB shootdown of the stale VPNs; accesses to a page mid-copy stall
+ * until the copy completes.
+ *
+ * Under Barre Chord a migrated page is simply excluded from its
+ * coalescing group (driver handles the PTE surgery); the caller-provided
+ * invalidate hook flushes stale TLB entries and filter state.
+ */
+
+#ifndef BARRE_DRIVER_MIGRATION_HH
+#define BARRE_DRIVER_MIGRATION_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "driver/gpu_driver.hh"
+#include "mem/types.hh"
+#include "noc/interconnect.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace barre
+{
+
+struct MigrationParams
+{
+    bool enabled = false;
+    /** Remote-access count that triggers migration (ACUD uses 16). */
+    std::uint32_t threshold = 16;
+    /** Copy bandwidth over the interconnect, bytes per cycle. */
+    double copy_bytes_per_cycle = 768.0;
+    /** Fixed shootdown/bookkeeping cost per migration, cycles. */
+    Cycles shootdown_cost = 300;
+    /** Page size in bytes (matches the system page size). */
+    std::uint64_t page_bytes = 4096;
+    /**
+     * Hysteresis: a page that just migrated is pinned for this many
+     * cycles before it may migrate again (bounds ping-pong storms).
+     */
+    Cycles cooldown = 10000;
+};
+
+class AcudMigrator
+{
+  public:
+    /** Shoot down stale translations for (pid, vpns). */
+    using InvalidateHook =
+        std::function<void(ProcessId, const std::vector<Vpn> &)>;
+
+    AcudMigrator(GpuDriver &driver, const MigrationParams &params)
+        : driver_(driver), params_(params)
+    {}
+
+    void setInvalidateHook(InvalidateHook h) { invalidate_ = std::move(h); }
+
+    /**
+     * When wired, page copies are injected into the interconnect so
+     * they contend with regular remote traffic (a 2 MB super-page
+     * migration occupies the source link for ~2.7k cycles).
+     */
+    void setInterconnect(Interconnect *noc) { noc_ = noc; }
+
+    /**
+     * Record one access and maybe trigger a migration.
+     *
+     * @param now       current tick
+     * @param pid,vpn   accessed page
+     * @param accessor  chiplet issuing the access
+     * @param owner     chiplet currently holding the page
+     * @return extra stall cycles the access must absorb (0 normally;
+     *         copy+shootdown time when it triggered or raced a
+     *         migration).
+     */
+    Cycles recordAccess(Tick now, ProcessId pid, Vpn vpn,
+                        ChipletId accessor, ChipletId owner);
+
+    std::uint64_t migrations() const { return migrations_.value(); }
+    std::uint64_t migratedBytes() const { return bytes_.value(); }
+
+  private:
+    struct PageState
+    {
+        std::unordered_map<ChipletId, std::uint32_t> remote_counts;
+        Tick busy_until = 0;
+        Tick pinned_until = 0;
+    };
+
+    GpuDriver &driver_;
+    MigrationParams params_;
+    InvalidateHook invalidate_;
+    Interconnect *noc_ = nullptr;
+    /**
+     * Migrations quiesce the GPU: the TLB-shootdown broadcast plus the
+     * page DMA stall every access issued before the copy completes (the
+     * "high page migration penalty" of §VII-G; a 2 MB super page keeps
+     * the package frozen ~10x longer than a 4 KB page).
+     */
+    Tick global_freeze_until_ = 0;
+    std::unordered_map<std::uint64_t, PageState> pages_;
+    Counter migrations_;
+    Counter bytes_;
+};
+
+} // namespace barre
+
+#endif // BARRE_DRIVER_MIGRATION_HH

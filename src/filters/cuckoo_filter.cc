@@ -1,0 +1,149 @@
+#include "filters/cuckoo_filter.hh"
+
+#include <bit>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+CuckooFilter::CuckooFilter(const CuckooFilterParams &p)
+    : params_(p), kick_rng_(p.salt ^ 0xcafef00dull)
+{
+    barre_assert(std::has_single_bit(params_.rows),
+                 "cuckoo filter rows must be a power of two");
+    barre_assert(params_.ways >= 1, "need at least one way");
+    barre_assert(params_.fingerprint_bits >= 1 &&
+                 params_.fingerprint_bits <= 16,
+                 "fingerprint must be 1..16 bits");
+    row_mask_ = params_.rows - 1;
+    slots_.assign(std::size_t{params_.rows} * params_.ways, empty_slot);
+}
+
+CuckooFilter::Fingerprint
+CuckooFilter::fingerprintOf(std::uint64_t item) const
+{
+    std::uint64_t h = mixHash(item, params_.salt + 1);
+    auto fp = static_cast<Fingerprint>(
+        h & ((std::uint64_t{1} << params_.fingerprint_bits) - 1));
+    // Zero is the empty marker; remap to 1 (slightly skews fp 1; fine).
+    return fp == empty_slot ? Fingerprint{1} : fp;
+}
+
+std::uint32_t
+CuckooFilter::bucketOf(std::uint64_t item) const
+{
+    return static_cast<std::uint32_t>(mixHash(item, params_.salt)) &
+           row_mask_;
+}
+
+std::uint32_t
+CuckooFilter::altBucket(std::uint32_t bucket, Fingerprint fp) const
+{
+    return (bucket ^ static_cast<std::uint32_t>(mixHash(fp, params_.salt)))
+           & row_mask_;
+}
+
+CuckooFilter::Fingerprint &
+CuckooFilter::slot(std::uint32_t bucket, std::uint32_t way)
+{
+    return slots_[std::size_t{bucket} * params_.ways + way];
+}
+
+const CuckooFilter::Fingerprint &
+CuckooFilter::slot(std::uint32_t bucket, std::uint32_t way) const
+{
+    return slots_[std::size_t{bucket} * params_.ways + way];
+}
+
+bool
+CuckooFilter::tryPlace(std::uint32_t bucket, Fingerprint fp)
+{
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        if (slot(bucket, w) == empty_slot) {
+            slot(bucket, w) = fp;
+            ++occupied_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CuckooFilter::bucketHas(std::uint32_t bucket, Fingerprint fp) const
+{
+    for (std::uint32_t w = 0; w < params_.ways; ++w)
+        if (slot(bucket, w) == fp)
+            return true;
+    return false;
+}
+
+bool
+CuckooFilter::removeFrom(std::uint32_t bucket, Fingerprint fp)
+{
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        if (slot(bucket, w) == fp) {
+            slot(bucket, w) = empty_slot;
+            --occupied_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CuckooFilter::insert(std::uint64_t item)
+{
+    Fingerprint fp = fingerprintOf(item);
+    std::uint32_t i1 = bucketOf(item);
+    std::uint32_t i2 = altBucket(i1, fp);
+
+    if (tryPlace(i1, fp) || tryPlace(i2, fp))
+        return true;
+
+    // Both buckets full: relocate a victim, alternating buckets.
+    std::uint32_t bucket = (kick_rng_.next() & 1) ? i2 : i1;
+    for (std::uint32_t kick = 0; kick < params_.max_kicks; ++kick) {
+        std::uint32_t victim_way =
+            static_cast<std::uint32_t>(kick_rng_.below(params_.ways));
+        std::swap(fp, slot(bucket, victim_way));
+        bucket = altBucket(bucket, fp);
+        if (tryPlace(bucket, fp))
+            return true;
+    }
+    // Filter too full; the displaced fingerprint is dropped. This makes
+    // the failure lossy (a prior item may now miss), matching hardware
+    // filters that bound insertion work. Callers treat this as an
+    // unfortunate-but-safe event (filters are hints, verified at the TLB).
+    return false;
+}
+
+bool
+CuckooFilter::contains(std::uint64_t item) const
+{
+    Fingerprint fp = fingerprintOf(item);
+    std::uint32_t i1 = bucketOf(item);
+    if (bucketHas(i1, fp))
+        return true;
+    return bucketHas(altBucket(i1, fp), fp);
+}
+
+bool
+CuckooFilter::erase(std::uint64_t item)
+{
+    Fingerprint fp = fingerprintOf(item);
+    std::uint32_t i1 = bucketOf(item);
+    if (removeFrom(i1, fp))
+        return true;
+    return removeFrom(altBucket(i1, fp), fp);
+}
+
+void
+CuckooFilter::clear()
+{
+    std::fill(slots_.begin(), slots_.end(), empty_slot);
+    occupied_ = 0;
+}
+
+} // namespace barre

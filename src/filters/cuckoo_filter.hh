@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cuckoo filter (Fan, Andersen, Kaminsky, Mitzenmacher, CoNEXT'14).
+ *
+ * F-Barre uses these as the local/remote coalescing-group filters (LCF and
+ * RCFs): approximate membership with support for deletion, which Bloom
+ * filters lack and TLB insert/evict tracking requires (paper §V-A1).
+ *
+ * Partial-key cuckoo hashing: an item x stores fingerprint(x) in one of
+ * two buckets, i1 = H(x) and i2 = i1 xor H(fingerprint). Table II
+ * configures 9-bit fingerprints, 4-way buckets, 256 rows (1024 slots).
+ */
+
+#ifndef BARRE_FILTERS_CUCKOO_FILTER_HH
+#define BARRE_FILTERS_CUCKOO_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "filters/hash.hh"
+#include "sim/rng.hh"
+
+namespace barre
+{
+
+struct CuckooFilterParams
+{
+    std::uint32_t rows = 256;          ///< buckets (power of two)
+    std::uint32_t ways = 4;            ///< slots per bucket
+    std::uint32_t fingerprint_bits = 9;
+    std::uint32_t max_kicks = 128;     ///< relocation budget on insert
+    std::uint64_t salt = 0;            ///< per-instance hash salt
+};
+
+class CuckooFilter
+{
+  public:
+    explicit CuckooFilter(const CuckooFilterParams &p = {});
+
+    /**
+     * Insert @p item.
+     * @return false only if the filter is too full (insert failed after
+     *         max_kicks relocations); the paper's best-effort filter
+     *         updates tolerate this.
+     */
+    bool insert(std::uint64_t item);
+
+    /** @return true if @p item may be present (no false negatives). */
+    bool contains(std::uint64_t item) const;
+
+    /**
+     * Delete one copy of @p item.
+     * @return false if no matching fingerprint was found.
+     */
+    bool erase(std::uint64_t item);
+
+    /** Remove everything (TLB-shootdown reset, paper §VI). */
+    void clear();
+
+    std::uint64_t size() const { return occupied_; }
+    std::uint64_t capacity() const
+    {
+        return std::uint64_t{params_.rows} * params_.ways;
+    }
+    double loadFactor() const
+    {
+        return static_cast<double>(occupied_) / capacity();
+    }
+
+    /** Storage cost in bits (for the §VII-K overhead model). */
+    std::uint64_t
+    storageBits() const
+    {
+        return capacity() * params_.fingerprint_bits;
+    }
+
+    const CuckooFilterParams &params() const { return params_; }
+
+  private:
+    using Fingerprint = std::uint16_t; // holds up to 16-bit fingerprints
+
+    static constexpr Fingerprint empty_slot = 0;
+
+    Fingerprint fingerprintOf(std::uint64_t item) const;
+    std::uint32_t bucketOf(std::uint64_t item) const;
+    std::uint32_t altBucket(std::uint32_t bucket, Fingerprint fp) const;
+
+    Fingerprint &slot(std::uint32_t bucket, std::uint32_t way);
+    const Fingerprint &slot(std::uint32_t bucket, std::uint32_t way) const;
+
+    bool tryPlace(std::uint32_t bucket, Fingerprint fp);
+    bool removeFrom(std::uint32_t bucket, Fingerprint fp);
+    bool bucketHas(std::uint32_t bucket, Fingerprint fp) const;
+
+    CuckooFilterParams params_;
+    std::uint32_t row_mask_;
+    std::vector<Fingerprint> slots_;
+    std::uint64_t occupied_ = 0;
+    Rng kick_rng_;
+};
+
+} // namespace barre
+
+#endif // BARRE_FILTERS_CUCKOO_FILTER_HH

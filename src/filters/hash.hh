@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Hash functions used by the cuckoo filters.
+ *
+ * A 64-bit finalizer-style mixer (xxhash/murmur-final flavour) with a per
+ * filter salt so LCF/RCF instances hash independently.
+ */
+
+#ifndef BARRE_FILTERS_HASH_HH
+#define BARRE_FILTERS_HASH_HH
+
+#include <cstdint>
+
+namespace barre
+{
+
+/** Strong 64-bit mix of @p x with @p salt. */
+constexpr std::uint64_t
+mixHash(std::uint64_t x, std::uint64_t salt = 0)
+{
+    x += salt * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace barre
+
+#endif // BARRE_FILTERS_HASH_HH

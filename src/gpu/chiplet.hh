@@ -1,0 +1,194 @@
+/**
+ * @file
+ * One GPU chiplet: per-CU L1 TLBs and L1 caches, the chiplet-shared L2
+ * TLB (with MSHRs), the L2 data cache, and local DRAM (Fig 3 geometry,
+ * Table II parameters).
+ *
+ * The chiplet implements the full per-access pipeline:
+ *   L1 TLB -> [Valkyrie sibling-L1 probe] -> L2 TLB -> translation
+ *   service -> data access (L1 cache -> local/remote L2 -> DRAM),
+ * charging migration stalls and counting the statistics the evaluation
+ * needs (L2 TLB MPKI, remote accesses, ...).
+ */
+
+#ifndef BARRE_GPU_CHIPLET_HH
+#define BARRE_GPU_CHIPLET_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "driver/migration.hh"
+#include "gpu/translation_service.hh"
+#include "mem/dram.hh"
+#include "mem/memory_map.hh"
+#include "noc/interconnect.hh"
+#include "sim/sim_object.hh"
+#include "tlb/mshr.hh"
+#include "tlb/tlb.hh"
+
+namespace barre
+{
+
+struct ChipletParams
+{
+    std::uint32_t cus = 64; ///< 4 SAs x 16 CUs (Table II)
+    TlbParams l1_tlb{64, 64, 1, 16};
+    TlbParams l2_tlb{512, 16, 10, 16};
+    CacheParams l1_cache{16 * 1024, 4, 64, 1, 16};
+    CacheParams l2_cache{2 * 1024 * 1024, 16, 64, 20, 64};
+    DramParams dram{};
+    PageSize page_size = PageSize::size4k;
+    /** Valkyrie's inter-L1 TLB probing within the chiplet. */
+    bool sibling_l1_probe = false;
+    Cycles sibling_probe_latency = 3;
+    /** Retry pacing when the L2 TLB MSHRs are full. */
+    Cycles retry_interval = 20;
+    std::uint32_t remote_req_bytes = 16;
+    std::uint32_t remote_resp_bytes = 64;
+};
+
+class Chiplet : public SimObject
+{
+  public:
+    Chiplet(EventQueue &eq, std::string name, ChipletId id,
+            const ChipletParams &params, const MemoryMap &map,
+            Interconnect &noc);
+
+    ChipletId id() const { return id_; }
+
+    /** Wire the translation service (after all chiplets exist). */
+    void setService(TranslationService *svc) { service_ = svc; }
+
+    /**
+     * Debug hook fired for every translation response before it fills
+     * the L2 TLB; tests use it to check calculated PFNs against the
+     * authoritative page table.
+     */
+    using TranslationValidator =
+        std::function<void(ProcessId, Vpn, Pfn, bool calculated)>;
+    void setValidator(TranslationValidator v) { validator_ = std::move(v); }
+    void setMigrator(AcudMigrator *m) { migrator_ = m; }
+    /** Share one L2 TLB across chiplets (the Fig 5/6 hypothetical). */
+    void shareL2Tlb(Tlb *shared, Mshr<TlbEntry> *shared_mshr);
+    /** Register the peer chiplets for remote data access. */
+    void setPeers(std::vector<Chiplet *> peers);
+
+    Tlb &l2Tlb() { return *l2_tlb_; }
+    Tlb &l1Tlb(CuId cu) { return *l1_tlbs_[cu]; }
+    const ChipletParams &params() const { return params_; }
+
+    /**
+     * Issue one memory access from CU @p cu; @p done fires when the
+     * access (translation + data) completes.
+     */
+    void access(CuId cu, ProcessId pid, Addr vaddr,
+                EventQueue::Callback done);
+
+    /** Serve a data access arriving from a peer chiplet. */
+    void serveRemoteData(Addr paddr, EventQueue::Callback done);
+
+    /**
+     * Install an unsolicited translation (IOMMU multicast push,
+     * §IV-B ablation). No MSHR completes; the fill just lands in the
+     * L2 TLB for later demand hits.
+     */
+    void
+    unsolicitedFill(const AtsResponse &resp)
+    {
+        if (resp.pfn == invalid_pfn)
+            return;
+        if (service_)
+            service_->onResponse(id_, resp);
+        TlbEntry te;
+        te.pid = resp.pid;
+        te.vpn = resp.vpn;
+        te.pfn = resp.pfn;
+        te.coal = resp.coal;
+        te.valid = true;
+        l2_tlb_->insert(te);
+        if (service_)
+            service_->onL2Insert(id_, te);
+    }
+
+    /** Invalidate translations for @p vpns everywhere in this chiplet. */
+    void shootdownVpns(ProcessId pid, const std::vector<Vpn> &vpns);
+
+    /// @name Statistics
+    /// @{
+    /** Demand misses (no retry double counting) - the MPKI numerator. */
+    std::uint64_t l2TlbMisses() const { return l2_demand_misses_.value(); }
+    std::uint64_t l2TlbAccesses() const
+    {
+        return l2_demand_accesses_.value();
+    }
+    std::uint64_t l2TlbHits() const
+    {
+        return l2_demand_accesses_.value() - l2_demand_misses_.value();
+    }
+    std::uint64_t siblingProbeHits() const { return sibling_hits_.value(); }
+    std::uint64_t remoteDataAccesses() const { return remote_data_.value(); }
+    std::uint64_t localDataAccesses() const { return local_data_.value(); }
+    std::uint64_t mshrRetries() const { return mshr_retries_.value(); }
+    Dram &dram() { return *dram_; }
+    /// @}
+
+  private:
+    struct Parked
+    {
+        CuId cu;
+        ProcessId pid;
+        Addr vaddr;
+        Vpn vpn;
+        EventQueue::Callback done;
+    };
+
+    void translateAtL2(CuId cu, ProcessId pid, Addr vaddr, Vpn vpn,
+                       EventQueue::Callback done);
+    /**
+     * Release requests parked on a full MSHR file. With the shared-TLB
+     * hypothetical the MSHR file is shared too, so a completion on any
+     * chiplet must release every chiplet's parked requests.
+     */
+    void unparkWaiters();
+    void unparkLocalWaiters();
+    void dataAccess(CuId cu, ProcessId pid, Addr vaddr,
+                    const TlbEntry &te, EventQueue::Callback done);
+
+    std::uint32_t pageShift() const
+    {
+        return barre::pageShift(params_.page_size);
+    }
+
+    ChipletId id_;
+    ChipletParams params_;
+    const MemoryMap &map_;
+    Interconnect &noc_;
+    TranslationService *service_ = nullptr;
+    AcudMigrator *migrator_ = nullptr;
+    TranslationValidator validator_;
+    std::vector<Chiplet *> peers_;
+
+    std::vector<std::unique_ptr<Tlb>> l1_tlbs_;
+    std::vector<std::unique_ptr<Cache>> l1_caches_;
+    std::unique_ptr<Tlb> owned_l2_tlb_;
+    Tlb *l2_tlb_ = nullptr;
+    std::unique_ptr<Mshr<TlbEntry>> owned_l2_mshr_;
+    Mshr<TlbEntry> *l2_mshr_ = nullptr;
+    std::unique_ptr<Cache> l2_cache_;
+    std::unique_ptr<Dram> dram_;
+
+    std::deque<Parked> parked_;
+
+    Counter sibling_hits_;
+    Counter remote_data_;
+    Counter local_data_;
+    Counter mshr_retries_;
+    Counter l2_demand_accesses_;
+    Counter l2_demand_misses_;
+};
+
+} // namespace barre
+
+#endif // BARRE_GPU_CHIPLET_HH

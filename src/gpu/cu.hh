@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Compute-unit model: a warp-level memory-instruction generator.
+ *
+ * Each CU executes the access streams of the CTAs scheduled onto it. It
+ * sustains `mlp` outstanding accesses (the latency hiding of resident
+ * warps); each slot issues its next access `issue_gap` cycles after the
+ * previous one completes (amortized compute between memory
+ * instructions). The simulation's runtime metric is the tick when every
+ * CU drains.
+ */
+
+#ifndef BARRE_GPU_CU_HH
+#define BARRE_GPU_CU_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gpu/chiplet.hh"
+#include "mem/types.hh"
+#include "sim/sim_object.hh"
+
+namespace barre
+{
+
+/** One warp-level memory instruction. */
+struct AccessDesc
+{
+    Addr vaddr = 0;
+    ProcessId pid = 0;
+
+    bool operator==(const AccessDesc &) const = default;
+};
+
+struct CuParams
+{
+    /** Outstanding accesses a CU sustains (warp-level parallelism). */
+    std::uint32_t mlp = 4;
+    /** Cycles between an access completing and the slot's next issue. */
+    Cycles issue_gap = 4;
+};
+
+class Cu : public SimObject
+{
+  public:
+    Cu(EventQueue &eq, std::string name, Chiplet &chiplet, CuId id,
+       const CuParams &params)
+        : SimObject(eq, std::move(name)), chiplet_(chiplet), id_(id),
+          params_(params)
+    {}
+
+    /** Append a CTA's access stream. Call before start(). */
+    void
+    addStream(const std::vector<AccessDesc> &accesses)
+    {
+        stream_.insert(stream_.end(), accesses.begin(), accesses.end());
+    }
+
+    /** Begin issuing; @p on_done fires when the stream drains. */
+    void
+    start(std::function<void()> on_done)
+    {
+        on_done_ = std::move(on_done);
+        if (stream_.empty()) {
+            on_done_();
+            return;
+        }
+        std::uint32_t slots =
+            std::min<std::uint32_t>(params_.mlp,
+                                    static_cast<std::uint32_t>(
+                                        stream_.size()));
+        active_slots_ = slots;
+        for (std::uint32_t s = 0; s < slots; ++s)
+            issueNext();
+    }
+
+    std::uint64_t accessesIssued() const { return issued_; }
+    std::uint64_t streamLength() const { return stream_.size(); }
+
+  private:
+    void
+    issueNext()
+    {
+        if (next_ >= stream_.size()) {
+            if (--active_slots_ == 0)
+                on_done_();
+            return;
+        }
+        const AccessDesc &a = stream_[next_++];
+        ++issued_;
+        chiplet_.access(id_, a.pid, a.vaddr, [this]() {
+            after(params_.issue_gap, [this]() { issueNext(); });
+        });
+    }
+
+    Chiplet &chiplet_;
+    CuId id_;
+    CuParams params_;
+    std::vector<AccessDesc> stream_;
+    std::size_t next_ = 0;
+    std::uint64_t issued_ = 0;
+    std::uint32_t active_slots_ = 0;
+    std::function<void()> on_done_;
+};
+
+} // namespace barre
+
+#endif // BARRE_GPU_CU_HH

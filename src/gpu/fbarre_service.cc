@@ -1,0 +1,282 @@
+#include "gpu/fbarre_service.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+FBarreService::FBarreService(EventQueue &eq, std::string name,
+                             const FBarreParams &params,
+                             std::uint32_t chiplets, Interconnect &noc,
+                             const MemoryMap &map,
+                             TranslationService &fallback)
+    : SimObject(eq, std::move(name)), params_(params),
+      chiplets_(chiplets), noc_(noc), map_(map), fallback_(fallback),
+      l2_tlbs_(chiplets, nullptr)
+{
+    for (std::uint32_t c = 0; c < chiplets; ++c) {
+        engines_.push_back(std::make_unique<FilterEngine>(
+            c, chiplets, params.filter));
+        pec_buffers_.push_back(
+            std::make_unique<PecBuffer>(params.pec_buffer_entries));
+    }
+}
+
+void
+FBarreService::attachL2Tlb(ChipletId chiplet, Tlb *tlb)
+{
+    barre_assert(chiplet < chiplets_, "chiplet out of range");
+    l2_tlbs_[chiplet] = tlb;
+}
+
+std::vector<Vpn>
+FBarreService::candidateVpns(const PecEntry &entry, Vpn vpn) const
+{
+    std::vector<Vpn> out;
+    const auto gran = static_cast<std::int64_t>(entry.gran);
+    std::uint32_t w = std::min<std::uint32_t>(
+        std::max<std::uint32_t>(params_.merge_width, 1), entry.gran);
+    std::uint32_t o = entry.offsetOf(vpn);
+    std::uint32_t ob = (o / w) * w;
+    std::uint32_t inter = entry.interOrderOf(vpn);
+
+    for (std::uint32_t k = 0; k < entry.num_gpus; ++k) {
+        for (std::uint32_t i = 0; i < w && ob + i < entry.gran; ++i) {
+            std::int64_t v =
+                static_cast<std::int64_t>(vpn) +
+                gran * (static_cast<std::int64_t>(k) - inter) +
+                (static_cast<std::int64_t>(ob) + i - o);
+            if (v < static_cast<std::int64_t>(entry.start_vpn) ||
+                v > static_cast<std::int64_t>(entry.end_vpn)) {
+                continue;
+            }
+            auto cand = static_cast<Vpn>(v);
+            if (cand != vpn)
+                out.push_back(cand);
+        }
+    }
+    return out;
+}
+
+std::optional<AtsResponse>
+FBarreService::tryCalcAt(ChipletId chiplet, ProcessId pid, Vpn vpn,
+                         bool allow_exact, Cycles &latency)
+{
+    // Hardware checks the candidate set against the LCF in parallel
+    // and visits the TLB once (Example 5); charge one LCF cycle, one
+    // TLB visit and one calculation regardless of candidate count.
+    latency = params_.lcf_latency;
+    bool visited_tlb = false;
+    Tlb *tlb = l2_tlbs_[chiplet];
+    barre_assert(tlb != nullptr, "chiplet %u L2 TLB not attached",
+                 chiplet);
+
+    // A peer may hold the exact VPN (Fig 12 would find it via the RCF's
+    // exact-VPN update); serve it directly like a remote TLB hit.
+    if (allow_exact) {
+        latency += params_.tlb_peek_latency;
+        visited_tlb = true;
+        if (auto te = tlb->peek(pid, vpn)) {
+            AtsResponse resp;
+            resp.pid = pid;
+            resp.vpn = vpn;
+            resp.pfn = te->pfn;
+            resp.coal = te->coal;
+            resp.calculated = false;
+            return resp;
+        }
+    }
+
+    const PecEntry *entry = pec_buffers_[chiplet]->find(pid, vpn);
+    if (!entry)
+        return std::nullopt;
+
+    for (Vpn cand : candidateVpns(*entry, vpn)) {
+        if (!engines_[chiplet]->lcfContains(pid, cand))
+            continue;
+        ++lcf_positives_;
+        if (!visited_tlb) {
+            latency += params_.tlb_peek_latency;
+            visited_tlb = true;
+        }
+        auto te = tlb->peek(pid, cand);
+        if (!te || !te->coal.coalesced())
+            continue; // LCF false positive (or stale)
+        ++lcf_true_;
+        auto calc = pec::calcPending(*entry, cand, te->pfn, te->coal,
+                                     vpn, map_);
+        if (!calc)
+            continue; // candidate not actually in the same group
+        latency += params_.calc_latency;
+        AtsResponse resp;
+        resp.pid = pid;
+        resp.vpn = vpn;
+        resp.pfn = calc->pfn;
+        resp.coal = calc->coal;
+        resp.has_pec = true;
+        resp.pec = *entry;
+        resp.calculated = true;
+        return resp;
+    }
+    return std::nullopt;
+}
+
+void
+FBarreService::translate(ProcessId pid, Vpn vpn, ChipletId src,
+                         Iommu::ResponseHandler done)
+{
+    // Step 1: local coalesced calculation.
+    Cycles local_lat = 0;
+    if (auto local = tryCalcAt(src, pid, vpn, false, local_lat)) {
+        ++local_hits_;
+        after(local_lat, [done = std::move(done),
+                          resp = std::move(*local)]() { done(resp); });
+        return;
+    }
+
+    // Step 2: predicted peer calculation.
+    if (params_.peer_sharing) {
+        if (auto peer = engines_[src]->predictSharer(pid, vpn)) {
+            ++remote_probes_;
+            ChipletId p = *peer;
+            auto at_peer = [this, pid, vpn, src, p,
+                            done]() mutable {
+                Cycles peer_lat = 0;
+                auto resp = tryCalcAt(p, pid, vpn, true, peer_lat);
+                if (resp) {
+                    ++remote_hits_;
+                    auto reply = [done = std::move(done),
+                                  r = std::move(*resp)]() { done(r); };
+                    if (params_.oracle_sharing) {
+                        after(peer_lat + params_.oracle_latency,
+                              std::move(reply));
+                    } else {
+                        after(peer_lat, [this, p, src,
+                                         reply = std::move(reply)]() mutable {
+                            noc_.send(p, src, params_.reply_bytes,
+                                      std::move(reply));
+                        });
+                    }
+                    return;
+                }
+                // Misprediction: NACK, then the conventional path.
+                auto fall = [this, pid, vpn, src,
+                             done = std::move(done)]() mutable {
+                    ++fallbacks_;
+                    fallback_.translate(pid, vpn, src, std::move(done));
+                };
+                if (params_.oracle_sharing) {
+                    after(peer_lat + params_.oracle_latency,
+                          std::move(fall));
+                } else {
+                    after(peer_lat, [this, p, src,
+                                     fall = std::move(fall)]() mutable {
+                        noc_.send(p, src, params_.nack_bytes,
+                                  std::move(fall));
+                    });
+                }
+            };
+            if (params_.oracle_sharing) {
+                after(local_lat + params_.oracle_latency,
+                      std::move(at_peer));
+            } else {
+                noc_.send(src, p, params_.probe_bytes, std::move(at_peer));
+            }
+            return;
+        }
+    }
+
+    // Step 3: conventional path.
+    ++fallbacks_;
+    fallback_.translate(pid, vpn, src, std::move(done));
+}
+
+void
+FBarreService::onResponse(ChipletId chiplet, const AtsResponse &resp)
+{
+    if (resp.has_pec)
+        pec_buffers_[chiplet]->insert(resp.pec);
+}
+
+void
+FBarreService::sendFilterUpdates(ChipletId from, ChipletId to, bool add,
+                                 ProcessId pid, std::vector<Vpn> vpns)
+{
+    if (vpns.empty())
+        return;
+    filter_updates_ += vpns.size();
+    auto apply = [this, from, to, add, pid,
+                  vpns = std::move(vpns)]() {
+        for (Vpn vpn : vpns) {
+            if (add)
+                engines_[to]->rcfInsert(from, pid, vpn);
+            else
+                engines_[to]->rcfErase(from, pid, vpn);
+        }
+    };
+    if (params_.oracle_sharing) {
+        after(params_.oracle_latency, std::move(apply));
+        return;
+    }
+    // One message carries all the 43-bit updates of this TLB event.
+    auto bytes = static_cast<std::uint64_t>(params_.filter_update_bytes) *
+                 ((vpns.size() + 7) / 8 * 8) / 8;
+    bytes = std::max<std::uint64_t>(bytes, params_.filter_update_bytes);
+    noc_.send(from, to, bytes, std::move(apply));
+}
+
+void
+FBarreService::onL2Insert(ChipletId chiplet, const TlbEntry &entry)
+{
+    engines_[chiplet]->lcfInsert(entry.pid, entry.vpn);
+    if (!entry.coal.coalesced() || !params_.peer_sharing)
+        return;
+    const PecEntry *pec = pec_buffers_[chiplet]->find(entry.pid,
+                                                      entry.vpn);
+    if (!pec)
+        return;
+    auto members = pec::interMembers(*pec, entry.vpn, entry.coal);
+    for (std::uint32_t p = 0; p < chiplets_; ++p) {
+        if (p == chiplet)
+            continue;
+        sendFilterUpdates(chiplet, p, true, entry.pid, members);
+    }
+}
+
+void
+FBarreService::onL2Evict(ChipletId chiplet, const TlbEntry &entry)
+{
+    engines_[chiplet]->lcfErase(entry.pid, entry.vpn);
+    if (!entry.coal.coalesced() || !params_.peer_sharing)
+        return;
+    const PecEntry *pec = pec_buffers_[chiplet]->find(entry.pid,
+                                                      entry.vpn);
+    if (!pec)
+        return;
+    auto members = pec::interMembers(*pec, entry.vpn, entry.coal);
+    for (std::uint32_t p = 0; p < chiplets_; ++p) {
+        if (p == chiplet)
+            continue;
+        sendFilterUpdates(chiplet, p, false, entry.pid, members);
+    }
+}
+
+void
+FBarreService::onShootdown()
+{
+    for (auto &e : engines_)
+        e->reset();
+}
+
+std::uint64_t
+FBarreService::perChipletStorageBits() const
+{
+    if (engines_.empty())
+        return 0;
+    return engines_.front()->storageBits() +
+           pec_buffers_.front()->storageBits();
+}
+
+} // namespace barre

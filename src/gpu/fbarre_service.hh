@@ -1,0 +1,137 @@
+/**
+ * @file
+ * F-Barre's intra-MCM translation service (paper §V-A).
+ *
+ * On an L2 TLB miss the chiplet tries, in order:
+ *  1. *Local coalesced calculation*: the LCF says whether any coalescing
+ *     VPN of the missing page sits in the local L2 TLB; if so the PEC
+ *     logic calculates the PFN from that entry - no traffic at all.
+ *  2. *Peer calculation*: the per-peer RCFs predict which chiplet's TLB
+ *     can translate the page; a small probe crosses the interconnect,
+ *     the peer runs the same LCF -> TLB -> PEC-calculate sequence and
+ *     replies (Fig 11/12). A false prediction NACKs back.
+ *  3. Fallback: the conventional path (ATS to the IOMMU, or the GMMU).
+ *
+ * Filter maintenance (§V-A2): every chiplet mirrors its L2 TLB inserts/
+ * evicts into its LCF (exact VPN) and broadcasts best-effort 43-bit
+ * updates so peers add/remove the exact VPN *and all coalescing VPNs*
+ * in their RCF for this chiplet.
+ */
+
+#ifndef BARRE_GPU_FBARRE_SERVICE_HH
+#define BARRE_GPU_FBARRE_SERVICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/filter_engine.hh"
+#include "core/pec.hh"
+#include "gpu/translation_service.hh"
+#include "noc/interconnect.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace barre
+{
+
+struct FBarreParams
+{
+    CuckooFilterParams filter{};
+    /** Enable step 2 (off to isolate PTW scheduling, Fig 18). */
+    bool peer_sharing = true;
+    /** Fig 19 oracle: share at fixed latency without NoC resources. */
+    bool oracle_sharing = false;
+    Cycles oracle_latency = 32;
+    Cycles lcf_latency = 1;
+    Cycles tlb_peek_latency = 10;
+    Cycles calc_latency = 2;
+    std::uint32_t probe_bytes = 8;
+    std::uint32_t reply_bytes = 16;
+    std::uint32_t nack_bytes = 4;
+    std::uint32_t filter_update_bytes = 6; ///< 43-bit message, §V-A2
+    /** Candidate window width (the configured merge limit). */
+    std::uint32_t merge_width = 1;
+    std::uint32_t pec_buffer_entries = 5;
+};
+
+class FBarreService : public SimObject, public TranslationService
+{
+  public:
+    FBarreService(EventQueue &eq, std::string name,
+                  const FBarreParams &params, std::uint32_t chiplets,
+                  Interconnect &noc, const MemoryMap &map,
+                  TranslationService &fallback);
+
+    /** Wire each chiplet's L2 TLB for peeking. */
+    void attachL2Tlb(ChipletId chiplet, Tlb *tlb);
+
+    void translate(ProcessId pid, Vpn vpn, ChipletId src,
+                   Iommu::ResponseHandler done) override;
+    void onL2Insert(ChipletId chiplet, const TlbEntry &entry) override;
+    void onL2Evict(ChipletId chiplet, const TlbEntry &entry) override;
+    void onResponse(ChipletId chiplet, const AtsResponse &resp);
+    void onShootdown() override;
+
+    FilterEngine &engine(ChipletId c) { return *engines_[c]; }
+    PecBuffer &pecBuffer(ChipletId c) { return *pec_buffers_[c]; }
+
+    /// @name Statistics (Fig 16c/17/18/19 series)
+    /// @{
+    std::uint64_t localCalcHits() const { return local_hits_.value(); }
+    std::uint64_t lcfPositives() const { return lcf_positives_.value(); }
+    std::uint64_t lcfTruePositives() const { return lcf_true_.value(); }
+    std::uint64_t remoteProbes() const { return remote_probes_.value(); }
+    std::uint64_t remoteHits() const { return remote_hits_.value(); }
+    std::uint64_t fallbacks() const { return fallbacks_.value(); }
+    std::uint64_t filterUpdates() const { return filter_updates_.value(); }
+    /// @}
+
+    /** Total filter + PEC buffer bits per chiplet (§VII-K). */
+    std::uint64_t perChipletStorageBits() const;
+
+  private:
+    /**
+     * VPNs that could belong to the same coalescing group as @p vpn per
+     * the buffer layout (probe set; membership is verified against the
+     * found TLB entry's coalescing bits).
+     */
+    std::vector<Vpn> candidateVpns(const PecEntry &entry, Vpn vpn) const;
+
+    /**
+     * The LCF -> TLB -> calculate sequence on @p chiplet.
+     * @param[out] latency cycles the sequence consumed
+     * @return response if the chiplet could translate (pid, vpn)
+     */
+    std::optional<AtsResponse> tryCalcAt(ChipletId chiplet, ProcessId pid,
+                                         Vpn vpn, bool allow_exact,
+                                         Cycles &latency);
+
+    /**
+     * Ship one batched filter-update message (the 43-bit updates for
+     * all of @p vpns packed into one flit train) from @p from to
+     * @p to; applied at delivery.
+     */
+    void sendFilterUpdates(ChipletId from, ChipletId to, bool add,
+                           ProcessId pid, std::vector<Vpn> vpns);
+
+    FBarreParams params_;
+    std::uint32_t chiplets_;
+    Interconnect &noc_;
+    const MemoryMap &map_;
+    TranslationService &fallback_;
+    std::vector<std::unique_ptr<FilterEngine>> engines_;
+    std::vector<std::unique_ptr<PecBuffer>> pec_buffers_;
+    std::vector<Tlb *> l2_tlbs_;
+
+    Counter local_hits_;
+    Counter lcf_positives_;
+    Counter lcf_true_;
+    Counter remote_probes_;
+    Counter remote_hits_;
+    Counter fallbacks_;
+    Counter filter_updates_;
+};
+
+} // namespace barre
+
+#endif // BARRE_GPU_FBARRE_SERVICE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The translation-service strategy invoked on a chiplet L2 TLB miss.
+ *
+ * Each evaluated configuration plugs in a different service:
+ *  - AtsService: baseline; every miss becomes an ATS to the IOMMU
+ *    (with or without Barre's PEC logic on the IOMMU side).
+ *  - GmmuService: per-chiplet GMMU walks (MGvm platform, §VII-F).
+ *  - FBarreService (fbarre_service.hh): intra-MCM translation first.
+ *  - ValkyrieService / LeastService (baselines/): prior-art sharing.
+ *
+ * Services observe L2 TLB insertions/evictions so they can maintain
+ * trackers and filters, and are told about shootdowns.
+ */
+
+#ifndef BARRE_GPU_TRANSLATION_SERVICE_HH
+#define BARRE_GPU_TRANSLATION_SERVICE_HH
+
+#include "iommu/gmmu.hh"
+#include "iommu/iommu.hh"
+#include "mem/types.hh"
+#include "tlb/tlb.hh"
+
+namespace barre
+{
+
+class TranslationService
+{
+  public:
+    virtual ~TranslationService() = default;
+
+    /**
+     * Resolve (pid, vpn) on behalf of chiplet @p src; @p done fires at
+     * the tick the translation is available at the chiplet.
+     */
+    virtual void translate(ProcessId pid, Vpn vpn, ChipletId src,
+                           Iommu::ResponseHandler done) = 0;
+
+    /** Mirrored from the chiplet's L2 TLB. */
+    virtual void onL2Insert(ChipletId, const TlbEntry &) {}
+    virtual void onL2Evict(ChipletId, const TlbEntry &) {}
+
+    /** Fired when a translation response reaches the chiplet. */
+    virtual void onResponse(ChipletId, const AtsResponse &) {}
+
+    /** Full TLB shootdown: drop any derived state. */
+    virtual void onShootdown() {}
+};
+
+/** Baseline: forward every miss to the IOMMU over PCIe. */
+class AtsService : public TranslationService
+{
+  public:
+    explicit AtsService(Iommu &iommu) : iommu_(iommu) {}
+
+    void
+    translate(ProcessId pid, Vpn vpn, ChipletId src,
+              Iommu::ResponseHandler done) override
+    {
+        iommu_.sendAts(pid, vpn, src, std::move(done));
+    }
+
+  private:
+    Iommu &iommu_;
+};
+
+/** GMMU platform: forward every miss to the distributed GMMUs. */
+class GmmuService : public TranslationService
+{
+  public:
+    explicit GmmuService(GmmuSystem &gmmu) : gmmu_(gmmu) {}
+
+    void
+    translate(ProcessId pid, Vpn vpn, ChipletId src,
+              Iommu::ResponseHandler done) override
+    {
+        gmmu_.translate(pid, vpn, src, std::move(done));
+    }
+
+  private:
+    GmmuSystem &gmmu_;
+};
+
+} // namespace barre
+
+#endif // BARRE_GPU_TRANSLATION_SERVICE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Whole-system configuration (Table II defaults) and the named
+ * translation configurations the evaluation compares.
+ */
+
+#ifndef BARRE_HARNESS_CONFIG_HH
+#define BARRE_HARNESS_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/least.hh"
+#include "baselines/valkyrie.hh"
+#include "driver/gpu_driver.hh"
+#include "driver/migration.hh"
+#include "gpu/chiplet.hh"
+#include "gpu/cu.hh"
+#include "gpu/fbarre_service.hh"
+#include "iommu/gmmu.hh"
+#include "iommu/iommu.hh"
+#include "noc/interconnect.hh"
+#include "noc/pcie.hh"
+
+namespace barre
+{
+
+/** Which translation scheme the system runs. */
+enum class TranslationMode
+{
+    baseline, ///< private TLBs, plain ATS to the IOMMU
+    valkyrie, ///< inter-L1 sharing + L2 TLB prefetch (PACT'20)
+    least,    ///< inter-chiplet L2 sharing + spilling (MICRO'21)
+    barre,    ///< Barre: IOMMU-side PEC coalescing
+    fbarre,   ///< Full Barre: + intra-MCM translation + PTW scheduling
+};
+
+std::string to_string(TranslationMode m);
+
+struct SystemConfig
+{
+    std::uint32_t chiplets = 4;
+    std::uint32_t cus_per_chiplet = 64; ///< 4 SAs x 16 CUs
+    std::uint64_t mem_bytes_per_chiplet = std::uint64_t{2} << 30;
+    PageSize page_size = PageSize::size4k;
+
+    ChipletParams chiplet{};
+    CuParams cu{};
+    InterconnectParams noc{};
+    PcieParams pcie{};
+    IommuParams iommu{};
+    DriverParams driver{};
+    MigrationParams migration{};
+
+    bool use_gmmu = false;
+    GmmuParams gmmu{};
+
+    TranslationMode mode = TranslationMode::baseline;
+    FBarreParams fbarre{};
+    ValkyrieParams valkyrie{};
+    LeastParams least{};
+
+    /** The Fig 5/6 hypothetical package-shared L2 TLB (4x entries). */
+    bool shared_l2_tlb = false;
+
+    /** Workload sizing multiplier for quick tests. */
+    double workload_scale = 1.0;
+
+    /**
+     * Check every translation response against the page table (panics
+     * on mismatch). Ignored when migration is enabled, where in-flight
+     * responses may legitimately race a migration.
+     */
+    bool validate_translations = false;
+
+    /// @name Named configurations used throughout the evaluation
+    /// @{
+    static SystemConfig baselineAts();
+    static SystemConfig valkyrieCfg();
+    static SystemConfig leastCfg();
+    static SystemConfig barreCfg();
+    /** merge_limit 1 = F-Barre-NoMerge, 2/4 = F-Barre-2/4Merge. */
+    static SystemConfig fbarreCfg(std::uint32_t merge_limit = 2);
+    /// @}
+
+    /** Apply mode-implied parameter couplings; called by the System. */
+    void normalize();
+};
+
+} // namespace barre
+
+#endif // BARRE_HARNESS_CONFIG_HH

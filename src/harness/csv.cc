@@ -1,0 +1,52 @@
+#include "harness/csv.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+std::string
+csvHeader()
+{
+    return "config,app,runtime,accesses,instructions,l2_tlb_hits,"
+           "l2_tlb_misses,l2_mpki,mshr_retries,ats_packets,walks,"
+           "iommu_coalesced,iommu_tlb_hits,avg_ats_time,"
+           "local_calc_hits,remote_probes,remote_hits,"
+           "fbarre_fallbacks,filter_updates,local_data,remote_data,"
+           "noc_bytes,pcie_up_bytes,pcie_down_bytes,gmmu_local_walks,"
+           "gmmu_remote_walks,gmmu_coalesced,coalesced_pages,"
+           "mapped_pages,migrations";
+}
+
+std::string
+csvRow(const RunMetrics &m)
+{
+    std::ostringstream os;
+    os << m.config << ',' << m.app << ',' << m.runtime << ','
+       << m.accesses << ',' << m.instructions << ',' << m.l2_tlb_hits
+       << ',' << m.l2_tlb_misses << ',' << m.l2_mpki << ','
+       << m.mshr_retries << ',' << m.ats_packets << ',' << m.walks
+       << ',' << m.iommu_coalesced << ',' << m.iommu_tlb_hits << ','
+       << m.avg_ats_time << ',' << m.local_calc_hits << ','
+       << m.remote_probes << ',' << m.remote_hits << ','
+       << m.fbarre_fallbacks << ',' << m.filter_updates << ','
+       << m.local_data << ',' << m.remote_data << ',' << m.noc_bytes
+       << ',' << m.pcie_up_bytes << ',' << m.pcie_down_bytes << ','
+       << m.gmmu_local_walks << ',' << m.gmmu_remote_walks << ','
+       << m.gmmu_coalesced << ',' << m.coalesced_pages << ','
+       << m.mapped_pages << ',' << m.migrations;
+    return os.str();
+}
+
+void
+writeCsv(std::ostream &os, const std::vector<RunMetrics> &rows)
+{
+    os << csvHeader() << '\n';
+    for (const auto &m : rows)
+        os << csvRow(m) << '\n';
+}
+
+} // namespace barre

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * CSV export for run metrics, for plotting the regenerated figures
+ * outside the text tables (gnuplot/matplotlib/pandas).
+ */
+
+#ifndef BARRE_HARNESS_CSV_HH
+#define BARRE_HARNESS_CSV_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "harness/metrics.hh"
+
+namespace barre
+{
+
+/** Column header matching csvRow's field order. */
+std::string csvHeader();
+
+/** One metrics record as a CSV line (no trailing newline). */
+std::string csvRow(const RunMetrics &m);
+
+/** Write a whole result set with header. */
+void writeCsv(std::ostream &os, const std::vector<RunMetrics> &rows);
+
+} // namespace barre
+
+#endif // BARRE_HARNESS_CSV_HH

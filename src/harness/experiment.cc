@@ -1,0 +1,91 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+RunMetrics
+runApp(const SystemConfig &cfg, const AppParams &app)
+{
+    System sys(cfg);
+    auto allocs = sys.allocate(app, /*pid=*/1);
+    sys.loadWorkload(app, allocs);
+    RunMetrics m = sys.run();
+    m.app = app.name;
+    return m;
+}
+
+RunMetrics
+runApps(const SystemConfig &cfg, const std::vector<AppParams> &apps)
+{
+    System sys(cfg);
+    std::string label;
+    ProcessId pid = 1;
+    for (const auto &app : apps) {
+        auto allocs = sys.allocate(app, pid);
+        sys.loadWorkload(app, allocs);
+        label += (label.empty() ? "" : "+") + app.name;
+        ++pid;
+    }
+    RunMetrics m = sys.run();
+    m.app = label;
+    return m;
+}
+
+std::string
+fmt(double v, int precision)
+{
+    return csprintf("%.*f", precision, v);
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRow(const std::string &label,
+                  const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(fmt(v, precision));
+    addRow(std::move(cells));
+}
+
+void
+TextTable::print(const std::string &title) const
+{
+    if (!title.empty())
+        std::printf("\n== %s ==\n", title.c_str());
+
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            std::printf("%-*s  ", static_cast<int>(widths[i]),
+                        row[i].c_str());
+        std::printf("\n");
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+    std::fflush(stdout);
+}
+
+} // namespace barre

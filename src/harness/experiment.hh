@@ -1,0 +1,53 @@
+/**
+ * @file
+ * One-call experiment helpers and plain-text table output used by the
+ * benchmark harness (one bench binary per paper figure/table).
+ */
+
+#ifndef BARRE_HARNESS_EXPERIMENT_HH
+#define BARRE_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/metrics.hh"
+#include "harness/system.hh"
+#include "workloads/suite.hh"
+
+namespace barre
+{
+
+/** Build a system, run one app, return its metrics. */
+RunMetrics runApp(const SystemConfig &cfg, const AppParams &app);
+
+/** Multi-programmed run: each app gets its own process id. */
+RunMetrics runApps(const SystemConfig &cfg,
+                   const std::vector<AppParams> &apps);
+
+/**
+ * Fixed-width text table, printed in the shape of the paper's figures
+ * (apps as rows, configurations as columns).
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void addRow(const std::string &label,
+                const std::vector<double> &values, int precision = 3);
+
+    /** Render to stdout. */
+    void print(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helper. */
+std::string fmt(double v, int precision = 3);
+
+} // namespace barre
+
+#endif // BARRE_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Metrics extracted from one simulation run — the raw material for every
+ * figure and table in the evaluation.
+ */
+
+#ifndef BARRE_HARNESS_METRICS_HH
+#define BARRE_HARNESS_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace barre
+{
+
+struct RunMetrics
+{
+    std::string config;
+    std::string app;
+
+    Tick runtime = 0;
+    std::uint64_t accesses = 0;
+    double instructions = 0;
+
+    /// @name TLB / translation
+    /// @{
+    std::uint64_t l1_tlb_hits = 0;
+    std::uint64_t l2_tlb_hits = 0;
+    std::uint64_t l2_tlb_misses = 0;
+    double l2_mpki = 0;
+    std::uint64_t mshr_retries = 0;
+    /// @}
+
+    /// @name IOMMU (Fig 16)
+    /// @{
+    std::uint64_t ats_packets = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t iommu_coalesced = 0; ///< PEC-calculated at the IOMMU
+    std::uint64_t iommu_tlb_hits = 0;
+    double avg_ats_time = 0;
+    double avg_pw_queue_depth = 0;
+    /// @}
+
+    /// @name F-Barre intra-MCM (Fig 17/18/19)
+    /// @{
+    std::uint64_t local_calc_hits = 0;
+    std::uint64_t remote_probes = 0;
+    std::uint64_t remote_hits = 0;
+    std::uint64_t fbarre_fallbacks = 0;
+    std::uint64_t lcf_positives = 0;
+    std::uint64_t lcf_true_positives = 0;
+    std::uint64_t filter_updates = 0;
+    /// @}
+
+    /// @name Data path / NUMA
+    /// @{
+    std::uint64_t local_data = 0;
+    std::uint64_t remote_data = 0;
+    std::uint64_t noc_bytes = 0;
+    std::uint64_t pcie_up_bytes = 0;
+    std::uint64_t pcie_down_bytes = 0;
+    /// @}
+
+    /// @name GMMU (Fig 21)
+    /// @{
+    std::uint64_t gmmu_local_walks = 0;
+    std::uint64_t gmmu_remote_walks = 0;
+    std::uint64_t gmmu_coalesced = 0;
+    /// @}
+
+    /// @name Driver / migration
+    /// @{
+    std::uint64_t coalesced_pages = 0;
+    std::uint64_t mapped_pages = 0;
+    std::uint64_t migrations = 0;
+    /// @}
+
+    /** Fraction of translation misses served without the IOMMU. */
+    double
+    intraMcmFraction() const
+    {
+        std::uint64_t served = local_calc_hits + remote_hits;
+        std::uint64_t total = served + ats_packets;
+        return total ? static_cast<double>(served) / total : 0.0;
+    }
+};
+
+/** Geometric mean of speedups (paper-style averaging). */
+double geomean(const std::vector<double> &xs);
+
+} // namespace barre
+
+#endif // BARRE_HARNESS_METRICS_HH

@@ -1,0 +1,395 @@
+#include "harness/system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+System::System(SystemConfig cfg) : cfg_(std::move(cfg))
+{
+    cfg_.normalize();
+
+    std::uint64_t frames =
+        cfg_.mem_bytes_per_chiplet >> pageShift(cfg_.page_size);
+    map_ = std::make_unique<MemoryMap>(cfg_.chiplets, frames);
+    noc_ = std::make_unique<Interconnect>(eq_, "noc", cfg_.chiplets,
+                                          cfg_.noc);
+    pcie_ = std::make_unique<Pcie>(eq_, "pcie", cfg_.pcie);
+    iommu_ = std::make_unique<Iommu>(eq_, "iommu", cfg_.iommu, *pcie_,
+                                     *map_);
+    driver_ = std::make_unique<GpuDriver>(*map_, cfg_.driver);
+
+    if (cfg_.use_gmmu) {
+        gmmu_ = std::make_unique<GmmuSystem>(
+            eq_, "gmmu", cfg_.gmmu, cfg_.chiplets, *noc_, *map_,
+            [this](ProcessId pid, Vpn vpn) { return homeOf(pid, vpn); });
+    }
+
+    for (std::uint32_t c = 0; c < cfg_.chiplets; ++c) {
+        chiplets_.push_back(std::make_unique<Chiplet>(
+            eq_, "gpu" + std::to_string(c), c, cfg_.chiplet, *map_,
+            *noc_));
+    }
+    std::vector<Chiplet *> peers;
+    for (auto &c : chiplets_)
+        peers.push_back(c.get());
+    for (auto &c : chiplets_)
+        c->setPeers(peers);
+
+    if (cfg_.shared_l2_tlb) {
+        // The Fig 5/6 hypothetical: one physical L2 TLB with 4x entries
+        // and bandwidth, same latency, no inter-chiplet hop.
+        TlbParams tp = cfg_.chiplet.l2_tlb;
+        tp.entries *= cfg_.chiplets;
+        tp.mshrs *= cfg_.chiplets;
+        shared_l2_tlb_ = std::make_unique<Tlb>(tp);
+        shared_l2_mshr_ = std::make_unique<Mshr<TlbEntry>>(tp.mshrs);
+        for (auto &c : chiplets_)
+            c->shareL2Tlb(shared_l2_tlb_.get(), shared_l2_mshr_.get());
+    }
+
+    buildService();
+
+    if (cfg_.driver.demand_paging) {
+        barre_assert(!cfg_.use_gmmu,
+                     "demand paging is modeled on the IOMMU platform");
+        iommu_->setFaultHandler([this](ProcessId pid, Vpn vpn) {
+            driver_->faultIn(pid, vpn);
+        });
+    }
+
+    if (cfg_.iommu.multicast) {
+        iommu_->setFillSink([this](ChipletId c, const AtsResponse &r) {
+            chiplets_[c]->unsolicitedFill(r);
+        });
+    }
+
+    if (cfg_.migration.enabled) {
+        migrator_ = std::make_unique<AcudMigrator>(*driver_,
+                                                   cfg_.migration);
+        migrator_->setInterconnect(noc_.get());
+        migrator_->setInvalidateHook(
+            [this](ProcessId pid, const std::vector<Vpn> &vpns) {
+                for (auto &c : chiplets_)
+                    c->shootdownVpns(pid, vpns);
+            });
+        for (auto &c : chiplets_)
+            c->setMigrator(migrator_.get());
+    }
+
+    if (cfg_.validate_translations && !cfg_.migration.enabled) {
+        for (auto &c : chiplets_) {
+            c->setValidator([this](ProcessId pid, Vpn vpn, Pfn pfn,
+                                   bool calculated) {
+                auto pte = driver_->pageTable(pid).walk(vpn);
+                barre_assert(pte.has_value(),
+                             "translation for unmapped vpn 0x%llx",
+                             (unsigned long long)vpn);
+                barre_assert(pte->pfn() == pfn,
+                             "%s translation wrong for vpn 0x%llx: "
+                             "got 0x%llx want 0x%llx",
+                             calculated ? "calculated" : "walked",
+                             (unsigned long long)vpn,
+                             (unsigned long long)pfn,
+                             (unsigned long long)pte->pfn());
+            });
+        }
+    }
+
+    cus_.resize(cfg_.chiplets);
+    next_cu_.assign(cfg_.chiplets, 0);
+    for (std::uint32_t c = 0; c < cfg_.chiplets; ++c) {
+        for (std::uint32_t u = 0; u < cfg_.cus_per_chiplet; ++u) {
+            cus_[c].push_back(std::make_unique<Cu>(
+                eq_,
+                "gpu" + std::to_string(c) + ".cu" + std::to_string(u),
+                *chiplets_[c], u, cfg_.cu));
+        }
+    }
+}
+
+System::~System() = default;
+
+void
+System::buildService()
+{
+    // The conventional fallback path: IOMMU, or GMMUs on the MGvm
+    // platform.
+    TranslationService *fallback = nullptr;
+    if (cfg_.use_gmmu) {
+        gmmu_service_ = std::make_unique<GmmuService>(*gmmu_);
+        fallback = gmmu_service_.get();
+    } else {
+        ats_service_ = std::make_unique<AtsService>(*iommu_);
+        fallback = ats_service_.get();
+    }
+
+    switch (cfg_.mode) {
+      case TranslationMode::baseline:
+      case TranslationMode::barre:
+        active_service_ = fallback;
+        break;
+      case TranslationMode::valkyrie:
+        valkyrie_ = std::make_unique<ValkyrieService>(
+            *iommu_, cfg_.valkyrie, cfg_.chiplets);
+        for (std::uint32_t c = 0; c < cfg_.chiplets; ++c)
+            valkyrie_->attachL2Tlb(c, &chiplets_[c]->l2Tlb());
+        active_service_ = valkyrie_.get();
+        break;
+      case TranslationMode::least:
+        least_ = std::make_unique<LeastService>(
+            eq_, "least", *iommu_, *noc_, cfg_.chiplets, cfg_.least);
+        for (std::uint32_t c = 0; c < cfg_.chiplets; ++c)
+            least_->attachL2Tlb(c, &chiplets_[c]->l2Tlb());
+        active_service_ = least_.get();
+        break;
+      case TranslationMode::fbarre:
+        fbarre_ = std::make_unique<FBarreService>(
+            eq_, "fbarre", cfg_.fbarre, cfg_.chiplets, *noc_, *map_,
+            *fallback);
+        for (std::uint32_t c = 0; c < cfg_.chiplets; ++c)
+            fbarre_->attachL2Tlb(c, &chiplets_[c]->l2Tlb());
+        active_service_ = fbarre_.get();
+        break;
+    }
+
+    for (auto &c : chiplets_)
+        c->setService(active_service_);
+}
+
+ChipletId
+System::homeOf(ProcessId pid, Vpn vpn) const
+{
+    // MGvm places page-table leaves with the data they translate.
+    for (const auto &a : all_allocs_) {
+        if (a.pid == pid && vpn >= a.start_vpn &&
+            vpn < a.start_vpn + a.pages) {
+            return a.layout.chipletOf(vpn);
+        }
+    }
+    return static_cast<ChipletId>(vpn % cfg_.chiplets);
+}
+
+std::vector<DataAlloc>
+System::allocate(const AppParams &app, ProcessId pid)
+{
+    std::vector<DataAlloc> allocs;
+    for (const auto &spec : app.buffers) {
+        std::uint64_t bytes = std::max<std::uint64_t>(spec.bytes, 1);
+        std::uint64_t pages =
+            (bytes + pageBytes(cfg_.page_size) - 1) >>
+            pageShift(cfg_.page_size);
+        allocs.push_back(driver_->gpuMalloc(pid, pages, spec.traits));
+    }
+
+    PageTable &pt = driver_->pageTable(pid);
+    iommu_->attachPageTable(pt);
+    if (gmmu_)
+        gmmu_->attachPageTable(pt);
+
+    // Register the coalesced buffers' PEC entries with the walkers'
+    // shared PEC buffer (driver -> IOMMU path, §IV-G).
+    for (const auto &entry : driver_->pecEntries()) {
+        iommu_->pecBuffer().insert(entry);
+        if (gmmu_)
+            gmmu_->pecBuffer().insert(entry);
+    }
+
+    for (const auto &a : allocs)
+        all_allocs_.push_back(a);
+    return allocs;
+}
+
+void
+System::loadWorkload(const AppParams &app,
+                     const std::vector<DataAlloc> &allocs)
+{
+    AppParams eff = app;
+    if (cfg_.workload_scale != 1.0) {
+        eff.ctas = std::max<std::uint32_t>(
+            cfg_.chiplets * 4,
+            static_cast<std::uint32_t>(app.ctas * cfg_.workload_scale));
+    }
+
+    for (std::uint32_t t = 0; t < eff.ctas; ++t) {
+        auto accesses = generateCta(eff, allocs, t, cfg_.page_size);
+        ChipletId c = assignCta(cfg_.driver.policy, eff, allocs, t,
+                                cfg_.chiplets);
+        std::uint32_t u = next_cu_[c]++ % cfg_.cus_per_chiplet;
+        total_accesses_ += accesses.size();
+        cus_[c][u]->addStream(accesses);
+    }
+    total_instructions_ += eff.ctas *
+                           static_cast<double>(eff.accesses_per_cta) *
+                           eff.instr_per_access;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    os << "sim.ticks " << eq_.now() << "\n";
+    for (std::uint32_t c = 0; c < cfg_.chiplets; ++c) {
+        const auto &chip = *chiplets_[c];
+        std::string p = "gpu" + std::to_string(c) + ".";
+        os << p << "l2tlb.accesses " << chip.l2TlbAccesses() << "\n";
+        os << p << "l2tlb.misses " << chip.l2TlbMisses() << "\n";
+        os << p << "l2tlb.mshr_retries " << chip.mshrRetries() << "\n";
+        os << p << "data.local " << chip.localDataAccesses() << "\n";
+        os << p << "data.remote " << chip.remoteDataAccesses() << "\n";
+        os << p << "l1tlb.sibling_hits " << chip.siblingProbeHits()
+           << "\n";
+    }
+    os << "iommu.ats_requests " << iommu_->atsRequests() << "\n";
+    os << "iommu.walks " << iommu_->walks() << "\n";
+    os << "iommu.pec_calculated " << iommu_->coalescedTranslations()
+       << "\n";
+    os << "iommu.tlb_hits " << iommu_->iommuTlbHits() << "\n";
+    os << "iommu.page_faults " << iommu_->pageFaults() << "\n";
+    os << "iommu.sched_deferrals " << iommu_->schedulerDeferrals()
+       << "\n";
+    os << "iommu.avg_processing_cycles "
+       << iommu_->processingTime().mean() << "\n";
+    if (fbarre_) {
+        os << "fbarre.local_calc_hits " << fbarre_->localCalcHits()
+           << "\n";
+        os << "fbarre.remote_probes " << fbarre_->remoteProbes() << "\n";
+        os << "fbarre.remote_hits " << fbarre_->remoteHits() << "\n";
+        os << "fbarre.fallbacks " << fbarre_->fallbacks() << "\n";
+        os << "fbarre.filter_updates " << fbarre_->filterUpdates()
+           << "\n";
+    }
+    if (gmmu_) {
+        os << "gmmu.local_walks " << gmmu_->localWalks() << "\n";
+        os << "gmmu.remote_walks " << gmmu_->remoteWalks() << "\n";
+        os << "gmmu.pec_calculated " << gmmu_->coalescedTranslations()
+           << "\n";
+    }
+    os << "noc.bytes " << noc_->totalBytes() << "\n";
+    os << "noc.messages " << noc_->totalMessages() << "\n";
+    os << "pcie.up_bytes " << pcie_->upstream().bytesSent() << "\n";
+    os << "pcie.down_bytes " << pcie_->downstream().bytesSent() << "\n";
+    os << "driver.mapped_pages " << driver_->totalMappedPages() << "\n";
+    os << "driver.coalesced_pages " << driver_->coalescedPages() << "\n";
+    os << "driver.merged_pages " << driver_->mergedGroupPages() << "\n";
+    os << "driver.fallback_pages " << driver_->fallbackPages() << "\n";
+    os << "driver.demand_faults " << driver_->demandFaults() << "\n";
+    if (migrator_) {
+        os << "migration.count " << migrator_->migrations() << "\n";
+        os << "migration.bytes " << migrator_->migratedBytes() << "\n";
+    }
+}
+
+void
+System::loadTrace(const Trace &trace, double instr_per_access)
+{
+    for (std::size_t t = 0; t < trace.ctas.size(); ++t) {
+        const auto &stream = trace.ctas[t];
+        if (stream.empty())
+            continue;
+        Vpn first = vpnOf(stream.front().vaddr, cfg_.page_size);
+        ChipletId c = homeOf(stream.front().pid, first);
+        std::uint32_t u = next_cu_[c]++ % cfg_.cus_per_chiplet;
+        total_accesses_ += stream.size();
+        total_instructions_ +=
+            static_cast<double>(stream.size()) * instr_per_access;
+        cus_[c][u]->addStream(stream);
+    }
+}
+
+RunMetrics
+System::run()
+{
+    barre_assert(!ran_, "System::run() is one-shot");
+    ran_ = true;
+    barre_assert(total_accesses_ > 0, "no workload loaded");
+
+    cus_with_work_ = 0;
+    for (auto &per_chip : cus_)
+        for (auto &cu : per_chip)
+            if (cu->streamLength() > 0)
+                ++cus_with_work_;
+
+    for (auto &per_chip : cus_) {
+        for (auto &cu : per_chip) {
+            if (cu->streamLength() == 0)
+                continue;
+            cu->start([this]() {
+                if (++cus_done_ == cus_with_work_)
+                    finish_tick_ = eq_.now();
+            });
+        }
+    }
+
+    eq_.run();
+    barre_assert(cus_done_ == cus_with_work_,
+                 "simulation drained with %u/%u CUs unfinished",
+                 cus_with_work_ - cus_done_, cus_with_work_);
+
+    RunMetrics m;
+    m.config = to_string(cfg_.mode);
+    m.runtime = finish_tick_;
+    m.accesses = total_accesses_;
+    m.instructions = total_instructions_;
+
+    for (auto &c : chiplets_) {
+        m.l2_tlb_hits += c->l2TlbHits();
+        m.l2_tlb_misses += c->l2TlbMisses();
+    }
+    for (auto &c : chiplets_) {
+        m.mshr_retries += c->mshrRetries();
+        m.local_data += c->localDataAccesses();
+        m.remote_data += c->remoteDataAccesses();
+    }
+    m.l2_mpki = m.instructions > 0
+                    ? m.l2_tlb_misses / (m.instructions / 1000.0)
+                    : 0.0;
+
+    m.ats_packets = iommu_->atsRequests();
+    m.walks = iommu_->walks();
+    m.iommu_coalesced = iommu_->coalescedTranslations();
+    m.iommu_tlb_hits = iommu_->iommuTlbHits();
+    m.avg_ats_time = iommu_->processingTime().mean();
+    m.avg_pw_queue_depth = iommu_->queueDepth().mean();
+
+    if (fbarre_) {
+        m.local_calc_hits = fbarre_->localCalcHits();
+        m.remote_probes = fbarre_->remoteProbes();
+        m.remote_hits = fbarre_->remoteHits();
+        m.fbarre_fallbacks = fbarre_->fallbacks();
+        m.lcf_positives = fbarre_->lcfPositives();
+        m.lcf_true_positives = fbarre_->lcfTruePositives();
+        m.filter_updates = fbarre_->filterUpdates();
+    }
+
+    m.noc_bytes = noc_->totalBytes();
+    m.pcie_up_bytes = pcie_->upstream().bytesSent();
+    m.pcie_down_bytes = pcie_->downstream().bytesSent();
+
+    if (gmmu_) {
+        m.gmmu_local_walks = gmmu_->localWalks();
+        m.gmmu_remote_walks = gmmu_->remoteWalks();
+        m.gmmu_coalesced = gmmu_->coalescedTranslations();
+    }
+
+    m.coalesced_pages = driver_->coalescedPages();
+    m.mapped_pages = driver_->totalMappedPages();
+    if (migrator_)
+        m.migrations = migrator_->migrations();
+    return m;
+}
+
+} // namespace barre

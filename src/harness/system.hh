@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Full-system assembly: chiplets, CUs, interconnect, PCIe, IOMMU/GMMU,
+ * driver, translation service, and (optionally) the migration engine —
+ * wired per a SystemConfig.
+ */
+
+#ifndef BARRE_HARNESS_SYSTEM_HH
+#define BARRE_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "harness/config.hh"
+#include "harness/metrics.hh"
+#include "workloads/trace.hh"
+#include "workloads/workload.hh"
+
+namespace barre
+{
+
+class System
+{
+  public:
+    explicit System(SystemConfig cfg);
+    ~System();
+
+    /** Allocate an app's buffers through the driver. */
+    std::vector<DataAlloc> allocate(const AppParams &app, ProcessId pid);
+
+    /**
+     * Generate the app's CTAs and distribute them over CUs (co-located
+     * per the mapping policy). Call once per app (multi-programming =
+     * multiple calls with distinct pids).
+     */
+    void loadWorkload(const AppParams &app,
+                      const std::vector<DataAlloc> &allocs);
+
+    /**
+     * Load a recorded/imported trace (workloads/trace.hh). CTAs are
+     * co-located with the chiplet owning their first touched page.
+     * @param instr_per_access MPKI denominator weight per access.
+     */
+    void loadTrace(const Trace &trace, double instr_per_access = 4.0);
+
+    /** Run to completion and harvest metrics. */
+    RunMetrics run();
+
+    /**
+     * Dump every component's counters (gem5-style stats listing) to
+     * @p os. Callable any time; most useful after run().
+     */
+    void dumpStats(std::ostream &os) const;
+
+    /// @name Component access (tests, custom experiments)
+    /// @{
+    EventQueue &eventQueue() { return eq_; }
+    GpuDriver &driver() { return *driver_; }
+    Iommu &iommu() { return *iommu_; }
+    GmmuSystem *gmmu() { return gmmu_.get(); }
+    Chiplet &chiplet(ChipletId c) { return *chiplets_[c]; }
+    FBarreService *fbarre() { return fbarre_.get(); }
+    const SystemConfig &config() const { return cfg_; }
+    const MemoryMap &memoryMap() const { return *map_; }
+    /// @}
+
+  private:
+    void buildService();
+    ChipletId homeOf(ProcessId pid, Vpn vpn) const;
+
+    SystemConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<MemoryMap> map_;
+    std::unique_ptr<Interconnect> noc_;
+    std::unique_ptr<Pcie> pcie_;
+    std::unique_ptr<Iommu> iommu_;
+    std::unique_ptr<GmmuSystem> gmmu_;
+    std::unique_ptr<GpuDriver> driver_;
+    std::unique_ptr<AcudMigrator> migrator_;
+
+    std::vector<std::unique_ptr<Chiplet>> chiplets_;
+    std::vector<std::vector<std::unique_ptr<Cu>>> cus_;
+    std::vector<std::uint32_t> next_cu_; ///< round-robin CTA placement
+
+    std::unique_ptr<Tlb> shared_l2_tlb_;
+    std::unique_ptr<Mshr<TlbEntry>> shared_l2_mshr_;
+
+    std::unique_ptr<AtsService> ats_service_;
+    std::unique_ptr<GmmuService> gmmu_service_;
+    std::unique_ptr<ValkyrieService> valkyrie_;
+    std::unique_ptr<LeastService> least_;
+    std::unique_ptr<FBarreService> fbarre_;
+    TranslationService *active_service_ = nullptr;
+
+    /** Every allocation, for GMMU page-table homing. */
+    std::vector<DataAlloc> all_allocs_;
+
+    double total_instructions_ = 0;
+    std::uint64_t total_accesses_ = 0;
+    std::uint32_t cus_with_work_ = 0;
+    std::uint32_t cus_done_ = 0;
+    Tick finish_tick_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace barre
+
+#endif // BARRE_HARNESS_SYSTEM_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The host-side IOMMU serving address-translation-service (ATS) requests
+ * from the MCM-GPU over PCIe (paper §II-A, Fig 3).
+ *
+ * Pipeline per request: PCIe upstream -> (optional IOMMU TLB) -> PW-queue
+ * -> one of N page-table walkers (500-cycle walks) -> response over PCIe
+ * downstream.
+ *
+ * With Barre enabled, each PTW owns a PEC logic sharing the 5-entry PEC
+ * buffer: after a walk returns a coalesced PTE, the PEC logic scans the
+ * PW-queue for pending requests in the same coalescing group and
+ * completes them with *calculated* PFNs, skipping their walks (§IV-F).
+ * The coalescing-aware scheduler (§V-C) keeps requests that are
+ * coalescible with an in-flight walk out of the walkers so the
+ * calculation can catch them.
+ */
+
+#ifndef BARRE_IOMMU_IOMMU_HH
+#define BARRE_IOMMU_IOMMU_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pec.hh"
+#include "mem/memory_map.hh"
+#include "mem/page_table.hh"
+#include "noc/pcie.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "tlb/tlb.hh"
+
+namespace barre
+{
+
+struct IommuParams
+{
+    /** Page-table walkers; 0 means unbounded (the Fig 1 "infinite"). */
+    std::uint32_t ptws = 16;
+    Cycles walk_latency = 500;
+    std::uint32_t pw_queue_entries = 48;
+
+    /** Enable PEC logic (Barre). */
+    bool barre = false;
+    /** Coalescing-aware PTW scheduling (§V-C; F-Barre). */
+    bool coal_aware_sched = false;
+    Cycles pec_calc_latency = 4;
+    std::uint32_t pec_buffer_entries = 5;
+    /** Merge width assumed by the scheduler's coalescibility test. */
+    std::uint32_t merge_width = 1;
+
+    /** Optional IOMMU TLB (§VII-J). */
+    bool tlb_enabled = false;
+    std::uint32_t tlb_entries = 2048;
+    std::uint32_t tlb_ways = 16;
+    Cycles tlb_latency = 200;
+
+    /**
+     * Speculative multicast (§IV-B): after a coalesced walk, push
+     * *every* group member's calculated translation to its chiplet,
+     * solicited or not. The paper tried this and found it loses to
+     * pending-only coverage because of the IOMMU's outbound bandwidth;
+     * kept here as an ablation.
+     */
+    bool multicast = false;
+
+    /**
+     * Timed walks: instead of the flat walk_latency, walk the four
+     * radix levels through a page-walk cache; each PWC miss costs
+     * mem_latency_per_level (an ablation of the paper's 500-cycle
+     * fixed-walk configuration).
+     */
+    bool timed_walks = false;
+    Cycles mem_latency_per_level = 125;
+    Cycles pwc_hit_latency = 2;
+    std::uint32_t pwc_entries = 64;
+    std::uint32_t pwc_ways = 8;
+
+    /** Demand-paging fault service time (driver + copy-in; §VI). */
+    Cycles fault_latency = 20000;
+
+    /** Packet sizes for PCIe serialization. */
+    std::uint32_t ats_request_bytes = 16;
+    std::uint32_t ats_response_bytes = 16;
+    /** Response carrying coal info + the 118-bit PEC entry (§V-A3). */
+    std::uint32_t ats_response_coal_bytes = 32;
+};
+
+/** What an ATS response delivers back to the requesting chiplet. */
+struct AtsResponse
+{
+    ProcessId pid = 0;
+    Vpn vpn = invalid_vpn;
+    Pfn pfn = invalid_pfn;
+    CoalInfo coal{};
+    /** PEC entry piggybacked when the page is coalesced. */
+    bool has_pec = false;
+    PecEntry pec{};
+    /** True if this PFN was calculated (no walk) rather than walked. */
+    bool calculated = false;
+};
+
+class Iommu : public SimObject
+{
+  public:
+    using ResponseHandler = std::function<void(const AtsResponse &)>;
+
+    Iommu(EventQueue &eq, std::string name, const IommuParams &params,
+          Pcie &pcie, const MemoryMap &map);
+
+    /** Register a process's page table (driver setup). */
+    void attachPageTable(PageTable &pt);
+
+    /** PEC buffer, populated by the driver at allocation time. */
+    PecBuffer &pecBuffer() { return pec_buffer_; }
+
+    /** Observe the VPN of every arriving request (Fig 5 gap study). */
+    void setVpnProbe(std::function<void(Vpn)> probe)
+    {
+        vpn_probe_ = std::move(probe);
+    }
+
+    /**
+     * Sink for unsolicited (multicast) translations pushed to a
+     * chiplet; wired by the system when IommuParams::multicast is on.
+     */
+    using FillSink = std::function<void(ChipletId, const AtsResponse &)>;
+    void setFillSink(FillSink sink) { fill_sink_ = std::move(sink); }
+
+    std::uint64_t multicastPushes() const { return multicasts_.value(); }
+    std::uint64_t pwcHits() const { return pwc_hits_.value(); }
+    std::uint64_t pwcMisses() const { return pwc_misses_.value(); }
+
+    /**
+     * Demand-paging hook: called on a walk that finds no PTE; maps the
+     * faulting page (and, under Barre, its group). The walk retries
+     * after fault_latency.
+     */
+    using FaultHandler = std::function<void(ProcessId, Vpn)>;
+    void setFaultHandler(FaultHandler h) { fault_handler_ = std::move(h); }
+    std::uint64_t pageFaults() const { return page_faults_.value(); }
+
+    /**
+     * Entry point for a chiplet's ATS request. Models the full PCIe +
+     * IOMMU + PCIe round trip; @p on_response fires at the tick the
+     * response lands back at the chiplet.
+     */
+    void sendAts(ProcessId pid, Vpn vpn, ChipletId src,
+                 ResponseHandler on_response);
+
+    /// @name Statistics (Fig 16 series)
+    /// @{
+    std::uint64_t atsRequests() const { return ats_requests_.value(); }
+    std::uint64_t walks() const { return walks_.value(); }
+    std::uint64_t coalescedTranslations() const
+    {
+        return coalesced_.value();
+    }
+    std::uint64_t iommuTlbHits() const { return tlb_hits_.value(); }
+    const Accumulator &processingTime() const { return processing_time_; }
+    const Accumulator &queueDepth() const { return queue_depth_; }
+    std::uint64_t schedulerDeferrals() const { return deferrals_.value(); }
+    /// @}
+
+    /** Requests currently queued or walking (prefetch throttling). */
+    std::size_t
+    pendingTranslations() const
+    {
+        return pw_queue_.size() + overflow_.size() + busy_ptws_;
+    }
+
+  private:
+    struct Request
+    {
+        ProcessId pid;
+        Vpn vpn;
+        ChipletId src;
+        Tick arrival;
+        ResponseHandler respond;
+    };
+
+    void enqueue(Request req);
+    void tryDispatch();
+    bool coalescibleWithInFlight(const Request &req) const;
+    void startWalk(Request req);
+    void completeWalk(const Request &req);
+    void respondTo(const Request &req, AtsResponse resp, Cycles extra);
+    const PageTable *tableFor(ProcessId pid) const;
+    /** Walk latency for (pid, vpn) under the configured walk model. */
+    Cycles walkLatency(ProcessId pid, Vpn vpn);
+    void multicastGroup(const Request &req, const AtsResponse &resp,
+                        const PecEntry &entry);
+
+    IommuParams params_;
+    Pcie &pcie_;
+    const MemoryMap *memory_map_;
+    std::unordered_map<ProcessId, PageTable *> page_tables_;
+    PecBuffer pec_buffer_;
+    std::unique_ptr<Tlb> tlb_;
+    /** Page-walk cache over upper-level radix prefixes (timed walks). */
+    std::unique_ptr<Tlb> pwc_;
+    FillSink fill_sink_;
+
+    /** Bounded PW-queue plus the unbounded PCIe-side overflow buffer. */
+    std::deque<Request> pw_queue_;
+    std::deque<Request> overflow_;
+    /** VPNs currently being walked (for scheduling + PEC timing). */
+    std::vector<std::pair<ProcessId, Vpn>> in_flight_;
+    std::uint32_t busy_ptws_ = 0;
+
+    std::function<void(Vpn)> vpn_probe_;
+    Counter ats_requests_;
+    Counter walks_;
+    Counter coalesced_;
+    Counter tlb_hits_;
+    Counter deferrals_;
+    Counter multicasts_;
+    Counter pwc_hits_;
+    Counter pwc_misses_;
+    Counter page_faults_;
+    FaultHandler fault_handler_;
+    Accumulator processing_time_;
+    Accumulator queue_depth_;
+};
+
+} // namespace barre
+
+#endif // BARRE_IOMMU_IOMMU_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-chiplet physical frame allocator.
+ *
+ * A bitmap allocator over one chiplet's local frame space. Besides plain
+ * allocation it supports the queries Barre's driver modification needs
+ * (paper §IV-G):
+ *  - is a *specific* frame free (so the same local PFN can be claimed on
+ *    every sharer chiplet), and
+ *  - scan for frames / contiguous frame runs that are *commonly* free
+ *    across a set of allocators (coalescing-group creation and
+ *    contiguity-aware expansion).
+ *
+ * Fragmentation injection pre-claims a random subset of frames so the
+ * common-availability search degrades the way real, aged memory would.
+ */
+
+#ifndef BARRE_MEM_FRAME_ALLOCATOR_HH
+#define BARRE_MEM_FRAME_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/rng.hh"
+
+namespace barre
+{
+
+class FrameAllocator
+{
+  public:
+    explicit FrameAllocator(std::uint64_t num_frames);
+
+    std::uint64_t numFrames() const { return num_frames_; }
+    std::uint64_t freeFrames() const { return free_count_; }
+
+    bool isFree(LocalPfn pfn) const;
+
+    /** Claim a specific frame. @return false if already allocated. */
+    bool allocate(LocalPfn pfn);
+
+    /** Claim any free frame, lowest-index first. */
+    std::optional<LocalPfn> allocateAny();
+
+    /** Release a frame. @return false if it was not allocated. */
+    bool release(LocalPfn pfn);
+
+    /**
+     * Find (without claiming) the lowest frame >= @p start_hint that is
+     * free in *every* allocator of @p peers and in *this*.
+     */
+    static std::optional<LocalPfn>
+    findCommonFree(std::span<const FrameAllocator *> peers,
+                   LocalPfn start_hint = 0);
+
+    /**
+     * Find the lowest start of a run of @p run_length consecutive frames
+     * free in every allocator of @p peers.
+     */
+    static std::optional<LocalPfn>
+    findCommonFreeRun(std::span<const FrameAllocator *> peers,
+                      std::uint64_t run_length, LocalPfn start_hint = 0);
+
+    /**
+     * Randomly pre-claim frames with probability @p fraction each, to
+     * model an aged/fragmented physical memory.
+     * @return number of frames claimed.
+     */
+    std::uint64_t injectFragmentation(double fraction, Rng &rng);
+
+  private:
+    static constexpr int word_bits = 64;
+
+    std::uint64_t wordCount() const { return (num_frames_ + 63) / 64; }
+
+    std::uint64_t num_frames_;
+    std::uint64_t free_count_;
+    /** Bit set = frame free. */
+    std::vector<std::uint64_t> free_bits_;
+    /** Low-water hint for allocateAny scans. */
+    std::uint64_t scan_hint_ = 0;
+};
+
+} // namespace barre
+
+#endif // BARRE_MEM_FRAME_ALLOCATOR_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The global PFN map: per-chiplet base frame numbers.
+ *
+ * Each chiplet owns a fixed-size window of the global physical frame
+ * space. A global PFN decomposes into (chiplet, local PFN); the bases are
+ * known to the IOMMU and to every chiplet's PEC logic (paper Fig 7a,
+ * "global PFN map").
+ */
+
+#ifndef BARRE_MEM_MEMORY_MAP_HH
+#define BARRE_MEM_MEMORY_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+class MemoryMap
+{
+  public:
+    /**
+     * @param num_chiplets chiplets in the package
+     * @param frames_per_chiplet size of each chiplet's local frame space
+     */
+    MemoryMap(std::uint32_t num_chiplets, std::uint64_t frames_per_chiplet)
+        : frames_per_chiplet_(frames_per_chiplet),
+          num_chiplets_(num_chiplets)
+    {
+        barre_assert(num_chiplets > 0, "need at least one chiplet");
+        barre_assert(frames_per_chiplet > 0, "empty chiplet memory");
+    }
+
+    std::uint32_t numChiplets() const { return num_chiplets_; }
+    std::uint64_t framesPerChiplet() const { return frames_per_chiplet_; }
+
+    /** Base global PFN of @p chiplet. */
+    Pfn
+    basePfn(ChipletId chiplet) const
+    {
+        barre_assert(chiplet < num_chiplets_, "chiplet %u out of range",
+                     chiplet);
+        return static_cast<Pfn>(chiplet) * frames_per_chiplet_;
+    }
+
+    Pfn
+    globalPfn(ChipletId chiplet, LocalPfn local) const
+    {
+        barre_assert(local < frames_per_chiplet_,
+                     "local PFN %llu out of range",
+                     (unsigned long long)local);
+        return basePfn(chiplet) + local;
+    }
+
+    ChipletId
+    chipletOf(Pfn global) const
+    {
+        auto id = static_cast<ChipletId>(global / frames_per_chiplet_);
+        barre_assert(id < num_chiplets_, "global PFN %llu unowned",
+                     (unsigned long long)global);
+        return id;
+    }
+
+    LocalPfn
+    localOf(Pfn global) const
+    {
+        return global % frames_per_chiplet_;
+    }
+
+  private:
+    std::uint64_t frames_per_chiplet_;
+    std::uint32_t num_chiplets_;
+};
+
+} // namespace barre
+
+#endif // BARRE_MEM_MEMORY_MAP_HH

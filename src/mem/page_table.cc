@@ -1,0 +1,88 @@
+#include "mem/page_table.hh"
+
+namespace barre
+{
+
+PageTable::Node *
+PageTable::ensurePath(Vpn vpn)
+{
+    if (!root_) {
+        root_ = std::make_unique<Node>();
+        ++node_count_;
+    }
+    Node *node = root_.get();
+    for (int level = levels - 1; level > 0; --level) {
+        NodePtr &slot = node->children[indexAt(vpn, level)];
+        if (!slot) {
+            slot = std::make_unique<Node>();
+            ++node_count_;
+        }
+        node = slot.get();
+    }
+    return node;
+}
+
+const PageTable::Node *
+PageTable::findLeafNode(Vpn vpn) const
+{
+    const Node *node = root_.get();
+    for (int level = levels - 1; level > 0 && node; --level) {
+        ++node_accesses_;
+        node = node->children[indexAt(vpn, level)].get();
+    }
+    if (node)
+        ++node_accesses_;
+    return node;
+}
+
+void
+PageTable::map(Vpn vpn, Pfn pfn, const CoalInfo &ci)
+{
+    Node *leaf = ensurePath(vpn);
+    Pte &slot = leaf->ptes[indexAt(vpn, 0)];
+    if (!slot.present())
+        ++mapped_;
+    slot = Pte::make(pfn, ci);
+}
+
+bool
+PageTable::unmap(Vpn vpn)
+{
+    const Node *leaf = findLeafNode(vpn);
+    if (!leaf)
+        return false;
+    // findLeafNode is const; re-find mutably via ensurePath (path exists).
+    Pte &slot = ensurePath(vpn)->ptes[indexAt(vpn, 0)];
+    if (!slot.present())
+        return false;
+    slot = Pte{};
+    --mapped_;
+    return true;
+}
+
+std::optional<Pte>
+PageTable::walk(Vpn vpn) const
+{
+    const Node *leaf = findLeafNode(vpn);
+    if (!leaf)
+        return std::nullopt;
+    const Pte &pte = leaf->ptes[indexAt(vpn, 0)];
+    if (!pte.present())
+        return std::nullopt;
+    return pte;
+}
+
+bool
+PageTable::updateCoalInfo(Vpn vpn, const CoalInfo &ci)
+{
+    const Node *leaf = findLeafNode(vpn);
+    if (!leaf)
+        return false;
+    Pte &slot = ensurePath(vpn)->ptes[indexAt(vpn, 0)];
+    if (!slot.present())
+        return false;
+    slot.setCoalInfo(ci);
+    return true;
+}
+
+} // namespace barre

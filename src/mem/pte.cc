@@ -1,0 +1,102 @@
+#include "mem/pte.hh"
+
+#include <bit>
+
+namespace barre
+{
+
+namespace
+{
+
+constexpr std::uint64_t
+bits(std::uint64_t raw, int lo, int width)
+{
+    return (raw >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+constexpr std::uint64_t
+place(std::uint64_t value, int lo, int width)
+{
+    barre_assert(value < (std::uint64_t{1} << width),
+                 "field value %llu overflows %d bits",
+                 (unsigned long long)value, width);
+    return value << lo;
+}
+
+} // namespace
+
+CoalInfo
+Pte::coalInfo() const
+{
+    CoalInfo ci;
+    ci.merged = bits(raw_, merged_flag_bit, 1) != 0;
+    if (ci.merged) {
+        ci.bitmap = static_cast<std::uint32_t>(bits(raw_, 52, 4));
+        ci.interOrder = static_cast<std::uint8_t>(bits(raw_, 56, 2));
+        ci.intraOrder = static_cast<std::uint8_t>(bits(raw_, 58, 2));
+        ci.numMerged = static_cast<std::uint8_t>(bits(raw_, 60, 3)) + 1;
+    } else if (bits(raw_, count_mode_bit, 1)) {
+        // Count mode: field holds the member count over consecutive
+        // order positions (paper §VI-Scalability).
+        auto count = static_cast<std::uint32_t>(bits(raw_, 52, 8));
+        ci.bitmap = count >= 32 ? ~std::uint32_t{0}
+                                : (std::uint32_t{1} << count) - 1;
+        ci.interOrder = static_cast<std::uint8_t>(
+            bits(raw_, 60, 3) | (bits(raw_, order_ext_bit, 1) << 3));
+        ci.intraOrder = 0;
+        ci.numMerged = 1;
+    } else {
+        ci.bitmap = static_cast<std::uint32_t>(bits(raw_, 52, 8));
+        ci.interOrder = static_cast<std::uint8_t>(bits(raw_, 60, 3));
+        ci.intraOrder = 0;
+        ci.numMerged = 1;
+    }
+    return ci;
+}
+
+void
+Pte::setCoalInfo(const CoalInfo &ci)
+{
+    // Clear bits 52..62 and the three software bits we use.
+    constexpr std::uint64_t high_mask = ((std::uint64_t{1} << 11) - 1) << 52;
+    raw_ &= ~high_mask;
+    raw_ &= ~(std::uint64_t{1} << merged_flag_bit);
+    raw_ &= ~(std::uint64_t{1} << count_mode_bit);
+    raw_ &= ~(std::uint64_t{1} << order_ext_bit);
+
+    if (ci.merged) {
+        barre_assert(ci.bitmap < 16,
+                     "merged encoding supports up to 4 chiplets");
+        barre_assert(ci.numMerged >= 1 && ci.numMerged <= 8,
+                     "numMerged out of range");
+        raw_ |= std::uint64_t{1} << merged_flag_bit;
+        raw_ |= place(ci.bitmap, 52, 4);
+        raw_ |= place(ci.interOrder, 56, 2);
+        raw_ |= place(ci.intraOrder, 58, 2);
+        raw_ |= place(std::uint64_t{ci.numMerged} - 1, 60, 3);
+        return;
+    }
+
+    barre_assert(ci.intraOrder == 0 && ci.numMerged == 1,
+                 "standard encoding cannot hold merged fields");
+    if (ci.bitmap < 256 && ci.interOrder < 8) {
+        raw_ |= place(ci.bitmap, 52, 8);
+        raw_ |= place(ci.interOrder, 60, 3);
+        return;
+    }
+
+    // Wide group: must be expressible as a count of consecutive
+    // positions starting at 0.
+    int count = std::popcount(ci.bitmap);
+    barre_assert(ci.bitmap == (count >= 32 ? ~std::uint32_t{0}
+                               : (std::uint32_t{1} << count) - 1),
+                 "wide coalescing bitmap must be contiguous from bit 0");
+    barre_assert(ci.interOrder < 16, "order exceeds 4 bits");
+    raw_ |= std::uint64_t{1} << count_mode_bit;
+    raw_ |= place(static_cast<std::uint64_t>(count), 52, 8);
+    raw_ |= place(std::uint64_t{ci.interOrder} & 0x7, 60, 3);
+    raw_ |= place((std::uint64_t{ci.interOrder} >> 3) & 0x1,
+                  order_ext_bit, 1);
+}
+
+} // namespace barre

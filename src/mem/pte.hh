@@ -1,0 +1,131 @@
+/**
+ * @file
+ * x86-64 page-table-entry encoding with Barre's coalescing-group bits.
+ *
+ * Layout (paper Fig 8 / Fig 13). The 11 "ignored" high bits 52..62 of an
+ * x86-64 PTE carry the coalescing-group information; software-available
+ * bit 9 selects between the two encodings:
+ *
+ *  Standard Barre (bit9 = 0, up to 8 chiplets):
+ *      [52..59] coal_bitmap (8 b)   member participation by order position
+ *      [60..62] inter-GPU_coal_order (3 b)
+ *
+ *  Count mode (bit9 = 0, bit10 = 1; the paper's §VI scalability variant
+ *  for >8 chiplets): [52..59] holds the member *count* of a group over
+ *  consecutive order positions 0..count-1; bit 11 extends the order
+ *  field to 4 bits.
+ *
+ *  Merged / contiguity-aware (bit9 = 1, up to 4 chiplets, per paper §V-B):
+ *      [52..55] coal_bitmap (4 b)
+ *      [56..57] inter-GPU_coal_order (2 b)
+ *      [58..59] intra-GPU_coal_order (2 b)
+ *      [60..62] #_merged_coal_groups - 1 (3 b; evaluated up to 4)
+ *
+ * Bits 12..51 hold the global PFN; bit 0 is Present as usual.
+ */
+
+#ifndef BARRE_MEM_PTE_HH
+#define BARRE_MEM_PTE_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "mem/types.hh"
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+/**
+ * Decoded coalescing-group information carried in a PTE (and replicated
+ * into L2 TLB entries under F-Barre).
+ */
+struct CoalInfo
+{
+    /**
+     * Member-participation bitmap, indexed by inter-GPU order position:
+     * bit k set = the group member at order k exists. Up to 8 positions
+     * in the 8-bit PTE field; wider groups (16-chiplet studies, paper
+     * §VI-Scalability) are encoded as a member *count* of consecutive
+     * positions, flagged by software bit 10.
+     */
+    std::uint32_t bitmap = 0;
+    /** Position of this page across chiplets (0th..7th VPN of the group). */
+    std::uint8_t interOrder = 0;
+    /** Position within this chiplet's consecutive run (merged mode only). */
+    std::uint8_t intraOrder = 0;
+    /** Number of merged coalescing groups (1 = plain Barre group). */
+    std::uint8_t numMerged = 1;
+    /** True when the PTE uses the merged (contiguity-aware) encoding. */
+    bool merged = false;
+
+    /** A page participates in coalescing iff >1 chiplet shares the group. */
+    bool
+    coalesced() const
+    {
+        return std::popcount(bitmap) > 1;
+    }
+
+    /** Number of chiplets in the group. */
+    int sharers() const { return std::popcount(bitmap); }
+
+    bool
+    operator==(const CoalInfo &o) const
+    {
+        return bitmap == o.bitmap && interOrder == o.interOrder &&
+               intraOrder == o.intraOrder && numMerged == o.numMerged &&
+               merged == o.merged;
+    }
+};
+
+/** A raw 64-bit page table entry. */
+class Pte
+{
+  public:
+    Pte() = default;
+
+    static Pte
+    make(Pfn pfn, const CoalInfo &ci)
+    {
+        Pte pte;
+        pte.setPresent(true);
+        pte.setPfn(pfn);
+        pte.setCoalInfo(ci);
+        return pte;
+    }
+
+    bool present() const { return raw_ & 0x1; }
+
+    void
+    setPresent(bool p)
+    {
+        raw_ = p ? (raw_ | 0x1) : (raw_ & ~std::uint64_t{0x1});
+    }
+
+    Pfn pfn() const { return (raw_ >> 12) & pfn_mask; }
+
+    void
+    setPfn(Pfn pfn)
+    {
+        barre_assert(pfn <= pfn_mask, "PFN exceeds 40 bits");
+        raw_ = (raw_ & ~(pfn_mask << 12)) | (pfn << 12);
+    }
+
+    CoalInfo coalInfo() const;
+    void setCoalInfo(const CoalInfo &ci);
+
+    std::uint64_t raw() const { return raw_; }
+    static Pte fromRaw(std::uint64_t raw) { Pte p; p.raw_ = raw; return p; }
+
+  private:
+    static constexpr std::uint64_t pfn_mask = (std::uint64_t{1} << 40) - 1;
+    static constexpr int merged_flag_bit = 9;
+    static constexpr int count_mode_bit = 10;
+    static constexpr int order_ext_bit = 11;
+
+    std::uint64_t raw_ = 0;
+};
+
+} // namespace barre
+
+#endif // BARRE_MEM_PTE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Address-space types and page-size helpers.
+ *
+ * Virtual and physical addresses are flat 64-bit byte addresses shared by
+ * the CPU and the MCM-GPU (unified virtual memory). Physical frames are
+ * identified two ways:
+ *  - a *local* PFN, an index into one chiplet's memory, and
+ *  - a *global* PFN, which embeds the chiplet via a per-chiplet base
+ *    (the "global PFN map" of the paper's Fig 7a).
+ */
+
+#ifndef BARRE_MEM_TYPES_HH
+#define BARRE_MEM_TYPES_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace barre
+{
+
+/** A byte address (virtual or physical depending on context). */
+using Addr = std::uint64_t;
+
+/** Virtual page number. */
+using Vpn = std::uint64_t;
+
+/** Global physical frame number (chiplet base + local frame index). */
+using Pfn = std::uint64_t;
+
+/** Frame index local to one chiplet's memory. */
+using LocalPfn = std::uint64_t;
+
+constexpr Pfn invalid_pfn = ~Pfn{0};
+constexpr Vpn invalid_vpn = ~Vpn{0};
+
+/** Supported page sizes (the paper evaluates 4 KB, 64 KB, and 2 MB). */
+enum class PageSize : std::uint32_t
+{
+    size4k = 12,
+    size64k = 16,
+    size2m = 21,
+};
+
+constexpr std::uint32_t
+pageShift(PageSize ps)
+{
+    return static_cast<std::uint32_t>(ps);
+}
+
+constexpr std::uint64_t
+pageBytes(PageSize ps)
+{
+    return std::uint64_t{1} << pageShift(ps);
+}
+
+constexpr Vpn
+vpnOf(Addr vaddr, PageSize ps)
+{
+    return vaddr >> pageShift(ps);
+}
+
+constexpr Addr
+pageOffset(Addr vaddr, PageSize ps)
+{
+    return vaddr & (pageBytes(ps) - 1);
+}
+
+constexpr Addr
+paddrOf(Pfn pfn, Addr offset, PageSize ps)
+{
+    return (pfn << pageShift(ps)) | offset;
+}
+
+} // namespace barre
+
+#endif // BARRE_MEM_TYPES_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Intra-MCM chiplet interconnect.
+ *
+ * Table II: 768 GB/s mesh, 32-cycle latency. Modeled as one egress link
+ * per chiplet (capturing per-chiplet injection-bandwidth contention) with
+ * uniform hop latency. Self-sends are rejected; callers must special-case
+ * local operations.
+ */
+
+#ifndef BARRE_NOC_INTERCONNECT_HH
+#define BARRE_NOC_INTERCONNECT_HH
+
+#include <memory>
+#include <vector>
+
+#include "noc/link.hh"
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+struct InterconnectParams
+{
+    /** Per-chiplet egress bandwidth: 768 GB/s at 1 GHz = 768 B/cycle. */
+    double bytes_per_cycle = 768.0;
+    Cycles latency = 32;
+};
+
+class Interconnect : public SimObject
+{
+  public:
+    Interconnect(EventQueue &eq, std::string name, std::uint32_t chiplets,
+                 const InterconnectParams &p = {})
+        : SimObject(eq, std::move(name))
+    {
+        LinkParams lp{p.bytes_per_cycle, p.latency};
+        for (std::uint32_t i = 0; i < chiplets; ++i) {
+            egress_.push_back(std::make_unique<Link>(
+                eq, this->name() + ".egress" + std::to_string(i), lp));
+        }
+    }
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p deliver fires at arrival.
+     */
+    Tick
+    send(ChipletId src, ChipletId dst, std::uint64_t bytes,
+         EventQueue::Callback deliver)
+    {
+        barre_assert(src < egress_.size() && dst < egress_.size(),
+                     "chiplet id out of range");
+        barre_assert(src != dst, "self-send over the interconnect");
+        return egress_[src]->send(bytes, std::move(deliver));
+    }
+
+    std::uint64_t
+    totalMessages() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &l : egress_)
+            n += l->messages();
+        return n;
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &l : egress_)
+            n += l->bytesSent();
+        return n;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Link>> egress_;
+};
+
+} // namespace barre
+
+#endif // BARRE_NOC_INTERCONNECT_HH

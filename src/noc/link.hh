@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A unidirectional point-to-point link with bandwidth and latency.
+ *
+ * Messages serialize onto the wire in FIFO order at the configured
+ * bytes/cycle, then experience the propagation latency. This is the
+ * building block for the intra-MCM mesh and the PCIe connection.
+ */
+
+#ifndef BARRE_NOC_LINK_HH
+#define BARRE_NOC_LINK_HH
+
+#include <cstdint>
+
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace barre
+{
+
+struct LinkParams
+{
+    double bytes_per_cycle = 64.0;
+    Cycles latency = 32;
+};
+
+class Link : public SimObject
+{
+  public:
+    Link(EventQueue &eq, std::string name, const LinkParams &p)
+        : SimObject(eq, std::move(name)), params_(p)
+    {}
+
+    /**
+     * Send @p bytes; @p deliver fires on arrival at the far end.
+     * @return the delivery tick.
+     */
+    Tick
+    send(std::uint64_t bytes, EventQueue::Callback deliver)
+    {
+        ++messages_;
+        bytes_sent_ += bytes;
+        double ser_f = static_cast<double>(bytes) / params_.bytes_per_cycle;
+        auto ser = static_cast<Tick>(ser_f + 0.999999);
+        if (ser == 0)
+            ser = 1;
+        Tick start = std::max(curTick(), wire_free_);
+        wire_free_ = start + ser;
+        Tick arrive = wire_free_ + params_.latency;
+        queue_delay_.sample(static_cast<double>(start - curTick()));
+        eventQueue().schedule(arrive, std::move(deliver));
+        return arrive;
+    }
+
+    std::uint64_t messages() const { return messages_.value(); }
+    std::uint64_t bytesSent() const { return bytes_sent_.value(); }
+    const Accumulator &queueDelay() const { return queue_delay_; }
+    const LinkParams &params() const { return params_; }
+
+  private:
+    LinkParams params_;
+    Tick wire_free_ = 0;
+    Counter messages_;
+    Counter bytes_sent_;
+    Accumulator queue_delay_;
+};
+
+} // namespace barre
+
+#endif // BARRE_NOC_LINK_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The CPU<->MCM-GPU PCIe connection carrying ATS traffic.
+ *
+ * Table II: PCIe Gen4 x16 (~32 GB/s per direction), 150-cycle latency.
+ * Two independent directions so ATS requests and responses contend only
+ * with same-direction traffic.
+ */
+
+#ifndef BARRE_NOC_PCIE_HH
+#define BARRE_NOC_PCIE_HH
+
+#include <memory>
+
+#include "noc/link.hh"
+
+namespace barre
+{
+
+struct PcieParams
+{
+    /** 32 GB/s at 1 GHz core clock = 32 B/cycle per direction. */
+    double bytes_per_cycle = 32.0;
+    Cycles latency = 150;
+};
+
+class Pcie : public SimObject
+{
+  public:
+    Pcie(EventQueue &eq, std::string name, const PcieParams &p = {})
+        : SimObject(eq, std::move(name)),
+          upstream_(eq, this->name() + ".up",
+                    LinkParams{p.bytes_per_cycle, p.latency}),
+          downstream_(eq, this->name() + ".down",
+                      LinkParams{p.bytes_per_cycle, p.latency})
+    {}
+
+    /** GPU -> IOMMU direction (ATS requests). */
+    Tick
+    toHost(std::uint64_t bytes, EventQueue::Callback deliver)
+    {
+        return upstream_.send(bytes, std::move(deliver));
+    }
+
+    /** IOMMU -> GPU direction (ATS responses). */
+    Tick
+    toDevice(std::uint64_t bytes, EventQueue::Callback deliver)
+    {
+        return downstream_.send(bytes, std::move(deliver));
+    }
+
+    const Link &upstream() const { return upstream_; }
+    const Link &downstream() const { return downstream_; }
+
+  private:
+    Link upstream_;
+    Link downstream_;
+};
+
+} // namespace barre
+
+#endif // BARRE_NOC_PCIE_HH

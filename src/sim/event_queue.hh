@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A simple deterministic discrete-event queue.
+ *
+ * Events are closures scheduled at an absolute Tick. Events scheduled for
+ * the same tick fire in scheduling order (a monotone sequence number breaks
+ * ties), which keeps simulations reproducible across runs and platforms.
+ */
+
+#ifndef BARRE_SIM_EVENT_QUEUE_HH
+#define BARRE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace barre
+{
+
+/**
+ * Central event queue; one per simulated system.
+ *
+ * Usage:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(100, [] { ... });
+ *   eq.run();          // until empty
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events not yet fired. */
+    std::size_t pending() const { return heap_.size(); }
+
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Schedule @p cb to fire at absolute tick @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        barre_assert(when >= now_,
+                     "scheduling into the past (%llu < %llu)",
+                     (unsigned long long)when, (unsigned long long)now_);
+        heap_.push(Entry{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to fire @p delay cycles from now. */
+    void
+    scheduleAfter(Cycles delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Fire events until the queue drains or @p limit events have run.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    run(std::uint64_t limit = ~std::uint64_t{0})
+    {
+        std::uint64_t fired = 0;
+        while (!heap_.empty() && fired < limit) {
+            // Move the entry out before popping so the callback may
+            // schedule new events (which mutates the heap).
+            Entry e = heap_.top();
+            heap_.pop();
+            barre_assert(e.when >= now_, "event queue went backwards");
+            now_ = e.when;
+            e.cb();
+            ++fired;
+        }
+        return fired;
+    }
+
+    /**
+     * Fire events with tick <= @p until, then stop.
+     * Time advances to @p until even if the queue drains earlier.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    runUntil(Tick until)
+    {
+        std::uint64_t fired = 0;
+        while (!heap_.empty() && heap_.top().when <= until) {
+            Entry e = heap_.top();
+            heap_.pop();
+            now_ = e.when;
+            e.cb();
+            ++fired;
+        }
+        if (now_ < until)
+            now_ = until;
+        return fired;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace barre
+
+#endif // BARRE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,54 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <stdexcept>
+
+namespace barre
+{
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (len > 0) {
+        out.resize(static_cast<std::size_t>(len));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throwing (rather than abort()) lets unit tests assert on panics.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace barre

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal/warn split.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in us).
+ * fatal()  - the user configured something impossible; exit cleanly.
+ * warn()   - behaviour may be approximated; simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef BARRE_SIM_LOGGING_HH
+#define BARRE_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace barre
+{
+
+/** Printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace barre
+
+#define barre_panic(...) \
+    ::barre::panicImpl(__FILE__, __LINE__, ::barre::csprintf(__VA_ARGS__))
+
+#define barre_fatal(...) \
+    ::barre::fatalImpl(__FILE__, __LINE__, ::barre::csprintf(__VA_ARGS__))
+
+#define barre_warn(...) \
+    ::barre::warnImpl(::barre::csprintf(__VA_ARGS__))
+
+#define barre_inform(...) \
+    ::barre::informImpl(::barre::csprintf(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG; use for simulator soundness. */
+#define barre_assert(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::barre::panicImpl(__FILE__, __LINE__,                         \
+                "assertion '" #cond "' failed: "                           \
+                + ::barre::csprintf(__VA_ARGS__));                         \
+        }                                                                  \
+    } while (0)
+
+#endif // BARRE_SIM_LOGGING_HH

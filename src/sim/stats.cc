@@ -1,0 +1,44 @@
+#include "sim/stats.hh"
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+void
+StatRegistry::registerCounter(const std::string &name, const Counter *c)
+{
+    auto [it, inserted] = counters_.emplace(name, c);
+    (void)it;
+    barre_assert(inserted, "duplicate stat name '%s'", name.c_str());
+}
+
+void
+StatRegistry::registerAccumulator(const std::string &name,
+                                  const Accumulator *a)
+{
+    auto [it, inserted] = accumulators_.emplace(name, a);
+    (void)it;
+    barre_assert(inserted, "duplicate stat name '%s'", name.c_str());
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c->value() << "\n";
+    for (const auto &[name, a] : accumulators_) {
+        os << name << "::count " << a->count() << "\n";
+        os << name << "::mean " << a->mean() << "\n";
+        os << name << "::max " << a->max() << "\n";
+    }
+}
+
+} // namespace barre

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Minimal statistics package, gem5-flavoured.
+ *
+ * Stats are plain counters/distributions owned by SimObjects and registered
+ * with a StatRegistry so a whole system can be dumped uniformly. Formulas
+ * (ratios) are computed at dump time.
+ */
+
+#ifndef BARRE_SIM_STATS_HH
+#define BARRE_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace barre
+{
+
+/** A scalar counter. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; reports count/sum/mean/min/max. */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    void reset() { *this = Accumulator{}; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, bucket_width * buckets); values beyond
+ * the last bucket land in an overflow bin.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 1.0, std::size_t buckets = 64)
+        : width_(bucket_width), bins_(buckets, 0)
+    {}
+
+    void
+    sample(double v)
+    {
+        acc_.sample(v);
+        auto idx = static_cast<std::size_t>(v / width_);
+        if (idx >= bins_.size())
+            ++overflow_;
+        else
+            ++bins_[idx];
+    }
+
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const Accumulator &summary() const { return acc_; }
+    double bucketWidth() const { return width_; }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_ = 0;
+    Accumulator acc_;
+};
+
+/**
+ * Name -> stat map for a whole simulated system. Stats register by pointer;
+ * the owning SimObject must outlive the registry dump.
+ */
+class StatRegistry
+{
+  public:
+    void registerCounter(const std::string &name, const Counter *c);
+    void registerAccumulator(const std::string &name, const Accumulator *a);
+
+    /** Fetch a registered counter's value; 0 if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Dump all registered stats, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    void
+    clear()
+    {
+        counters_.clear();
+        accumulators_.clear();
+    }
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Accumulator *> accumulators_;
+};
+
+} // namespace barre
+
+#endif // BARRE_SIM_STATS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental simulation-wide scalar types.
+ *
+ * The simulator is clocked in GPU core cycles; a Tick is one cycle.
+ * Address-space types (VPN/PFN/...) live in mem/types.hh.
+ */
+
+#ifndef BARRE_SIM_TYPES_HH
+#define BARRE_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace barre
+{
+
+/** Simulated time, in GPU core cycles. */
+using Tick = std::uint64_t;
+
+/** A duration, in GPU core cycles. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "never" / unscheduled. */
+constexpr Tick max_tick = std::numeric_limits<Tick>::max();
+
+/** Identifier of a GPU chiplet within the MCM package. */
+using ChipletId = std::uint32_t;
+
+/** Identifier of a compute unit within a chiplet. */
+using CuId = std::uint32_t;
+
+/** Process (application) identifier for multi-programming. */
+using ProcessId = std::uint32_t;
+
+/** Sentinel chiplet id meaning "no chiplet / host". */
+constexpr ChipletId invalid_chiplet = ~ChipletId{0};
+
+} // namespace barre
+
+#endif // BARRE_SIM_TYPES_HH

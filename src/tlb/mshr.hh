@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Miss-status holding registers shared by TLBs and caches.
+ *
+ * Tracks outstanding misses keyed by (process, address-ish key). Requests
+ * to a key already in flight merge onto that entry; a full MSHR file
+ * rejects new keys, which the requester must retry (modeling the
+ * back-pressure examined in paper Fig 4).
+ */
+
+#ifndef BARRE_TLB_MSHR_HH
+#define BARRE_TLB_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace barre
+{
+
+/**
+ * @tparam Result value delivered to waiting requesters on completion.
+ */
+template <typename Result>
+class Mshr
+{
+  public:
+    using Callback = std::function<void(const Result &)>;
+    using Key = std::uint64_t;
+
+    explicit Mshr(std::uint32_t capacity) : capacity_(capacity)
+    {
+        barre_assert(capacity > 0, "zero-capacity MSHR file");
+    }
+
+    static Key
+    keyOf(ProcessId pid, std::uint64_t addr_key)
+    {
+        return (std::uint64_t{pid} << 48) ^ addr_key;
+    }
+
+    /** Outcome of trying to register a miss. */
+    enum class Outcome
+    {
+        primary,   ///< new entry allocated; caller must launch the fill
+        secondary, ///< merged onto an in-flight entry
+        rejected,  ///< MSHR file full; caller must retry later
+    };
+
+    Outcome
+    allocate(Key key, Callback cb)
+    {
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            it->second.push_back(std::move(cb));
+            ++secondary_;
+            return Outcome::secondary;
+        }
+        if (entries_.size() >= capacity_) {
+            ++rejected_;
+            return Outcome::rejected;
+        }
+        entries_[key].push_back(std::move(cb));
+        ++primary_;
+        return Outcome::primary;
+    }
+
+    /**
+     * Complete an in-flight miss, firing all merged callbacks in
+     * registration order.
+     */
+    void
+    complete(Key key, const Result &result)
+    {
+        auto it = entries_.find(key);
+        barre_assert(it != entries_.end(), "completing unknown MSHR entry");
+        // Detach first: callbacks may allocate the same key again.
+        std::vector<Callback> waiters = std::move(it->second);
+        entries_.erase(it);
+        for (auto &cb : waiters)
+            cb(result);
+    }
+
+    bool inFlight(Key key) const { return entries_.contains(key); }
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t occupancy() const { return entries_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+
+    std::uint64_t primaryMisses() const { return primary_.value(); }
+    std::uint64_t secondaryMisses() const { return secondary_.value(); }
+    std::uint64_t rejections() const { return rejected_.value(); }
+
+  private:
+    std::uint32_t capacity_;
+    std::unordered_map<Key, std::vector<Callback>> entries_;
+    Counter primary_;
+    Counter secondary_;
+    Counter rejected_;
+};
+
+} // namespace barre
+
+#endif // BARRE_TLB_MSHR_HH

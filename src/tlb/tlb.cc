@@ -1,0 +1,120 @@
+#include "tlb/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+Tlb::Tlb(const TlbParams &p) : params_(p)
+{
+    barre_assert(p.entries > 0 && p.ways > 0, "degenerate TLB geometry");
+    barre_assert(p.entries % p.ways == 0,
+                 "entries (%u) not divisible by ways (%u)", p.entries,
+                 p.ways);
+    sets_ = p.entries / p.ways;
+    ways_.resize(p.entries);
+}
+
+Tlb::Way *
+Tlb::findWay(ProcessId pid, Vpn vpn)
+{
+    std::uint32_t set = setOf(vpn);
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Way &way = ways_[std::size_t{set} * params_.ways + w];
+        if (way.entry.valid && way.entry.vpn == vpn &&
+            way.entry.pid == pid) {
+            return &way;
+        }
+    }
+    return nullptr;
+}
+
+const Tlb::Way *
+Tlb::findWay(ProcessId pid, Vpn vpn) const
+{
+    return const_cast<Tlb *>(this)->findWay(pid, vpn);
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(ProcessId pid, Vpn vpn)
+{
+    if (Way *way = findWay(pid, vpn)) {
+        way->lru = ++stamp_;
+        ++hits_;
+        return way->entry;
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+std::optional<TlbEntry>
+Tlb::peek(ProcessId pid, Vpn vpn) const
+{
+    if (const Way *way = findWay(pid, vpn))
+        return way->entry;
+    return std::nullopt;
+}
+
+void
+Tlb::insert(const TlbEntry &entry)
+{
+    barre_assert(entry.valid, "inserting an invalid entry");
+    if (Way *way = findWay(entry.pid, entry.vpn)) {
+        way->entry = entry;
+        way->lru = ++stamp_;
+        return;
+    }
+
+    std::uint32_t set = setOf(entry.vpn);
+    Way *victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Way &way = ways_[std::size_t{set} * params_.ways + w];
+        if (!way.entry.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lru < victim->lru)
+            victim = &way;
+    }
+
+    if (victim->entry.valid) {
+        ++evictions_;
+        --valid_count_;
+        if (on_evict_)
+            on_evict_(victim->entry);
+    }
+    victim->entry = entry;
+    victim->lru = ++stamp_;
+    ++valid_count_;
+    if (on_insert_)
+        on_insert_(victim->entry);
+}
+
+bool
+Tlb::invalidate(ProcessId pid, Vpn vpn)
+{
+    if (Way *way = findWay(pid, vpn)) {
+        TlbEntry gone = way->entry;
+        way->entry = TlbEntry{};
+        --valid_count_;
+        if (on_evict_)
+            on_evict_(gone);
+        return true;
+    }
+    return false;
+}
+
+void
+Tlb::shootdown()
+{
+    for (Way &way : ways_) {
+        if (way.entry.valid) {
+            way.entry = TlbEntry{};
+            --valid_count_;
+        }
+        way.lru = 0;
+    }
+    barre_assert(valid_count_ == 0, "shootdown accounting broke");
+}
+
+} // namespace barre

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Set-associative TLB with LRU replacement.
+ *
+ * Purely functional (lookups, fills, evictions, shootdowns); access
+ * latencies are charged by the owning controller (CU pipeline for L1,
+ * chiplet translation unit for L2). Entries are keyed by (process, VPN)
+ * and carry the PFN plus - under Barre Chord - the coalescing-group
+ * information the IOMMU attached to the ATS response (paper §V-A3).
+ *
+ * An eviction listener lets F-Barre mirror insert/evict into its
+ * coalescing-group filters.
+ */
+
+#ifndef BARRE_TLB_TLB_HH
+#define BARRE_TLB_TLB_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mem/pte.hh"
+#include "mem/types.hh"
+#include "sim/stats.hh"
+
+namespace barre
+{
+
+struct TlbParams
+{
+    std::uint32_t entries = 512;
+    std::uint32_t ways = 16;
+    Cycles lookup_latency = 10;
+    std::uint32_t mshrs = 16;
+};
+
+struct TlbEntry
+{
+    ProcessId pid = 0;
+    Vpn vpn = invalid_vpn;
+    Pfn pfn = invalid_pfn;
+    CoalInfo coal{};
+    bool valid = false;
+};
+
+class Tlb
+{
+  public:
+    /** (evicted entry) -> void; fired when a valid entry is replaced. */
+    using EvictListener = std::function<void(const TlbEntry &)>;
+    /** (inserted entry) -> void. */
+    using InsertListener = std::function<void(const TlbEntry &)>;
+
+    explicit Tlb(const TlbParams &p);
+
+    /**
+     * Look up and touch LRU state.
+     * @return the entry on hit, nullopt on miss.
+     */
+    std::optional<TlbEntry> lookup(ProcessId pid, Vpn vpn);
+
+    /** Look up without perturbing LRU or hit/miss stats. */
+    std::optional<TlbEntry> peek(ProcessId pid, Vpn vpn) const;
+
+    /**
+     * Install a translation, evicting the LRU way if the set is full.
+     * Re-inserting an existing (pid, vpn) updates it in place.
+     */
+    void insert(const TlbEntry &entry);
+
+    /** Invalidate one entry. @return true if it was present. */
+    bool invalidate(ProcessId pid, Vpn vpn);
+
+    /** Invalidate everything (TLB shootdown). */
+    void shootdown();
+
+    void setEvictListener(EvictListener l) { on_evict_ = std::move(l); }
+    void setInsertListener(InsertListener l) { on_insert_ = std::move(l); }
+
+    const TlbParams &params() const { return params_; }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+    std::uint64_t validEntries() const { return valid_count_; }
+
+    /** Storage cost in bits, for the §VII-K overhead model. */
+    std::uint64_t storageBits(std::uint32_t bits_per_entry = 89) const
+    {
+        return std::uint64_t{params_.entries} * bits_per_entry;
+    }
+
+  private:
+    struct Way
+    {
+        TlbEntry entry{};
+        std::uint64_t lru = 0; ///< last-touch stamp; smaller = older
+    };
+
+    std::uint32_t setOf(Vpn vpn) const { return vpn % sets_; }
+    Way *findWay(ProcessId pid, Vpn vpn);
+    const Way *findWay(ProcessId pid, Vpn vpn) const;
+
+    TlbParams params_;
+    std::uint32_t sets_;
+    std::vector<Way> ways_; ///< sets_ x params_.ways, row-major
+    std::uint64_t stamp_ = 0;
+    std::uint64_t valid_count_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
+
+    EvictListener on_evict_;
+    InsertListener on_insert_;
+};
+
+} // namespace barre
+
+#endif // BARRE_TLB_TLB_HH

@@ -1,0 +1,135 @@
+#include "workloads/suite.hh"
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+namespace
+{
+
+constexpr std::uint64_t kb = 1024;
+constexpr std::uint64_t mb = 1024 * kb;
+
+AppParams
+make(const std::string &name, const std::string &full,
+     const std::string &cat, double paper_mpki,
+     std::vector<BufferSpec> buffers, PatternKind pattern,
+     double instr_per_access, std::uint64_t row_bytes, double scatter)
+{
+    AppParams a;
+    a.name = name;
+    a.full_name = full;
+    a.category = cat;
+    a.paper_mpki = paper_mpki;
+    a.buffers = std::move(buffers);
+    a.pattern = pattern;
+    a.ctas = 1024;
+    a.accesses_per_cta = 128;
+    a.instr_per_access = instr_per_access;
+    a.row_bytes = row_bytes;
+    a.scatter_fraction = scatter;
+    a.seed = 0x5eed0000ull + std::hash<std::string>{}(name) % 0xffff;
+    return a;
+}
+
+std::vector<AppParams>
+buildSuite()
+{
+    DataTraits irr{true, false};
+    DataTraits shared{false, true};
+    std::vector<AppParams> s;
+
+    // ---- low IOMMU intensity -------------------------------------
+    s.push_back(make("gemv", "gemver", "low", 0.015,
+                     {{2 * mb, {}}, {128 * kb, shared}, {128 * kb, {}}},
+                     PatternKind::streaming, 32.0, 64 * kb, 0.02));
+    s.push_back(make("corr", "correlation", "low", 0.045,
+                     {{2 * mb, {}}, {256 * kb, {}}},
+                     PatternKind::row_col, 24.0, 64 * kb, 0.01));
+    s.push_back(make("adi", "adi", "low", 0.051,
+                     {{2 * mb, {}}, {2 * mb, {}}},
+                     PatternKind::row_col, 24.0, 64 * kb, 0.015));
+    s.push_back(make("fft", "fft", "low", 0.48,
+                     {{8 * mb, {}}, {512 * kb, shared}},
+                     PatternKind::butterfly, 8.0, 64 * kb, 0.05));
+    s.push_back(make("pr", "pagerank", "low", 0.828,
+                     {{12 * mb, {}}, {1 * mb, irr}},
+                     PatternKind::sparse, 8.0, 64 * kb, 0.1));
+
+    // ---- mid IOMMU intensity -------------------------------------
+    s.push_back(make("fwt", "fastwalshtransform", "mid", 2.27,
+                     {{32 * mb, {}}},
+                     PatternKind::butterfly, 8.0, 64 * kb, 0.15));
+    s.push_back(make("cov", "covariance", "mid", 3.24,
+                     {{32 * mb, {}}, {1 * mb, {}}},
+                     PatternKind::row_col, 6.0, 32 * kb, 0.05));
+    s.push_back(make("sssp", "sssp", "mid", 3.38,
+                     {{32 * mb, {}}, {16 * mb, irr}},
+                     PatternKind::sparse, 8.0, 64 * kb, 0.05));
+    s.push_back(make("jac2d", "jacobi2d", "mid", 4.78,
+                     {{32 * mb, {}}, {32 * mb, {}}},
+                     PatternKind::stencil, 4.0, 16 * kb, 0.0));
+    s.push_back(make("fdtd2d", "fdtd2d", "mid", 10.12,
+                     {{48 * mb, {}}, {48 * mb, {}}, {48 * mb, {}}},
+                     PatternKind::stencil, 2.0, 32 * kb, 0.0));
+    s.push_back(make("lu", "lu", "mid", 17.14,
+                     {{64 * mb, {}}},
+                     PatternKind::row_col, 4.0, 16 * kb, 0.1));
+    s.push_back(make("nw", "nw", "mid", 21.56,
+                     {{64 * mb, {}}, {4 * mb, {}}},
+                     PatternKind::wavefront, 8.0, 512, 0.0));
+    s.push_back(make("atax", "atax", "mid", 34.28,
+                     {{32 * mb, {}}, {2 * mb, {}}},
+                     PatternKind::row_col, 4.0, 8 * kb, 0.1));
+    s.push_back(make("st2d", "stencil2d", "mid", 46.90,
+                     {{96 * mb, {}}, {96 * mb, {}}},
+                     PatternKind::stencil, 0.8, 8 * kb, 0.0));
+
+    // ---- high IOMMU intensity ------------------------------------
+    s.push_back(make("matr", "matrixtranspose", "high", 174.99,
+                     {{64 * mb, {}}, {64 * mb, {}}},
+                     PatternKind::transpose, 2.0, 16 * kb, 0.0));
+    s.push_back(make("gups", "gups", "high", 724.80,
+                     {{256 * mb, {}}},
+                     PatternKind::random_access, 1.25, 64 * kb, 0.0));
+    s.push_back(make("bicg", "bicg", "high", 2128.63,
+                     {{128 * mb, {}}, {1 * mb, {}}},
+                     PatternKind::row_col, 0.4, 8 * kb, 0.9));
+    s.push_back(make("spmv", "spmv", "high", 3835.95,
+                     {{64 * mb, {}}, {256 * mb, irr}},
+                     PatternKind::sparse, 0.25, 64 * kb, 0.85));
+    s.push_back(make("gesm", "gesummv", "high", 4762.86,
+                     {{128 * mb, {}}, {1 * mb, {}}},
+                     PatternKind::row_col, 0.2, 8 * kb, 0.95));
+    return s;
+}
+
+} // namespace
+
+const std::vector<AppParams> &
+standardSuite()
+{
+    static const std::vector<AppParams> suite = buildSuite();
+    return suite;
+}
+
+const AppParams &
+appByName(const std::string &name)
+{
+    for (const auto &a : standardSuite())
+        if (a.name == name)
+            return a;
+    barre_fatal("unknown application '%s'", name.c_str());
+}
+
+std::vector<AppParams>
+scaledSubset()
+{
+    // Two per class, as Fig 24 (right) balances the MPKI classes.
+    return {appByName("fft"), appByName("pr"),    // low
+            appByName("cov"), appByName("atax"),  // mid
+            appByName("matr"), appByName("gups")}; // high
+}
+
+} // namespace barre

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The paper's 19-application benchmark suite (Table I), modeled as
+ * parametric synthetic workloads whose footprints and access patterns
+ * place them in the same low/mid/high L2-TLB-MPKI classes.
+ */
+
+#ifndef BARRE_WORKLOADS_SUITE_HH
+#define BARRE_WORKLOADS_SUITE_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace barre
+{
+
+/** All 19 applications, in Table I order (ascending paper MPKI). */
+const std::vector<AppParams> &standardSuite();
+
+/** Look up one application by Table I abbreviation. */
+const AppParams &appByName(const std::string &name);
+
+/** The Fig 24 (right) subset: balanced picks from each MPKI class. */
+std::vector<AppParams> scaledSubset();
+
+} // namespace barre
+
+#endif // BARRE_WORKLOADS_SUITE_HH

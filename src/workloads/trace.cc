@@ -1,0 +1,80 @@
+#include "workloads/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace barre
+{
+
+Trace
+readTrace(std::istream &is)
+{
+    Trace trace;
+    std::vector<AccessDesc> *current = nullptr;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        // Strip comments and whitespace-only lines.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string tok;
+        if (!(ls >> tok))
+            continue;
+        if (tok == "cta") {
+            std::size_t idx = 0;
+            if (!(ls >> idx))
+                barre_fatal("trace line %zu: bad cta index", lineno);
+            if (trace.ctas.size() <= idx)
+                trace.ctas.resize(idx + 1);
+            current = &trace.ctas[idx];
+            continue;
+        }
+        if (!current)
+            barre_fatal("trace line %zu: access before any 'cta'",
+                        lineno);
+        AccessDesc a;
+        a.vaddr = std::strtoull(tok.c_str(), nullptr, 16);
+        a.pid = 1;
+        std::uint64_t pid = 0;
+        if (ls >> pid)
+            a.pid = static_cast<ProcessId>(pid);
+        current->push_back(a);
+    }
+    return trace;
+}
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os << "# barre-chord access trace: " << trace.ctas.size()
+       << " CTAs, " << trace.totalAccesses() << " accesses\n";
+    for (std::size_t t = 0; t < trace.ctas.size(); ++t) {
+        os << "cta " << t << "\n";
+        for (const auto &a : trace.ctas[t]) {
+            os << std::hex << a.vaddr << std::dec;
+            if (a.pid != 1)
+                os << " " << a.pid;
+            os << "\n";
+        }
+    }
+}
+
+Trace
+recordTrace(const AppParams &app, const std::vector<DataAlloc> &allocs,
+            PageSize page_size)
+{
+    Trace trace;
+    trace.ctas.reserve(app.ctas);
+    for (std::uint32_t t = 0; t < app.ctas; ++t)
+        trace.ctas.push_back(generateCta(app, allocs, t, page_size));
+    return trace;
+}
+
+} // namespace barre

@@ -1,0 +1,203 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+namespace
+{
+
+constexpr std::uint64_t line = 64;
+
+/** Byte size of an allocation (page-rounded). */
+std::uint64_t
+allocBytes(const DataAlloc &a, PageSize ps)
+{
+    return a.pages << pageShift(ps);
+}
+
+/** Address of @p byte_off within the buffer, wrapped and line-aligned. */
+Addr
+at(const DataAlloc &a, std::uint64_t byte_off, PageSize ps)
+{
+    std::uint64_t size = allocBytes(a, ps);
+    return (a.start_vpn << pageShift(ps)) + ((byte_off % size) & ~(line - 1));
+}
+
+} // namespace
+
+AppParams
+AppParams::scaled(double factor) const
+{
+    AppParams out = *this;
+    for (auto &b : out.buffers) {
+        b.bytes = static_cast<std::uint64_t>(
+            static_cast<double>(b.bytes) * factor);
+    }
+    // A bigger input also means proportionally more work; keep the
+    // per-CTA stream length and scale the CTA count moderately so runs
+    // stay tractable (coverage of the larger footprint is what matters).
+    out.ctas = static_cast<std::uint32_t>(
+        std::min<double>(out.ctas * std::sqrt(factor), 65536.0));
+    return out;
+}
+
+std::vector<AccessDesc>
+generateCta(const AppParams &app, const std::vector<DataAlloc> &allocs,
+            std::uint32_t cta, PageSize ps)
+{
+    barre_assert(!allocs.empty(), "workload with no buffers");
+    barre_assert(cta < app.ctas, "CTA index out of range");
+
+    const DataAlloc &b0 = allocs.front();
+    const DataAlloc &blast = allocs.back();
+    const std::uint64_t size0 = allocBytes(b0, ps);
+    const std::uint64_t T = app.ctas;
+    const std::uint64_t A = app.accesses_per_cta;
+    const std::uint64_t R = std::max<std::uint64_t>(app.row_bytes, line);
+    const ProcessId pid = b0.pid;
+
+    // Slice of the primary buffer this CTA owns.
+    const std::uint64_t slice =
+        std::max<std::uint64_t>(size0 / T, line);
+    const std::uint64_t base = (cta * slice) % size0;
+
+    Rng rng(app.seed * 0x9e3779b9ull + cta * 0x85ebca6bull + 1);
+    std::vector<AccessDesc> out;
+    out.reserve(A);
+
+    std::uint64_t seq = 0;     // sequential cursor
+    std::uint64_t strided = 0; // strided cursor
+
+    for (std::uint64_t i = 0; i < A; ++i) {
+        Addr addr = 0;
+        switch (app.pattern) {
+          case PatternKind::streaming:
+            if (allocs.size() > 1 && rng.chance(app.scatter_fraction)) {
+                addr = at(allocs[1], rng.below(allocBytes(allocs[1], ps)),
+                          ps);
+            } else {
+                addr = at(b0, base + (seq++) * line, ps);
+            }
+            break;
+
+          case PatternKind::row_col: {
+            if (rng.chance(app.scatter_fraction)) {
+                // Column leg: a column walk visits every row of the
+                // matrix, so it sweeps the whole buffer (and with it
+                // every chiplet's stripe). Stride a large row block per
+                // access so one CTA's walk samples the full height.
+                std::uint64_t col_stride =
+                    std::max<std::uint64_t>(R, (size0 / 128 / R) * R) +
+                    R;
+                // Stagger each CTA's starting row so concurrent column
+                // walks don't all touch identical pages.
+                addr = at(b0, (cta % 64) * line + cta * R +
+                          (strided++) * col_stride, ps);
+            } else {
+                addr = at(b0, base + (seq++) * line, ps);
+            }
+            break;
+          }
+
+          case PatternKind::stencil: {
+            std::uint64_t center = base + (seq / 3) * line;
+            switch (seq % 3) {
+              case 0:
+                addr = at(b0, center, ps);
+                break;
+              case 1:
+                addr = at(b0, center + R, ps);
+                break;
+              default:
+                addr = at(b0, center + 2 * R, ps);
+                break;
+            }
+            ++seq;
+            break;
+          }
+
+          case PatternKind::transpose:
+            if (i % 2 == 0) {
+                addr = at(b0, base + (seq++) * line, ps);
+            } else {
+                // Column-major writes sweep the whole output buffer:
+                // successive elements land a quarter-buffer (plus one
+                // row) apart, rotating across chiplets the way a real
+                // transpose scatters a CTA's row across all column
+                // blocks.
+                const DataAlloc &dst =
+                    allocs.size() > 1 ? allocs[1] : b0;
+                std::uint64_t out_size = allocBytes(dst, ps);
+                addr = at(dst,
+                          base + (strided++) * (out_size / 4 + R), ps);
+            }
+            break;
+
+          case PatternKind::random_access:
+            addr = at(b0, rng.below(size0), ps);
+            break;
+
+          case PatternKind::sparse:
+            if (rng.chance(app.scatter_fraction)) {
+                addr = at(blast, rng.below(allocBytes(blast, ps)), ps);
+            } else {
+                addr = at(b0, base + (seq++) * line, ps);
+            }
+            break;
+
+          case PatternKind::butterfly: {
+            // Local stages stride up to row_bytes; with probability
+            // scatter_fraction a *global* pass XORs far beyond the
+            // CTA's slice (the cross-chiplet passes of FFT/FWT).
+            std::uint64_t lin = base + (seq++) * line;
+            std::uint64_t levels = 1;
+            while ((line << levels) < R)
+                ++levels;
+            std::uint64_t stage = i % levels;
+            std::uint64_t mask = line << stage;
+            if (rng.chance(app.scatter_fraction))
+                mask = line << (levels + rng.below(10));
+            addr = at(b0, lin ^ mask, ps);
+            break;
+          }
+
+          case PatternKind::wavefront:
+            addr = at(b0, base + (seq++) * (R + line), ps);
+            break;
+        }
+        out.push_back(AccessDesc{addr, pid});
+    }
+    return out;
+}
+
+ChipletId
+assignCta(MappingPolicyKind policy, const AppParams &app,
+          const std::vector<DataAlloc> &allocs, std::uint32_t cta,
+          std::uint32_t chiplets)
+{
+    switch (policy) {
+      case MappingPolicyKind::round_robin:
+        return cta % chiplets;
+      case MappingPolicyKind::chunking:
+        return static_cast<ChipletId>(
+            (static_cast<std::uint64_t>(cta) * chiplets) / app.ctas);
+      case MappingPolicyKind::lasp:
+      case MappingPolicyKind::coda: {
+        // Co-locate the CTA with its primary slice of buffer 0.
+        const DataAlloc &b0 = allocs.front();
+        std::uint64_t page = (static_cast<std::uint64_t>(cta) *
+                              b0.pages) / app.ctas;
+        Vpn vpn = b0.start_vpn +
+                  std::min<std::uint64_t>(page, b0.pages - 1);
+        return b0.layout.chipletOf(vpn);
+      }
+    }
+    barre_panic("unknown policy");
+}
+
+} // namespace barre

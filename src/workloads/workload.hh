@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic workload models standing in for the paper's 19 benchmark
+ * applications (Table I).
+ *
+ * Substitution note (DESIGN.md §5): the paper runs real GCN3 kernels on
+ * MGPUSim; we model each application as a parametric access-pattern
+ * generator whose footprint and pattern are chosen so its L2 TLB MPKI
+ * lands in the paper's low/mid/high class. The translation subsystem -
+ * the paper's subject - sees the same kind of pressure.
+ *
+ * A workload is a list of buffers (allocated through the GPU driver, so
+ * mapping policy and Barre enforcement apply) plus a pattern that
+ * generates each CTA's warp-level memory-access stream.
+ */
+
+#ifndef BARRE_WORKLOADS_WORKLOAD_HH
+#define BARRE_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/gpu_driver.hh"
+#include "gpu/cu.hh"
+#include "sim/rng.hh"
+
+namespace barre
+{
+
+enum class PatternKind
+{
+    streaming,     ///< sequential slices (gemv, fft compute phase)
+    row_col,       ///< row walks + column strides (polybench kernels)
+    stencil,       ///< row + vertical neighbours (jacobi2d, stencil2d)
+    transpose,     ///< sequential reads, page-striding writes (matr)
+    random_access, ///< uniform random updates (gups)
+    sparse,        ///< CSR stream + random vector gathers (spmv, sssp)
+    butterfly,     ///< XOR-stride stages (fwt, fft twiddle phase)
+    wavefront,     ///< diagonal sweeps (nw)
+};
+
+struct BufferSpec
+{
+    std::uint64_t bytes = 0;
+    DataTraits traits{};
+};
+
+struct AppParams
+{
+    std::string name;       ///< Table I abbreviation
+    std::string full_name;
+    std::string category;   ///< "low" / "mid" / "high"
+    double paper_mpki = 0;  ///< Table I reference value
+
+    std::vector<BufferSpec> buffers;
+    PatternKind pattern = PatternKind::streaming;
+
+    std::uint32_t ctas = 512;
+    std::uint32_t accesses_per_cta = 256;
+    /** Warp instructions represented by one modeled access (MPKI
+     *  denominator; low-intensity apps are arithmetic-heavy). */
+    double instr_per_access = 4.0;
+    /** Pattern knob: bytes per logical matrix row. */
+    std::uint64_t row_bytes = 64 * 1024;
+    /** Pattern knob: fraction of accesses that take the scattered leg. */
+    double scatter_fraction = 0.3;
+    std::uint64_t seed = 1;
+
+    /** Scale all buffer sizes (Fig 24's 16x input study). */
+    AppParams scaled(double factor) const;
+
+    /** Total instructions the app represents (MPKI denominator). */
+    double
+    totalInstructions() const
+    {
+        return static_cast<double>(ctas) * accesses_per_cta *
+               instr_per_access;
+    }
+};
+
+/**
+ * Generate CTA @p cta's access stream against the allocated buffers.
+ * Deterministic per (app.seed, cta).
+ */
+std::vector<AccessDesc> generateCta(const AppParams &app,
+                                    const std::vector<DataAlloc> &allocs,
+                                    std::uint32_t cta, PageSize page_size);
+
+/**
+ * Assign a CTA to a chiplet per the mapping policy's co-location rule
+ * (LASP/CODA co-locate with the CTA's primary data slice; chunking
+ * blocks coarsely; round-robin scatters).
+ */
+ChipletId assignCta(MappingPolicyKind policy, const AppParams &app,
+                    const std::vector<DataAlloc> &allocs,
+                    std::uint32_t cta, std::uint32_t chiplets);
+
+} // namespace barre
+
+#endif // BARRE_WORKLOADS_WORKLOAD_HH

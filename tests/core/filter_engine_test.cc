@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for F-Barre's LCF/RCF filter engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/filter_engine.hh"
+
+using namespace barre;
+
+namespace
+{
+
+CuckooFilterParams
+smallParams()
+{
+    CuckooFilterParams p;
+    p.rows = 256;
+    p.ways = 4;
+    p.fingerprint_bits = 9;
+    return p;
+}
+
+} // namespace
+
+TEST(FilterEngine, LcfInsertLookupErase)
+{
+    FilterEngine fe(0, 4, smallParams());
+    EXPECT_FALSE(fe.lcfContains(1, 0x100));
+    fe.lcfInsert(1, 0x100);
+    EXPECT_TRUE(fe.lcfContains(1, 0x100));
+    fe.lcfErase(1, 0x100);
+    EXPECT_FALSE(fe.lcfContains(1, 0x100));
+    EXPECT_EQ(fe.lcfLookups(), 3u);
+    EXPECT_EQ(fe.lcfHits(), 1u);
+}
+
+TEST(FilterEngine, PidsAreDistinct)
+{
+    FilterEngine fe(0, 4, smallParams());
+    fe.lcfInsert(1, 0x100);
+    EXPECT_FALSE(fe.lcfContains(2, 0x100));
+}
+
+TEST(FilterEngine, PredictSharerFindsThePeer)
+{
+    FilterEngine fe(0, 4, smallParams());
+    EXPECT_FALSE(fe.predictSharer(1, 0x200).has_value());
+    fe.rcfInsert(2, 1, 0x200);
+    auto peer = fe.predictSharer(1, 0x200);
+    ASSERT_TRUE(peer.has_value());
+    EXPECT_EQ(*peer, 2u);
+    EXPECT_EQ(fe.rcfHits(), 1u);
+}
+
+TEST(FilterEngine, RcfEraseRemovesPrediction)
+{
+    FilterEngine fe(0, 4, smallParams());
+    fe.rcfInsert(3, 1, 0x300);
+    fe.rcfErase(3, 1, 0x300);
+    EXPECT_FALSE(fe.predictSharer(1, 0x300).has_value());
+}
+
+TEST(FilterEngine, PeersAreIndependent)
+{
+    FilterEngine fe(1, 4, smallParams());
+    fe.rcfInsert(0, 1, 0xA);
+    fe.rcfInsert(2, 1, 0xB);
+    EXPECT_EQ(*fe.predictSharer(1, 0xA), 0u);
+    EXPECT_EQ(*fe.predictSharer(1, 0xB), 2u);
+}
+
+TEST(FilterEngine, OwnRcfSlotRejected)
+{
+    FilterEngine fe(1, 4, smallParams());
+    EXPECT_THROW(fe.rcfInsert(1, 1, 0x1), std::logic_error);
+    EXPECT_THROW(fe.rcfInsert(7, 1, 0x1), std::logic_error);
+}
+
+TEST(FilterEngine, ResetClearsEverything)
+{
+    FilterEngine fe(0, 4, smallParams());
+    fe.lcfInsert(1, 0x1);
+    fe.rcfInsert(1, 1, 0x2);
+    fe.reset();
+    EXPECT_FALSE(fe.lcfContains(1, 0x1));
+    EXPECT_FALSE(fe.predictSharer(1, 0x2).has_value());
+}
+
+TEST(FilterEngine, StorageBitsCountLcfPlusRcfs)
+{
+    // 4 filters (1 LCF + 3 RCFs) x 1024 x 9 bits (§VII-K).
+    FilterEngine fe(0, 4, smallParams());
+    EXPECT_EQ(fe.storageBits(), 4u * 1024 * 9);
+}
+
+TEST(FilterEngine, ManyEntriesNoFalseNegatives)
+{
+    FilterEngine fe(0, 4, smallParams());
+    for (Vpn v = 0; v < 600; ++v)
+        fe.lcfInsert(1, v);
+    int missing = 0;
+    for (Vpn v = 0; v < 600; ++v)
+        missing += fe.lcfContains(1, v) ? 0 : 1;
+    // Insert failures at high load are possible but must be rare.
+    EXPECT_LE(missing, 6);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for pec::interMembers — the filter-update set of §V-A2 (exact
+ * VPN plus popcount(coal_bitmap) cross-chiplet coalescing VPNs; merged
+ * runs are *not* broadcast).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pec.hh"
+
+using namespace barre;
+
+namespace
+{
+
+PecEntry
+entry16(std::uint32_t gran)
+{
+    PecEntry e;
+    e.valid = true;
+    e.pid = 1;
+    e.start_vpn = 0x40;
+    e.end_vpn = 0x40 + 4 * gran - 1;
+    e.gran = gran;
+    e.num_gpus = 4;
+    for (int i = 0; i < 4; ++i)
+        e.gpu_map[i] = static_cast<std::uint8_t>(i);
+    return e;
+}
+
+} // namespace
+
+TEST(InterMembers, PlainGroupEqualsGroupMembers)
+{
+    PecEntry e = entry16(3);
+    CoalInfo ci;
+    ci.bitmap = 0b1111;
+    ci.interOrder = 1;
+    Vpn vpn = e.start_vpn + 3;
+    EXPECT_EQ(pec::interMembers(e, vpn, ci),
+              pec::groupMembers(e, vpn, ci));
+    EXPECT_EQ(pec::interMembers(e, vpn, ci).size(), 4u);
+}
+
+TEST(InterMembers, MergedGroupOnlySpansChipletsAtSameOffset)
+{
+    PecEntry e = entry16(4);
+    CoalInfo ci;
+    ci.merged = true;
+    ci.bitmap = 0b1111;
+    ci.interOrder = 1;
+    ci.intraOrder = 1;
+    ci.numMerged = 2;
+    Vpn vpn = e.start_vpn + 4 + 1; // chiplet 1, offset 1
+
+    auto inter = pec::interMembers(e, vpn, ci);
+    // Four members, all at intra offset 1: {s+1, s+5, s+9, s+13}.
+    EXPECT_EQ(inter, (std::vector<Vpn>{e.start_vpn + 1, e.start_vpn + 5,
+                                       e.start_vpn + 9,
+                                       e.start_vpn + 13}));
+    // Strictly smaller than the full merged group (8 members).
+    EXPECT_EQ(pec::groupMembers(e, vpn, ci).size(), 8u);
+}
+
+TEST(InterMembers, RespectsBitmapHoles)
+{
+    PecEntry e = entry16(2);
+    CoalInfo ci;
+    ci.bitmap = 0b1011; // position 2 excluded (migrated)
+    ci.interOrder = 0;
+    auto inter = pec::interMembers(e, e.start_vpn, ci);
+    EXPECT_EQ(inter.size(), 3u);
+    for (Vpn v : inter)
+        EXPECT_NE(v, e.start_vpn + 2 * 2); // position 2's VPN absent
+}
+
+TEST(InterMembers, NonCoalescedIsEmpty)
+{
+    PecEntry e = entry16(2);
+    EXPECT_TRUE(pec::interMembers(e, e.start_vpn, CoalInfo{}).empty());
+}
+
+TEST(InterMembers, ClampsToBufferRange)
+{
+    // Tail group: fewer members exist than the bitmap claims.
+    PecEntry e = entry16(3);
+    e.end_vpn = e.start_vpn + 7; // only 8 pages: stripe 2 is partial
+    CoalInfo ci;
+    ci.bitmap = 0b1111;
+    ci.interOrder = 0;
+    auto inter = pec::interMembers(e, e.start_vpn + 2, ci);
+    for (Vpn v : inter)
+        EXPECT_LE(v, e.end_vpn);
+}

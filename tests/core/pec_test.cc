@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Tests for the PEC buffer and the coalesced PFN calculation — including
+ * exact reproductions of the paper's Examples 1-4 (§IV) and the merged
+ * group equations (§V-B), plus randomized soundness sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/pec.hh"
+#include "sim/rng.hh"
+
+using namespace barre;
+
+namespace
+{
+
+/** The paper's Fig 7a setting: 4 chiplets with bases 0xA000.. (we use
+ *  index-strided bases 0x0000/0x1000/0x2000/0x3000; the arithmetic is
+ *  identical up to the constant offset). */
+MemoryMap
+paperMap()
+{
+    return MemoryMap(4, 0x1000);
+}
+
+/** Data 1 of Fig 7a: VPNs 0x1..0xC, three pages per chiplet. */
+PecEntry
+data1()
+{
+    PecEntry e;
+    e.valid = true;
+    e.pid = 1;
+    e.start_vpn = 0x1;
+    e.end_vpn = 0xC;
+    e.gran = 3;
+    e.num_gpus = 4;
+    for (int i = 0; i < 4; ++i)
+        e.gpu_map[i] = static_cast<std::uint8_t>(i);
+    return e;
+}
+
+CoalInfo
+plainCoal(std::uint32_t bitmap, std::uint8_t order)
+{
+    CoalInfo ci;
+    ci.bitmap = bitmap;
+    ci.interOrder = order;
+    return ci;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// PecEntry layout arithmetic
+// ---------------------------------------------------------------------
+
+TEST(PecEntry, Example1Layout)
+{
+    PecEntry e = data1();
+    EXPECT_EQ(e.pages(), 12u);
+    // VPNs 0x1-0x3 on GPU0, 0x4-0x6 on GPU1, ...
+    EXPECT_EQ(e.chipletOf(0x1), 0u);
+    EXPECT_EQ(e.chipletOf(0x3), 0u);
+    EXPECT_EQ(e.chipletOf(0x4), 1u);
+    EXPECT_EQ(e.chipletOf(0xC), 3u);
+    // inter-GPU order: Example 2's 2nd VPN has order 2.
+    EXPECT_EQ(e.interOrderOf(0x1), 0u);
+    EXPECT_EQ(e.interOrderOf(0x4), 1u);
+    EXPECT_EQ(e.interOrderOf(0xA), 3u);
+    // Local page index: 0x4 is GPU1's 0th page; 0x6 its 2nd.
+    EXPECT_EQ(e.localPageIndexOf(0x4), 0u);
+    EXPECT_EQ(e.localPageIndexOf(0x6), 2u);
+    EXPECT_EQ(e.offsetOf(0x5), 1u);
+    EXPECT_EQ(e.roundOf(0xC), 0u);
+}
+
+TEST(PecEntry, MultiRoundLayout)
+{
+    // Round-robin style: gran 1, 4 chiplets, 8 pages => 2 rounds.
+    PecEntry e;
+    e.valid = true;
+    e.pid = 1;
+    e.start_vpn = 0x100;
+    e.end_vpn = 0x107;
+    e.gran = 1;
+    e.num_gpus = 4;
+    for (int i = 0; i < 4; ++i)
+        e.gpu_map[i] = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(e.roundOf(0x103), 0u);
+    EXPECT_EQ(e.roundOf(0x104), 1u);
+    EXPECT_EQ(e.interOrderOf(0x104), 0u);
+    EXPECT_EQ(e.chipletOf(0x105), 1u);
+    EXPECT_EQ(e.localPageIndexOf(0x105), 1u);
+}
+
+TEST(PecEntry, ArbitraryGpuMapOrder)
+{
+    // Fig 10 (right): 0th VPN mapped on GPU1.
+    PecEntry e = data1();
+    e.gpu_map[0] = 1;
+    e.gpu_map[1] = 0;
+    e.gpu_map[2] = 3;
+    e.gpu_map[3] = 2;
+    EXPECT_EQ(e.chipletOf(0x1), 1u);
+    EXPECT_EQ(e.chipletOf(0x4), 0u);
+    EXPECT_EQ(e.chipletOf(0x7), 3u);
+    EXPECT_EQ(e.chipletOf(0xA), 2u);
+}
+
+TEST(PecEntry, ContainsChecksPidAndRange)
+{
+    PecEntry e = data1();
+    EXPECT_TRUE(e.contains(1, 0x1));
+    EXPECT_TRUE(e.contains(1, 0xC));
+    EXPECT_FALSE(e.contains(1, 0x0));
+    EXPECT_FALSE(e.contains(1, 0xD));
+    EXPECT_FALSE(e.contains(2, 0x5));
+}
+
+// ---------------------------------------------------------------------
+// Group membership
+// ---------------------------------------------------------------------
+
+TEST(PecGroup, MembersOfFullGroup)
+{
+    PecEntry e = data1();
+    // The green group of Fig 7a: {0x1, 0x4, 0x7, 0xA}.
+    auto members = pec::groupMembers(e, 0x4, plainCoal(0b1111, 1));
+    EXPECT_EQ(members,
+              (std::vector<Vpn>{0x1, 0x4, 0x7, 0xA}));
+}
+
+TEST(PecGroup, MembersOfPartialGroup)
+{
+    // Data 3 of Fig 7a: three pages over chiplets 0-2 (bitmap 0b0111).
+    PecEntry e;
+    e.valid = true;
+    e.pid = 1;
+    e.start_vpn = 0xB4;
+    e.end_vpn = 0xB6;
+    e.gran = 1;
+    e.num_gpus = 4;
+    for (int i = 0; i < 4; ++i)
+        e.gpu_map[i] = static_cast<std::uint8_t>(i);
+    auto members = pec::groupMembers(e, 0xB5, plainCoal(0b0111, 1));
+    EXPECT_EQ(members, (std::vector<Vpn>{0xB4, 0xB5, 0xB6}));
+}
+
+TEST(PecGroup, NonCoalescedHasNoMembers)
+{
+    PecEntry e = data1();
+    EXPECT_TRUE(pec::groupMembers(e, 0x4, CoalInfo{}).empty());
+}
+
+TEST(PecGroup, MergedMembersSpanIntraRun)
+{
+    // gran 4, merge 2: group covers offsets {0,1} on each chiplet.
+    PecEntry e;
+    e.valid = true;
+    e.pid = 1;
+    e.start_vpn = 0x10;
+    e.end_vpn = 0x1F; // 16 pages, 4 per chiplet
+    e.gran = 4;
+    e.num_gpus = 4;
+    for (int i = 0; i < 4; ++i)
+        e.gpu_map[i] = static_cast<std::uint8_t>(i);
+    CoalInfo ci;
+    ci.merged = true;
+    ci.bitmap = 0b1111;
+    ci.interOrder = 1; // chiplet 1
+    ci.intraOrder = 1; // second page of the run
+    ci.numMerged = 2;
+    // 0x15 = start + 5 = chiplet 1's offset 1.
+    auto members = pec::groupMembers(e, 0x15, ci);
+    EXPECT_EQ(members, (std::vector<Vpn>{0x10, 0x11, 0x14, 0x15, 0x18,
+                                         0x19, 0x1C, 0x1D}));
+}
+
+// ---------------------------------------------------------------------
+// Example 4: the paper's end-to-end calculation
+// ---------------------------------------------------------------------
+
+TEST(PecCalc, Example4PendingCalculation)
+{
+    MemoryMap map = paperMap();
+    PecEntry e = data1();
+
+    // PTW finished translating VPN 0x4 -> chiplet 1, local 0x75.
+    Vpn t_vpn = 0x4;
+    Pfn t_pfn = map.globalPfn(1, 0x75);
+    CoalInfo t_coal = plainCoal(0b1111, 1);
+
+    // Pending 0xA is the 3rd VPN of the group -> chiplet 3, local 0x75.
+    auto calc = pec::calcPending(e, t_vpn, t_pfn, t_coal, 0xA, map);
+    ASSERT_TRUE(calc.has_value());
+    EXPECT_EQ(calc->pfn, map.globalPfn(3, 0x75));
+    EXPECT_EQ(calc->coal.interOrder, 3);
+    EXPECT_EQ(calc->coal.bitmap, 0b1111u);
+
+    // Decrement direction: pending 0x1 -> chiplet 0.
+    auto calc2 = pec::calcPending(e, t_vpn, t_pfn, t_coal, 0x1, map);
+    ASSERT_TRUE(calc2.has_value());
+    EXPECT_EQ(calc2->pfn, map.globalPfn(0, 0x75));
+    EXPECT_EQ(calc2->coal.interOrder, 0);
+}
+
+TEST(PecCalc, RejectsNonGroupVpns)
+{
+    MemoryMap map = paperMap();
+    PecEntry e = data1();
+    Pfn t_pfn = map.globalPfn(1, 0x75);
+    CoalInfo t_coal = plainCoal(0b1111, 1);
+
+    // 0x5 is in the same data but a different group (gap not a
+    // multiple of gran from 0x4's group member positions).
+    EXPECT_FALSE(pec::calcPending(e, 0x4, t_pfn, t_coal, 0x5, map)
+                     .has_value());
+    // Outside the data range entirely.
+    EXPECT_FALSE(pec::calcPending(e, 0x4, t_pfn, t_coal, 0xD, map)
+                     .has_value());
+    // The translated page itself is not "pending".
+    EXPECT_FALSE(pec::calcPending(e, 0x4, t_pfn, t_coal, 0x4, map)
+                     .has_value());
+}
+
+TEST(PecCalc, RespectsParticipationBitmap)
+{
+    MemoryMap map = paperMap();
+    PecEntry e = data1();
+    Pfn t_pfn = map.globalPfn(1, 0x75);
+    // Position 3 (vpn 0xA) excluded, e.g. after migration.
+    CoalInfo t_coal = plainCoal(0b0111, 1);
+    EXPECT_FALSE(pec::calcPending(e, 0x4, t_pfn, t_coal, 0xA, map)
+                     .has_value());
+    EXPECT_TRUE(pec::calcPending(e, 0x4, t_pfn, t_coal, 0x7, map)
+                    .has_value());
+}
+
+TEST(PecCalc, NotCoalescedYieldsNothing)
+{
+    MemoryMap map = paperMap();
+    PecEntry e = data1();
+    EXPECT_FALSE(pec::calcPending(e, 0x4, 0x1075, CoalInfo{}, 0x7, map)
+                     .has_value());
+}
+
+TEST(PecCalc, ArbitraryGpuMapResolvesChiplet)
+{
+    MemoryMap map = paperMap();
+    PecEntry e = data1();
+    e.gpu_map[0] = 1;
+    e.gpu_map[1] = 0;
+    e.gpu_map[2] = 3;
+    e.gpu_map[3] = 2;
+    // 0x4 (order 1) now lives on chiplet 0.
+    Pfn t_pfn = map.globalPfn(0, 0x88);
+    auto calc = pec::calcPending(e, 0x4, t_pfn, plainCoal(0b1111, 1),
+                                 0xA, map);
+    ASSERT_TRUE(calc.has_value());
+    EXPECT_EQ(calc->pfn, map.globalPfn(2, 0x88)); // order 3 -> chiplet 2
+}
+
+// ---------------------------------------------------------------------
+// Merged groups (§V-B equations)
+// ---------------------------------------------------------------------
+
+TEST(PecCalcMerged, PendingAcrossChipletsAndOffsets)
+{
+    MemoryMap map = paperMap();
+    PecEntry e;
+    e.valid = true;
+    e.pid = 1;
+    e.start_vpn = 0x20;
+    e.end_vpn = 0x2F; // 16 pages, gran 4, 4 chiplets
+    e.gran = 4;
+    e.num_gpus = 4;
+    for (int i = 0; i < 4; ++i)
+        e.gpu_map[i] = static_cast<std::uint8_t>(i);
+
+    // Merged group of width 2 at offsets {0,1}, local frames 0x200/0x201.
+    CoalInfo t;
+    t.merged = true;
+    t.bitmap = 0b1111;
+    t.interOrder = 1; // chiplet 1
+    t.intraOrder = 1; // offset 1 -> local 0x201
+    t.numMerged = 2;
+    Vpn t_vpn = 0x25; // start + 1*4 + 1
+    Pfn t_pfn = map.globalPfn(1, 0x201);
+
+    // Same chiplet, other offset of the run.
+    auto c1 = pec::calcPending(e, t_vpn, t_pfn, t, 0x24, map);
+    ASSERT_TRUE(c1.has_value());
+    EXPECT_EQ(c1->pfn, map.globalPfn(1, 0x200));
+    EXPECT_EQ(c1->coal.interOrder, 1);
+    EXPECT_EQ(c1->coal.intraOrder, 0);
+
+    // Other chiplet, other offset: VPN_first = 0x25 - 1 - 4*1 = 0x20.
+    auto c2 = pec::calcPending(e, t_vpn, t_pfn, t, 0x2D, map);
+    ASSERT_TRUE(c2.has_value());
+    EXPECT_EQ(c2->pfn, map.globalPfn(3, 0x201));
+    EXPECT_EQ(c2->coal.interOrder, 3);
+    EXPECT_EQ(c2->coal.intraOrder, 1);
+
+    // Offset 2 belongs to the *next* merged block: reject.
+    EXPECT_FALSE(pec::calcPending(e, t_vpn, t_pfn, t, 0x26, map)
+                     .has_value());
+    // Before the group's first VPN: reject.
+    EXPECT_FALSE(pec::calcPending(e, t_vpn, t_pfn, t, 0x1F, map)
+                     .has_value());
+}
+
+// ---------------------------------------------------------------------
+// Randomized soundness: calculation == ground truth, for every layout
+// ---------------------------------------------------------------------
+
+struct LayoutCase
+{
+    std::uint32_t num_gpus;
+    std::uint32_t gran;
+    std::uint32_t rounds;
+    std::uint32_t merge;
+};
+
+class PecSoundness : public ::testing::TestWithParam<LayoutCase>
+{};
+
+TEST_P(PecSoundness, CalculationMatchesGroundTruth)
+{
+    const LayoutCase lc = GetParam();
+    MemoryMap map(lc.num_gpus, 0x4000);
+    Rng rng(lc.num_gpus * 131 + lc.gran * 17 + lc.merge);
+
+    PecEntry e;
+    e.valid = true;
+    e.pid = 3;
+    e.start_vpn = 0x1000;
+    std::uint64_t pages =
+        std::uint64_t{lc.gran} * lc.num_gpus * lc.rounds;
+    e.end_vpn = e.start_vpn + pages - 1;
+    e.gran = lc.gran;
+    e.num_gpus = lc.num_gpus;
+    // Random chiplet permutation.
+    for (std::uint32_t i = 0; i < lc.num_gpus; ++i)
+        e.gpu_map[i] = static_cast<std::uint8_t>(i);
+    for (std::uint32_t i = lc.num_gpus - 1; i > 0; --i) {
+        std::uint32_t j = static_cast<std::uint32_t>(rng.below(i + 1));
+        std::swap(e.gpu_map[i], e.gpu_map[j]);
+    }
+
+    // Ground truth: local frame per (round, offset-block, intra).
+    std::map<Vpn, Pfn> truth;
+    std::map<Vpn, CoalInfo> coals;
+    std::uint32_t w = lc.merge;
+    for (std::uint32_t r = 0; r < lc.rounds; ++r) {
+        for (std::uint32_t ob = 0; ob < lc.gran; ob += w) {
+            std::uint32_t width = std::min(w, lc.gran - ob);
+            LocalPfn base = 0x100 + rng.below(0x3000);
+            for (std::uint32_t k = 0; k < lc.num_gpus; ++k) {
+                for (std::uint32_t i = 0; i < width; ++i) {
+                    Vpn vpn = e.start_vpn +
+                              (std::uint64_t{r} * lc.num_gpus + k) *
+                                  lc.gran +
+                              ob + i;
+                    ChipletId chip = e.gpu_map[k];
+                    truth[vpn] = map.globalPfn(chip, base + i);
+                    CoalInfo ci;
+                    ci.bitmap = (lc.num_gpus >= 32)
+                                    ? ~std::uint32_t{0}
+                                    : (std::uint32_t{1} << lc.num_gpus) -
+                                          1;
+                    ci.interOrder = static_cast<std::uint8_t>(k);
+                    if (width > 1) {
+                        ci.merged = true;
+                        ci.intraOrder = static_cast<std::uint8_t>(i);
+                        ci.numMerged = static_cast<std::uint8_t>(width);
+                    }
+                    coals[vpn] = ci;
+                }
+            }
+        }
+    }
+
+    // Every (translated, pending) pair must agree with the truth table.
+    for (const auto &[t_vpn, t_pfn] : truth) {
+        const CoalInfo &t_coal = coals[t_vpn];
+        for (const auto &[p_vpn, p_pfn] : truth) {
+            auto calc =
+                pec::calcPending(e, t_vpn, t_pfn, t_coal, p_vpn, map);
+            bool same_group =
+                t_vpn != p_vpn &&
+                e.roundOf(t_vpn) == e.roundOf(p_vpn) &&
+                e.offsetOf(t_vpn) / w == e.offsetOf(p_vpn) / w;
+            if (same_group) {
+                ASSERT_TRUE(calc.has_value())
+                    << "t=" << t_vpn << " p=" << p_vpn;
+                EXPECT_EQ(calc->pfn, p_pfn)
+                    << "t=" << t_vpn << " p=" << p_vpn;
+                EXPECT_EQ(calc->coal.interOrder,
+                          coals[p_vpn].interOrder);
+                EXPECT_EQ(calc->coal.intraOrder,
+                          coals[p_vpn].intraOrder);
+            } else {
+                EXPECT_FALSE(calc.has_value())
+                    << "t=" << t_vpn << " p=" << p_vpn;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, PecSoundness,
+    ::testing::Values(LayoutCase{2, 1, 2, 1}, LayoutCase{4, 3, 1, 1},
+                      LayoutCase{4, 1, 3, 1}, LayoutCase{8, 2, 2, 1},
+                      LayoutCase{4, 4, 2, 2}, LayoutCase{4, 4, 1, 4},
+                      LayoutCase{4, 6, 2, 2}, LayoutCase{16, 2, 1, 1}));
+
+// ---------------------------------------------------------------------
+// Scheduler coalescibility test
+// ---------------------------------------------------------------------
+
+TEST(PecSameGroup, MatchesGroupStructure)
+{
+    PecEntry e = data1();
+    EXPECT_TRUE(pec::sameGroup(e, 0x4, 0xA, 1));
+    EXPECT_TRUE(pec::sameGroup(e, 0x1, 0x7, 1));
+    EXPECT_FALSE(pec::sameGroup(e, 0x4, 0x5, 1));
+    EXPECT_FALSE(pec::sameGroup(e, 0x4, 0xD, 1)); // out of range
+    // With merge width 3, offsets 0-2 fuse into one group.
+    EXPECT_TRUE(pec::sameGroup(e, 0x4, 0x5, 3));
+}
+
+// ---------------------------------------------------------------------
+// PEC buffer
+// ---------------------------------------------------------------------
+
+TEST(PecBuffer, FindByRange)
+{
+    PecBuffer buf(5);
+    PecEntry e = data1();
+    buf.insert(e);
+    EXPECT_NE(buf.find(1, 0x5), nullptr);
+    EXPECT_EQ(buf.find(1, 0xD), nullptr);
+    EXPECT_EQ(buf.find(2, 0x5), nullptr);
+    EXPECT_EQ(buf.occupancy(), 1u);
+}
+
+TEST(PecBuffer, EvictsSmallestWhenFull)
+{
+    PecBuffer buf(2);
+    PecEntry small = data1(); // 12 pages
+    PecEntry big = data1();
+    big.start_vpn = 0x100;
+    big.end_vpn = 0x1FF; // 256 pages
+    buf.insert(small);
+    buf.insert(big);
+    PecEntry mid = data1();
+    mid.start_vpn = 0x400;
+    mid.end_vpn = 0x43F; // 64 pages
+    buf.insert(mid); // evicts `small`
+    EXPECT_EQ(buf.find(1, 0x5), nullptr);
+    EXPECT_NE(buf.find(1, 0x410), nullptr);
+    EXPECT_NE(buf.find(1, 0x150), nullptr);
+}
+
+TEST(PecBuffer, SmallerNewcomerDoesNotEvictLarger)
+{
+    PecBuffer buf(1);
+    PecEntry big = data1();
+    big.start_vpn = 0x100;
+    big.end_vpn = 0x1FF;
+    buf.insert(big);
+    PecEntry tiny = data1(); // 12 pages < 256
+    buf.insert(tiny);
+    EXPECT_NE(buf.find(1, 0x150), nullptr);
+    EXPECT_EQ(buf.find(1, 0x5), nullptr);
+}
+
+TEST(PecBuffer, ReinsertUpdatesInPlace)
+{
+    PecBuffer buf(5);
+    PecEntry e = data1();
+    buf.insert(e);
+    e.gran = 6;
+    buf.insert(e);
+    EXPECT_EQ(buf.occupancy(), 1u);
+    EXPECT_EQ(buf.find(1, 0x5)->gran, 6u);
+}
+
+TEST(PecBuffer, ClearEmpties)
+{
+    PecBuffer buf(5);
+    buf.insert(data1());
+    buf.clear();
+    EXPECT_EQ(buf.occupancy(), 0u);
+    EXPECT_EQ(buf.find(1, 0x5), nullptr);
+}
+
+TEST(PecBuffer, StorageBitsMatchTableII)
+{
+    PecBuffer buf(5);
+    EXPECT_EQ(buf.storageBits(), 5u * 118);
+}

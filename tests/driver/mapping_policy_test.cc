@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the page-mapping policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/mapping_policy.hh"
+
+using namespace barre;
+
+TEST(MappingPolicy, LaspChunksEvenly)
+{
+    auto l = computeLayout(MappingPolicyKind::lasp, 12, 4, {});
+    EXPECT_EQ(l.gran, 3u);
+    EXPECT_EQ(l.num_gpus, 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(l.gpu_map[i], i);
+}
+
+TEST(MappingPolicy, LaspRoundsUpUnevenBuffers)
+{
+    auto l = computeLayout(MappingPolicyKind::lasp, 13, 4, {});
+    EXPECT_EQ(l.gran, 4u); // ceil(13/4): the tail stripe truncates
+}
+
+TEST(MappingPolicy, TinyBufferGoesFineGrained)
+{
+    auto l = computeLayout(MappingPolicyKind::lasp, 3, 4, {});
+    EXPECT_EQ(l.gran, 1u);
+}
+
+TEST(MappingPolicy, RoundRobinIsAlwaysFine)
+{
+    auto l = computeLayout(MappingPolicyKind::round_robin, 1024, 4, {});
+    EXPECT_EQ(l.gran, 1u);
+}
+
+TEST(MappingPolicy, ChunkingMatchesLaspGranularity)
+{
+    auto a = computeLayout(MappingPolicyKind::lasp, 100, 4, {});
+    auto b = computeLayout(MappingPolicyKind::chunking, 100, 4, {});
+    EXPECT_EQ(a.gran, b.gran);
+}
+
+TEST(MappingPolicy, CodaSplitsByTraits)
+{
+    DataTraits regular{};
+    DataTraits irregular{true, false};
+    auto lin = computeLayout(MappingPolicyKind::coda, 100, 4, regular);
+    auto irr = computeLayout(MappingPolicyKind::coda, 100, 4, irregular);
+    EXPECT_EQ(lin.gran, 25u);
+    EXPECT_EQ(irr.gran, 1u);
+}
+
+TEST(MappingPolicy, Names)
+{
+    EXPECT_EQ(to_string(MappingPolicyKind::lasp), "LASP");
+    EXPECT_EQ(to_string(MappingPolicyKind::coda), "CODA");
+    EXPECT_EQ(to_string(MappingPolicyKind::chunking), "chunking");
+    EXPECT_EQ(to_string(MappingPolicyKind::round_robin), "round-robin");
+}
+
+TEST(MappingPolicy, SixteenChiplets)
+{
+    auto l = computeLayout(MappingPolicyKind::lasp, 160, 16, {});
+    EXPECT_EQ(l.gran, 10u);
+    EXPECT_EQ(l.num_gpus, 16u);
+}

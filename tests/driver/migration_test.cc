@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the ACUD counter-based migration engine (§VII-G).
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/migration.hh"
+
+using namespace barre;
+
+namespace
+{
+
+struct Rig
+{
+    MemoryMap map{4, 0x1000};
+    GpuDriver drv;
+    MigrationParams params;
+
+    explicit Rig(std::uint32_t threshold = 4)
+        : drv(map,
+              DriverParams{MappingPolicyKind::lasp, true, 1, 0.0, 7})
+    {
+        params.enabled = true;
+        params.threshold = threshold;
+        params.copy_bytes_per_cycle = 1024.0;
+        params.shootdown_cost = 100;
+        params.page_bytes = 4096;
+    }
+};
+
+} // namespace
+
+TEST(AcudMigrator, DisabledDoesNothing)
+{
+    Rig rig;
+    rig.params.enabled = false;
+    AcudMigrator mig(rig.drv, rig.params);
+    auto a = rig.drv.gpuMalloc(1, 12);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(mig.recordAccess(i, 1, a.start_vpn, 3, 0), 0u);
+    EXPECT_EQ(mig.migrations(), 0u);
+}
+
+TEST(AcudMigrator, LocalAccessesNeverTrigger)
+{
+    Rig rig(2);
+    AcudMigrator mig(rig.drv, rig.params);
+    auto a = rig.drv.gpuMalloc(1, 12);
+    for (int i = 0; i < 100; ++i)
+        mig.recordAccess(i, 1, a.start_vpn, 0, 0);
+    EXPECT_EQ(mig.migrations(), 0u);
+}
+
+TEST(AcudMigrator, RemoteAccessesTriggerAtThreshold)
+{
+    Rig rig(4);
+    AcudMigrator mig(rig.drv, rig.params);
+    auto a = rig.drv.gpuMalloc(1, 12);
+    Vpn v = a.start_vpn; // on chiplet 0
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(mig.recordAccess(i, 1, v, 2, 0), 0u);
+    EXPECT_EQ(mig.migrations(), 0u);
+    Cycles stall = mig.recordAccess(10, 1, v, 2, 0);
+    EXPECT_EQ(mig.migrations(), 1u);
+    EXPECT_GT(stall, 0u); // copy + shootdown
+    EXPECT_EQ(rig.map.chipletOf(rig.drv.pageTable(1).walk(v)->pfn()),
+              2u);
+    EXPECT_EQ(mig.migratedBytes(), 4096u);
+}
+
+TEST(AcudMigrator, InvalidateHookReceivesStaleVpns)
+{
+    Rig rig(1);
+    AcudMigrator mig(rig.drv, rig.params);
+    auto a = rig.drv.gpuMalloc(1, 12);
+    std::vector<Vpn> stale;
+    mig.setInvalidateHook(
+        [&](ProcessId, const std::vector<Vpn> &vpns) { stale = vpns; });
+    mig.recordAccess(0, 1, a.start_vpn, 1, 0);
+    // The whole former group {s, s+3, s+6, s+9} is stale.
+    EXPECT_EQ(stale.size(), 4u);
+}
+
+TEST(AcudMigrator, AccessesDuringCopyStall)
+{
+    Rig rig(1);
+    AcudMigrator mig(rig.drv, rig.params);
+    auto a = rig.drv.gpuMalloc(1, 12);
+    Cycles s1 = mig.recordAccess(0, 1, a.start_vpn, 1, 0);
+    EXPECT_GT(s1, 0u);
+    // A second access one tick later still sees most of the stall.
+    Cycles s2 = mig.recordAccess(1, 1, a.start_vpn, 1, 1);
+    EXPECT_GE(s2 + 1, s1 - 1);
+    // Long after the copy, no stall remains.
+    EXPECT_EQ(mig.recordAccess(1'000'000, 1, a.start_vpn, 1, 1), 0u);
+}
+
+TEST(AcudMigrator, CountersResetAfterMigration)
+{
+    Rig rig(3);
+    AcudMigrator mig(rig.drv, rig.params);
+    auto a = rig.drv.gpuMalloc(1, 12);
+    Vpn v = a.start_vpn;
+    for (int i = 0; i < 3; ++i)
+        mig.recordAccess(i, 1, v, 1, 0);
+    EXPECT_EQ(mig.migrations(), 1u);
+    // Two more remote accesses from chiplet 2 are below threshold.
+    mig.recordAccess(100000, 1, v, 2, 1);
+    mig.recordAccess(100001, 1, v, 2, 1);
+    EXPECT_EQ(mig.migrations(), 1u);
+}
+
+TEST(AcudMigrator, PingPongPossible)
+{
+    Rig rig(2);
+    AcudMigrator mig(rig.drv, rig.params);
+    auto a = rig.drv.gpuMalloc(1, 12);
+    Vpn v = a.start_vpn;
+    Tick t = 0;
+    // Chiplet 1 pulls it, then chiplet 0 pulls it back.
+    mig.recordAccess(t += 100000, 1, v, 1, 0);
+    mig.recordAccess(t += 100000, 1, v, 1, 0);
+    EXPECT_EQ(mig.migrations(), 1u);
+    mig.recordAccess(t += 100000, 1, v, 0, 1);
+    mig.recordAccess(t += 100000, 1, v, 0, 1);
+    EXPECT_EQ(mig.migrations(), 2u);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the named system configurations and mode coupling rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/config.hh"
+
+using namespace barre;
+
+TEST(Config, BaselineDisablesEverything)
+{
+    SystemConfig cfg = SystemConfig::baselineAts();
+    cfg.normalize();
+    EXPECT_FALSE(cfg.driver.barre);
+    EXPECT_FALSE(cfg.iommu.barre);
+    EXPECT_FALSE(cfg.chiplet.sibling_l1_probe);
+}
+
+TEST(Config, ValkyrieEnablesSiblingProbe)
+{
+    SystemConfig cfg = SystemConfig::valkyrieCfg();
+    cfg.normalize();
+    EXPECT_TRUE(cfg.chiplet.sibling_l1_probe);
+    EXPECT_FALSE(cfg.driver.barre);
+}
+
+TEST(Config, BarreForcesMergeOne)
+{
+    SystemConfig cfg = SystemConfig::barreCfg();
+    cfg.driver.merge_limit = 4; // user error: Barre has no merging
+    cfg.normalize();
+    EXPECT_TRUE(cfg.driver.barre);
+    EXPECT_TRUE(cfg.iommu.barre);
+    EXPECT_EQ(cfg.driver.merge_limit, 1u);
+    EXPECT_FALSE(cfg.iommu.coal_aware_sched);
+}
+
+TEST(Config, FBarreCouplesMergeWidths)
+{
+    SystemConfig cfg = SystemConfig::fbarreCfg(4);
+    cfg.normalize();
+    EXPECT_TRUE(cfg.driver.barre);
+    EXPECT_TRUE(cfg.iommu.barre);
+    EXPECT_TRUE(cfg.iommu.coal_aware_sched);
+    EXPECT_EQ(cfg.fbarre.merge_width, 4u);
+    EXPECT_EQ(cfg.iommu.merge_width, 4u);
+    EXPECT_TRUE(cfg.fbarre.peer_sharing);
+}
+
+TEST(Config, NormalizePropagatesGeometry)
+{
+    SystemConfig cfg = SystemConfig::baselineAts();
+    cfg.cus_per_chiplet = 32;
+    cfg.page_size = PageSize::size64k;
+    cfg.normalize();
+    EXPECT_EQ(cfg.chiplet.cus, 32u);
+    EXPECT_EQ(cfg.chiplet.page_size, PageSize::size64k);
+    EXPECT_EQ(cfg.migration.page_bytes, 64u * 1024);
+}
+
+TEST(Config, GmmuInheritsBarreFlag)
+{
+    SystemConfig cfg = SystemConfig::fbarreCfg(2);
+    cfg.use_gmmu = true;
+    cfg.normalize();
+    EXPECT_TRUE(cfg.gmmu.barre);
+    SystemConfig base = SystemConfig::baselineAts();
+    base.use_gmmu = true;
+    base.normalize();
+    EXPECT_FALSE(base.gmmu.barre);
+}
+
+TEST(Config, ModeNames)
+{
+    EXPECT_EQ(to_string(TranslationMode::baseline), "baseline");
+    EXPECT_EQ(to_string(TranslationMode::valkyrie), "Valkyrie");
+    EXPECT_EQ(to_string(TranslationMode::least), "Least");
+    EXPECT_EQ(to_string(TranslationMode::barre), "Barre");
+    EXPECT_EQ(to_string(TranslationMode::fbarre), "F-Barre");
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tests for the CSV metrics exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/csv.hh"
+
+using namespace barre;
+
+TEST(Csv, HeaderAndRowHaveSameArity)
+{
+    RunMetrics m;
+    std::string header = csvHeader();
+    std::string row = csvRow(m);
+    auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+}
+
+TEST(Csv, ValuesLandInTheRightColumns)
+{
+    RunMetrics m;
+    m.config = "F-Barre";
+    m.app = "atax";
+    m.runtime = 12345;
+    m.ats_packets = 77;
+    std::string row = csvRow(m);
+    EXPECT_EQ(row.rfind("F-Barre,atax,12345,", 0), 0u);
+    EXPECT_NE(row.find(",77,"), std::string::npos);
+}
+
+TEST(Csv, WriteCsvEmitsHeaderPlusRows)
+{
+    std::ostringstream os;
+    RunMetrics a, b;
+    a.app = "x";
+    b.app = "y";
+    writeCsv(os, {a, b});
+    std::string text = os.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+    EXPECT_EQ(text.rfind("config,app,", 0), 0u);
+}

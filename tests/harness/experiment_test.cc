@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the experiment helpers: geomean, formatting, TextTable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace barre;
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, InsensitiveToOrder)
+{
+    EXPECT_NEAR(geomean({0.5, 8.0, 1.0}), geomean({1.0, 0.5, 8.0}),
+                1e-12);
+}
+
+TEST(Fmt, Precision)
+{
+    EXPECT_EQ(fmt(1.23456, 3), "1.235");
+    EXPECT_EQ(fmt(2.0, 1), "2.0");
+    EXPECT_EQ(fmt(100.0, 0), "100");
+}
+
+TEST(TextTable, PadsRaggedRows)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"x"});
+    t.addRow({"1", "2", "3"});
+    // Printing must not crash on the short row.
+    testing::internal::CaptureStdout();
+    t.print("pad test");
+    std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("pad test"), std::string::npos);
+    EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowHelper)
+{
+    TextTable t({"label", "v1", "v2"});
+    t.addRow("row", {1.5, 2.25}, 2);
+    testing::internal::CaptureStdout();
+    t.print();
+    std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("2.25"), std::string::npos);
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for System::dumpStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hh"
+
+using namespace barre;
+
+namespace
+{
+
+std::uint64_t
+statValue(const std::string &dump, const std::string &key)
+{
+    auto pos = dump.find(key + " ");
+    if (pos == std::string::npos)
+        return ~std::uint64_t{0};
+    return std::strtoull(dump.c_str() + pos + key.size() + 1, nullptr,
+                         10);
+}
+
+} // namespace
+
+TEST(StatsDump, CoversCoreComponentsAndMatchesMetrics)
+{
+    SystemConfig cfg = SystemConfig::fbarreCfg(2);
+    cfg.workload_scale = 0.04;
+    System sys(cfg);
+    auto allocs = sys.allocate(appByName("cov"), 1);
+    sys.loadWorkload(appByName("cov"), allocs);
+    RunMetrics m = sys.run();
+
+    std::ostringstream os;
+    sys.dumpStats(os);
+    std::string dump = os.str();
+
+    EXPECT_EQ(statValue(dump, "sim.ticks"), m.runtime);
+    EXPECT_EQ(statValue(dump, "iommu.ats_requests"), m.ats_packets);
+    EXPECT_EQ(statValue(dump, "iommu.walks"), m.walks);
+    EXPECT_EQ(statValue(dump, "fbarre.remote_hits"), m.remote_hits);
+    EXPECT_EQ(statValue(dump, "driver.mapped_pages"), m.mapped_pages);
+    // Per-chiplet lines exist for every chiplet.
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_NE(dump.find("gpu" + std::to_string(c) +
+                            ".l2tlb.misses"),
+                  std::string::npos);
+    }
+}
+
+TEST(StatsDump, BaselineOmitsFBarreSection)
+{
+    SystemConfig cfg = SystemConfig::baselineAts();
+    cfg.workload_scale = 0.04;
+    System sys(cfg);
+    auto allocs = sys.allocate(appByName("fft"), 1);
+    sys.loadWorkload(appByName("fft"), allocs);
+    sys.run();
+    std::ostringstream os;
+    sys.dumpStats(os);
+    EXPECT_EQ(os.str().find("fbarre."), std::string::npos);
+    EXPECT_EQ(os.str().find("gmmu."), std::string::npos);
+}

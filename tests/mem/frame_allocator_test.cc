@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit + property tests for the per-chiplet frame allocator, including
+ * the common-availability searches Barre's driver relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mem/frame_allocator.hh"
+
+using namespace barre;
+
+TEST(FrameAllocator, StartsAllFree)
+{
+    FrameAllocator fa(100);
+    EXPECT_EQ(fa.numFrames(), 100u);
+    EXPECT_EQ(fa.freeFrames(), 100u);
+    for (LocalPfn p = 0; p < 100; ++p)
+        EXPECT_TRUE(fa.isFree(p));
+}
+
+TEST(FrameAllocator, AllocateSpecificFrame)
+{
+    FrameAllocator fa(64);
+    EXPECT_TRUE(fa.allocate(10));
+    EXPECT_FALSE(fa.isFree(10));
+    EXPECT_FALSE(fa.allocate(10)); // double-allocate fails
+    EXPECT_EQ(fa.freeFrames(), 63u);
+}
+
+TEST(FrameAllocator, AllocateAnyIsLowestFirst)
+{
+    FrameAllocator fa(64);
+    fa.allocate(0);
+    fa.allocate(1);
+    auto p = fa.allocateAny();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 2u);
+}
+
+TEST(FrameAllocator, ReleaseAndReuse)
+{
+    FrameAllocator fa(8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(fa.allocateAny().has_value());
+    EXPECT_EQ(fa.freeFrames(), 0u);
+    EXPECT_FALSE(fa.allocateAny().has_value());
+    EXPECT_TRUE(fa.release(3));
+    EXPECT_FALSE(fa.release(3)); // double free rejected
+    auto p = fa.allocateAny();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 3u);
+}
+
+TEST(FrameAllocator, ExhaustionExactCount)
+{
+    FrameAllocator fa(130); // crosses word boundaries
+    for (int i = 0; i < 130; ++i)
+        EXPECT_TRUE(fa.allocateAny().has_value()) << i;
+    EXPECT_FALSE(fa.allocateAny().has_value());
+}
+
+TEST(FrameAllocator, OutOfRangePanics)
+{
+    FrameAllocator fa(16);
+    EXPECT_THROW(fa.isFree(16), std::logic_error);
+}
+
+TEST(FrameAllocator, CommonFreeIntersects)
+{
+    FrameAllocator a(32), b(32), c(32);
+    a.allocate(0);
+    b.allocate(1);
+    c.allocate(2);
+    std::array<const FrameAllocator *, 3> peers{&a, &b, &c};
+    auto p = FrameAllocator::findCommonFree(peers);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 3u);
+}
+
+TEST(FrameAllocator, CommonFreeHonoursHint)
+{
+    FrameAllocator a(32), b(32);
+    std::array<const FrameAllocator *, 2> peers{&a, &b};
+    auto p = FrameAllocator::findCommonFree(peers, 10);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 10u);
+}
+
+TEST(FrameAllocator, CommonFreeNoneWhenDisjoint)
+{
+    FrameAllocator a(4), b(4);
+    a.allocate(0);
+    a.allocate(1);
+    b.allocate(2);
+    b.allocate(3);
+    std::array<const FrameAllocator *, 2> peers{&a, &b};
+    EXPECT_FALSE(FrameAllocator::findCommonFree(peers).has_value());
+}
+
+TEST(FrameAllocator, CommonFreeRunFindsContiguity)
+{
+    FrameAllocator a(32), b(32);
+    // Punch holes so the first common run of 3 starts at 9.
+    a.allocate(1);
+    b.allocate(4);
+    a.allocate(6);
+    b.allocate(8);
+    std::array<const FrameAllocator *, 2> peers{&a, &b};
+    auto p = FrameAllocator::findCommonFreeRun(peers, 3);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 9u);
+    // All three frames are free in both.
+    for (LocalPfn q = *p; q < *p + 3; ++q) {
+        EXPECT_TRUE(a.isFree(q));
+        EXPECT_TRUE(b.isFree(q));
+    }
+}
+
+TEST(FrameAllocator, CommonFreeRunTooLongFails)
+{
+    FrameAllocator a(8), b(8);
+    for (LocalPfn p = 0; p < 8; p += 2)
+        a.allocate(p); // every other frame gone
+    std::array<const FrameAllocator *, 2> peers{&a, &b};
+    EXPECT_FALSE(FrameAllocator::findCommonFreeRun(peers, 2).has_value());
+    EXPECT_TRUE(FrameAllocator::findCommonFreeRun(peers, 1).has_value());
+}
+
+TEST(FrameAllocator, FragmentationInjectionClaimsRoughlyFraction)
+{
+    FrameAllocator fa(10000);
+    Rng rng(5);
+    std::uint64_t claimed = fa.injectFragmentation(0.25, rng);
+    EXPECT_NEAR(static_cast<double>(claimed), 2500.0, 200.0);
+    EXPECT_EQ(fa.freeFrames(), 10000 - claimed);
+}
+
+TEST(FrameAllocator, HintSurvivesReleaseBelow)
+{
+    FrameAllocator fa(64);
+    for (int i = 0; i < 32; ++i)
+        fa.allocateAny();
+    fa.release(5);
+    auto p = fa.allocateAny();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 5u); // scan hint was pulled back
+}
+
+/** Property: free count always equals the number of free bits. */
+TEST(FrameAllocator, FreeCountInvariantUnderRandomOps)
+{
+    FrameAllocator fa(512);
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        LocalPfn p = rng.below(512);
+        if (rng.chance(0.5))
+            fa.allocate(p);
+        else
+            fa.release(p);
+    }
+    std::uint64_t free_bits = 0;
+    for (LocalPfn p = 0; p < 512; ++p)
+        free_bits += fa.isFree(p) ? 1 : 0;
+    EXPECT_EQ(free_bits, fa.freeFrames());
+}

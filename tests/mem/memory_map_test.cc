@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Unit tests for the global PFN map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_map.hh"
+
+using namespace barre;
+
+TEST(MemoryMap, BasesAreChipletStrided)
+{
+    MemoryMap map(4, 0x1000);
+    EXPECT_EQ(map.basePfn(0), 0x0000u);
+    EXPECT_EQ(map.basePfn(1), 0x1000u);
+    EXPECT_EQ(map.basePfn(2), 0x2000u);
+    EXPECT_EQ(map.basePfn(3), 0x3000u);
+}
+
+TEST(MemoryMap, GlobalLocalRoundTrip)
+{
+    MemoryMap map(4, 0x1000);
+    // The paper's Fig 7a example: local 0x75 on each chiplet.
+    for (ChipletId c = 0; c < 4; ++c) {
+        Pfn g = map.globalPfn(c, 0x75);
+        EXPECT_EQ(map.chipletOf(g), c);
+        EXPECT_EQ(map.localOf(g), 0x75u);
+    }
+}
+
+TEST(MemoryMap, BoundsChecked)
+{
+    MemoryMap map(2, 16);
+    EXPECT_THROW(map.basePfn(2), std::logic_error);
+    EXPECT_THROW(map.globalPfn(0, 16), std::logic_error);
+    EXPECT_THROW(map.chipletOf(32), std::logic_error);
+}
+
+TEST(MemoryMap, SingleChiplet)
+{
+    MemoryMap map(1, 8);
+    EXPECT_EQ(map.chipletOf(7), 0u);
+    EXPECT_EQ(map.localOf(7), 7u);
+}

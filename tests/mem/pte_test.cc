@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the PTE encoding, including Barre's coalescing bits
+ * (paper Fig 8 / Fig 13 layouts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/pte.hh"
+
+using namespace barre;
+
+TEST(CoalInfo, CoalescedNeedsAtLeastTwoSharers)
+{
+    CoalInfo ci;
+    EXPECT_FALSE(ci.coalesced());
+    ci.bitmap = 0b0001;
+    EXPECT_FALSE(ci.coalesced());
+    ci.bitmap = 0b0011;
+    EXPECT_TRUE(ci.coalesced());
+    EXPECT_EQ(ci.sharers(), 2);
+}
+
+TEST(Pte, DefaultIsNotPresent)
+{
+    Pte pte;
+    EXPECT_FALSE(pte.present());
+    EXPECT_EQ(pte.raw(), 0u);
+}
+
+TEST(Pte, PresentBitRoundTrip)
+{
+    Pte pte;
+    pte.setPresent(true);
+    EXPECT_TRUE(pte.present());
+    pte.setPresent(false);
+    EXPECT_FALSE(pte.present());
+}
+
+TEST(Pte, PfnRoundTripPreservesOtherBits)
+{
+    Pte pte;
+    pte.setPresent(true);
+    pte.setPfn(0xABCDE);
+    EXPECT_EQ(pte.pfn(), 0xABCDEu);
+    EXPECT_TRUE(pte.present());
+    pte.setPfn(0x12345);
+    EXPECT_EQ(pte.pfn(), 0x12345u);
+}
+
+TEST(Pte, StandardCoalInfoRoundTrip)
+{
+    // Paper Example 2: gray group over the first three chiplets; the
+    // PTE at order position 2 carries inter-order 2.
+    CoalInfo ci;
+    ci.bitmap = 0b00000111;
+    ci.interOrder = 2;
+    Pte pte = Pte::make(0xB075, ci);
+    CoalInfo out = pte.coalInfo();
+    EXPECT_EQ(out, ci);
+    EXPECT_FALSE(out.merged);
+    EXPECT_EQ(pte.pfn(), 0xB075u);
+}
+
+TEST(Pte, StandardCoalInfoAllPositions)
+{
+    for (std::uint32_t bitmap = 0; bitmap < 256; bitmap += 13) {
+        for (std::uint8_t order = 0; order < 8; ++order) {
+            CoalInfo ci;
+            ci.bitmap = bitmap;
+            ci.interOrder = order;
+            Pte pte = Pte::make(0x1000 + order, ci);
+            EXPECT_EQ(pte.coalInfo(), ci);
+        }
+    }
+}
+
+TEST(Pte, MergedCoalInfoRoundTrip)
+{
+    CoalInfo ci;
+    ci.merged = true;
+    ci.bitmap = 0b1011;
+    ci.interOrder = 3;
+    ci.intraOrder = 1;
+    ci.numMerged = 2;
+    Pte pte = Pte::make(0xC114, ci);
+    CoalInfo out = pte.coalInfo();
+    EXPECT_EQ(out, ci);
+    EXPECT_TRUE(out.merged);
+    EXPECT_EQ(out.numMerged, 2);
+}
+
+TEST(Pte, MergedCoalInfoFullSweep)
+{
+    for (std::uint32_t bitmap = 0; bitmap < 16; ++bitmap) {
+        for (std::uint8_t inter = 0; inter < 4; ++inter) {
+            for (std::uint8_t intra = 0; intra < 4; ++intra) {
+                for (std::uint8_t m = 1; m <= 4; ++m) {
+                    CoalInfo ci;
+                    ci.merged = true;
+                    ci.bitmap = bitmap;
+                    ci.interOrder = inter;
+                    ci.intraOrder = intra;
+                    ci.numMerged = m;
+                    Pte pte = Pte::make(1, ci);
+                    ASSERT_EQ(pte.coalInfo(), ci);
+                }
+            }
+        }
+    }
+}
+
+TEST(Pte, WideCountModeRoundTrip)
+{
+    // The §VI-Scalability variant: 16 consecutive member positions.
+    CoalInfo ci;
+    ci.bitmap = 0xFFFF;
+    ci.interOrder = 13;
+    Pte pte = Pte::make(0x99, ci);
+    CoalInfo out = pte.coalInfo();
+    EXPECT_EQ(out.bitmap, 0xFFFFu);
+    EXPECT_EQ(out.interOrder, 13);
+    EXPECT_FALSE(out.merged);
+}
+
+TEST(Pte, WideNonContiguousBitmapPanics)
+{
+    CoalInfo ci;
+    ci.bitmap = 0x1F0F; // holes: not expressible as a count
+    ci.interOrder = 1;
+    Pte pte;
+    EXPECT_THROW(pte.setCoalInfo(ci), std::logic_error);
+}
+
+TEST(Pte, MergedRejectsWideBitmap)
+{
+    CoalInfo ci;
+    ci.merged = true;
+    ci.bitmap = 0x1F; // 5 chiplets: too wide for the merged encoding
+    Pte pte;
+    EXPECT_THROW(pte.setCoalInfo(ci), std::logic_error);
+}
+
+TEST(Pte, CoalInfoRewriteClearsOldFields)
+{
+    CoalInfo merged;
+    merged.merged = true;
+    merged.bitmap = 0xF;
+    merged.interOrder = 3;
+    merged.intraOrder = 3;
+    merged.numMerged = 4;
+    Pte pte = Pte::make(0x7, merged);
+
+    CoalInfo none;
+    pte.setCoalInfo(none);
+    EXPECT_EQ(pte.coalInfo(), none);
+    EXPECT_EQ(pte.pfn(), 0x7u);
+    EXPECT_TRUE(pte.present());
+}
+
+TEST(Pte, RawRoundTrip)
+{
+    CoalInfo ci;
+    ci.bitmap = 0b1111;
+    ci.interOrder = 1;
+    Pte pte = Pte::make(0xDEAD, ci);
+    Pte copy = Pte::fromRaw(pte.raw());
+    EXPECT_EQ(copy.pfn(), pte.pfn());
+    EXPECT_EQ(copy.coalInfo(), pte.coalInfo());
+    EXPECT_EQ(copy.present(), pte.present());
+}

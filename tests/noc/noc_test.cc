@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for links, the chiplet interconnect, and the PCIe model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/interconnect.hh"
+#include "noc/link.hh"
+#include "noc/pcie.hh"
+
+using namespace barre;
+
+TEST(Link, DeliversAfterSerializationPlusLatency)
+{
+    EventQueue eq;
+    Link link(eq, "l", LinkParams{64.0, 32});
+    Tick at = 0;
+    link.send(64, [&] { at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(at, 1u + 32u); // 1 cycle serialize + 32 latency
+    EXPECT_EQ(link.messages(), 1u);
+    EXPECT_EQ(link.bytesSent(), 64u);
+}
+
+TEST(Link, BackToBackMessagesQueueOnTheWire)
+{
+    EventQueue eq;
+    Link link(eq, "l", LinkParams{64.0, 10});
+    std::vector<Tick> at;
+    for (int i = 0; i < 3; ++i)
+        link.send(128, [&] { at.push_back(eq.now()); }); // 2 cy each
+    eq.run();
+    ASSERT_EQ(at.size(), 3u);
+    EXPECT_EQ(at[0], 12u);
+    EXPECT_EQ(at[1], 14u);
+    EXPECT_EQ(at[2], 16u);
+}
+
+TEST(Link, TinyMessageStillTakesACycle)
+{
+    EventQueue eq;
+    Link link(eq, "l", LinkParams{768.0, 0});
+    Tick at = 0;
+    link.send(1, [&] { at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(at, 1u);
+}
+
+TEST(Link, FifoOrderPreserved)
+{
+    EventQueue eq;
+    Link link(eq, "l", LinkParams{8.0, 5});
+    std::vector<int> order;
+    link.send(64, [&] { order.push_back(1); }); // 8 cycles
+    link.send(8, [&] { order.push_back(2); });  // 1 cycle, queued after
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Interconnect, RoutesBetweenChiplets)
+{
+    EventQueue eq;
+    Interconnect noc(eq, "noc", 4, InterconnectParams{768.0, 32});
+    Tick at = 0;
+    noc.send(0, 3, 64, [&] { at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(at, 33u);
+    EXPECT_EQ(noc.totalMessages(), 1u);
+    EXPECT_EQ(noc.totalBytes(), 64u);
+}
+
+TEST(Interconnect, SelfSendPanics)
+{
+    EventQueue eq;
+    Interconnect noc(eq, "noc", 2);
+    EXPECT_THROW(noc.send(1, 1, 8, [] {}), std::logic_error);
+}
+
+TEST(Interconnect, PerChipletEgressContention)
+{
+    EventQueue eq;
+    InterconnectParams p;
+    p.bytes_per_cycle = 64.0;
+    p.latency = 0;
+    Interconnect noc(eq, "noc", 4, p);
+    std::vector<Tick> at(3);
+    // Chiplet 0 sends two messages (contend); chiplet 1 sends one.
+    noc.send(0, 1, 64, [&] { at[0] = eq.now(); });
+    noc.send(0, 2, 64, [&] { at[1] = eq.now(); });
+    noc.send(1, 2, 64, [&] { at[2] = eq.now(); });
+    eq.run();
+    EXPECT_EQ(at[0], 1u);
+    EXPECT_EQ(at[1], 2u); // serialized behind the first
+    EXPECT_EQ(at[2], 1u); // independent egress port
+}
+
+TEST(Pcie, DirectionsAreIndependent)
+{
+    EventQueue eq;
+    PcieParams p;
+    p.bytes_per_cycle = 32.0;
+    p.latency = 150;
+    Pcie pcie(eq, "pcie", p);
+    Tick up = 0, down = 0;
+    pcie.toHost(32, [&] { up = eq.now(); });
+    pcie.toDevice(32, [&] { down = eq.now(); });
+    eq.run();
+    EXPECT_EQ(up, 151u);
+    EXPECT_EQ(down, 151u); // no cross-direction contention
+    EXPECT_EQ(pcie.upstream().bytesSent(), 32u);
+    EXPECT_EQ(pcie.downstream().bytesSent(), 32u);
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace barre;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(7, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 107u);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesTime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(50, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(123);
+    EXPECT_EQ(eq.now(), 123u);
+}
+
+TEST(EventQueue, RunWithLimitCountsEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, [] {});
+    EXPECT_EQ(eq.run(3), 3u);
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_EQ(eq.run(), 2u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_THROW(eq.schedule(5, [] {}), std::logic_error);
+    });
+    eq.run();
+}
+
+TEST(EventQueue, InterleavedScheduleAndRun)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    // A self-rescheduling heartbeat that stops after 5 beats.
+    std::function<void()> beat = [&] {
+        ticks.push_back(eq.now());
+        if (ticks.size() < 5)
+            eq.scheduleAfter(10, beat);
+    };
+    eq.schedule(0, beat);
+    eq.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{0, 10, 20, 30, 40}));
+}

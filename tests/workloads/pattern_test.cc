@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Pattern-level properties of the workload generators: the NUMA and
+ * TLB behaviours each pattern is supposed to induce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/suite.hh"
+
+using namespace barre;
+
+namespace
+{
+
+struct Rig
+{
+    MemoryMap map{4, 1 << 20};
+    GpuDriver drv{map, DriverParams{}};
+
+    std::vector<DataAlloc>
+    allocate(const AppParams &app)
+    {
+        std::vector<DataAlloc> out;
+        for (const auto &b : app.buffers) {
+            std::uint64_t pages = (b.bytes + 4095) >> 12;
+            out.push_back(drv.gpuMalloc(1, pages, b.traits));
+        }
+        return out;
+    }
+
+    /** Distinct layout-chiplets touched by CTA t of @p app. */
+    std::set<ChipletId>
+    chipletsTouched(const AppParams &app,
+                    const std::vector<DataAlloc> &allocs, std::uint32_t t)
+    {
+        std::set<ChipletId> chips;
+        for (const auto &acc :
+             generateCta(app, allocs, t, PageSize::size4k)) {
+            Vpn vpn = vpnOf(acc.vaddr, PageSize::size4k);
+            for (const auto &a : allocs) {
+                if (vpn >= a.start_vpn && vpn < a.start_vpn + a.pages) {
+                    chips.insert(a.layout.chipletOf(vpn));
+                    break;
+                }
+            }
+        }
+        return chips;
+    }
+};
+
+} // namespace
+
+TEST(Patterns, StreamingStaysNearItsSlice)
+{
+    Rig rig;
+    const AppParams &app = appByName("gemv");
+    auto allocs = rig.allocate(app);
+    // A streaming CTA touches its own chiplet plus at most the shared
+    // vector's chiplets via the small scatter leg.
+    std::set<Vpn> pages;
+    for (const auto &acc :
+         generateCta(app, allocs, 10, PageSize::size4k))
+        pages.insert(vpnOf(acc.vaddr, PageSize::size4k));
+    EXPECT_LE(pages.size(), 8u); // tight footprint per CTA
+}
+
+TEST(Patterns, ColumnLegSweepsAcrossChiplets)
+{
+    Rig rig;
+    AppParams app = appByName("gesm"); // scatter 0.95: column heavy
+    auto allocs = rig.allocate(app);
+    auto chips = rig.chipletsTouched(app, allocs, 3);
+    EXPECT_GE(chips.size(), 3u);
+}
+
+TEST(Patterns, TransposeWritesRotateChiplets)
+{
+    Rig rig;
+    const AppParams &app = appByName("matr");
+    auto allocs = rig.allocate(app);
+    auto chips = rig.chipletsTouched(app, allocs, 7);
+    EXPECT_EQ(chips.size(), 4u);
+}
+
+TEST(Patterns, ButterflyGlobalPassesLeaveTheSlice)
+{
+    Rig rig;
+    const AppParams &app = appByName("fwt"); // scatter 0.15
+    auto allocs = rig.allocate(app);
+    auto chips = rig.chipletsTouched(app, allocs, 5);
+    EXPECT_GE(chips.size(), 2u);
+}
+
+TEST(Patterns, RandomAccessCoversAllChiplets)
+{
+    Rig rig;
+    const AppParams &app = appByName("gups");
+    auto allocs = rig.allocate(app);
+    auto chips = rig.chipletsTouched(app, allocs, 0);
+    EXPECT_EQ(chips.size(), 4u);
+}
+
+TEST(Patterns, SparseGatherFractionRoughlyRespected)
+{
+    Rig rig;
+    const AppParams &app = appByName("spmv"); // scatter 0.85
+    auto allocs = rig.allocate(app);
+    const DataAlloc &vec = allocs.back();
+    std::uint64_t gathers = 0, total = 0;
+    for (const auto &acc :
+         generateCta(app, allocs, 2, PageSize::size4k)) {
+        Vpn vpn = vpnOf(acc.vaddr, PageSize::size4k);
+        if (vpn >= vec.start_vpn && vpn < vec.start_vpn + vec.pages)
+            ++gathers;
+        ++total;
+    }
+    double frac = static_cast<double>(gathers) / total;
+    EXPECT_NEAR(frac, app.scatter_fraction, 0.1);
+}
+
+TEST(Patterns, StencilTouchesThreeRows)
+{
+    Rig rig;
+    const AppParams &app = appByName("jac2d");
+    auto allocs = rig.allocate(app);
+    auto accs = generateCta(app, allocs, 4, PageSize::size4k);
+    // Consecutive triplets are {center, +R, +2R}.
+    EXPECT_EQ(accs[1].vaddr - accs[0].vaddr, app.row_bytes);
+    EXPECT_EQ(accs[2].vaddr - accs[0].vaddr, 2 * app.row_bytes);
+}
+
+TEST(Patterns, WavefrontStridesDiagonally)
+{
+    Rig rig;
+    const AppParams &app = appByName("nw");
+    auto allocs = rig.allocate(app);
+    auto accs = generateCta(app, allocs, 0, PageSize::size4k);
+    EXPECT_EQ(accs[1].vaddr - accs[0].vaddr, app.row_bytes + 64);
+}
+
+TEST(Patterns, PageSizeChangesOnlyGranularity)
+{
+    Rig rig;
+    const AppParams &app = appByName("cov");
+    auto allocs4k = rig.allocate(app);
+    // With 64 KB pages the same byte stream maps to fewer pages.
+    MemoryMap map64(4, 1 << 16);
+    GpuDriver drv64(map64, DriverParams{});
+    std::vector<DataAlloc> allocs64;
+    for (const auto &b : app.buffers) {
+        std::uint64_t pages = (b.bytes + 65535) >> 16;
+        allocs64.push_back(drv64.gpuMalloc(1, pages, b.traits));
+    }
+    std::set<Vpn> p4, p64;
+    for (const auto &a : generateCta(app, allocs4k, 1, PageSize::size4k))
+        p4.insert(vpnOf(a.vaddr, PageSize::size4k));
+    for (const auto &a :
+         generateCta(app, allocs64, 1, PageSize::size64k))
+        p64.insert(vpnOf(a.vaddr, PageSize::size64k));
+    EXPECT_LT(p64.size(), p4.size());
+}

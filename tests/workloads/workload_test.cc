@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the workload generators and the Table I suite model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/suite.hh"
+
+using namespace barre;
+
+namespace
+{
+
+std::vector<DataAlloc>
+allocateFor(GpuDriver &drv, const AppParams &app, ProcessId pid,
+            PageSize ps)
+{
+    std::vector<DataAlloc> allocs;
+    for (const auto &b : app.buffers) {
+        std::uint64_t pages =
+            (b.bytes + pageBytes(ps) - 1) >> pageShift(ps);
+        allocs.push_back(drv.gpuMalloc(pid, pages, b.traits));
+    }
+    return allocs;
+}
+
+} // namespace
+
+TEST(Suite, HasAllNineteenApps)
+{
+    const auto &suite = standardSuite();
+    EXPECT_EQ(suite.size(), 19u);
+    std::set<std::string> names;
+    for (const auto &a : suite)
+        names.insert(a.name);
+    EXPECT_EQ(names.size(), 19u);
+    // Table I endpoints.
+    EXPECT_EQ(suite.front().name, "gemv");
+    EXPECT_EQ(suite.back().name, "gesm");
+}
+
+TEST(Suite, CategoriesOrderedByPaperMpki)
+{
+    double prev = -1;
+    for (const auto &a : standardSuite()) {
+        EXPECT_GE(a.paper_mpki, prev) << a.name;
+        prev = a.paper_mpki;
+        EXPECT_TRUE(a.category == "low" || a.category == "mid" ||
+                    a.category == "high");
+    }
+}
+
+TEST(Suite, AtMostFiveBuffersPerApp)
+{
+    // The 5-entry PEC buffer (Table II) relies on this (§IV-E).
+    for (const auto &a : standardSuite())
+        EXPECT_LE(a.buffers.size(), 5u) << a.name;
+}
+
+TEST(Suite, LookupByNameAndUnknownFails)
+{
+    EXPECT_EQ(appByName("gups").pattern, PatternKind::random_access);
+    EXPECT_THROW(appByName("nope"), std::runtime_error);
+}
+
+TEST(Suite, ScaledSubsetIsClassBalanced)
+{
+    auto subset = scaledSubset();
+    int low = 0, mid = 0, high = 0;
+    for (const auto &a : subset) {
+        if (a.category == "low")
+            ++low;
+        if (a.category == "mid")
+            ++mid;
+        if (a.category == "high")
+            ++high;
+    }
+    EXPECT_EQ(low, 2);
+    EXPECT_EQ(mid, 2);
+    EXPECT_EQ(high, 2);
+}
+
+TEST(AppParams, ScalingGrowsBuffers)
+{
+    AppParams a = appByName("fft");
+    AppParams big = a.scaled(16.0);
+    EXPECT_EQ(big.buffers[0].bytes, a.buffers[0].bytes * 16);
+    EXPECT_GT(big.ctas, a.ctas);
+}
+
+TEST(Generator, DeterministicPerCta)
+{
+    MemoryMap map(4, 1 << 20);
+    GpuDriver drv(map, DriverParams{});
+    const AppParams &app = appByName("gups");
+    auto allocs = allocateFor(drv, app, 1, PageSize::size4k);
+    auto s1 = generateCta(app, allocs, 5, PageSize::size4k);
+    auto s2 = generateCta(app, allocs, 5, PageSize::size4k);
+    ASSERT_EQ(s1.size(), s2.size());
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        EXPECT_EQ(s1[i].vaddr, s2[i].vaddr);
+}
+
+TEST(Generator, AddressesStayInsideBuffers)
+{
+    MemoryMap map(4, 1 << 20);
+    GpuDriver drv(map, DriverParams{});
+    for (const auto &app : standardSuite()) {
+        auto allocs = allocateFor(drv, app, 1, PageSize::size4k);
+        Vpn lo = allocs.front().start_vpn;
+        Vpn hi = 0;
+        for (const auto &a : allocs)
+            hi = std::max(hi, a.start_vpn + a.pages);
+        for (std::uint32_t t : {0u, app.ctas / 2, app.ctas - 1}) {
+            for (const auto &acc :
+                 generateCta(app, allocs, t, PageSize::size4k)) {
+                Vpn vpn = vpnOf(acc.vaddr, PageSize::size4k);
+                ASSERT_GE(vpn, lo) << app.name;
+                ASSERT_LT(vpn, hi) << app.name;
+                ASSERT_EQ(acc.pid, 1u);
+                ASSERT_EQ(acc.vaddr % 64, 0u); // line aligned
+            }
+        }
+    }
+}
+
+TEST(Generator, PatternsDifferInPageFootprint)
+{
+    MemoryMap map(4, 1 << 20);
+    GpuDriver drv(map, DriverParams{});
+    auto pagesTouched = [&](const std::string &name) {
+        const AppParams &app = appByName(name);
+        auto allocs = allocateFor(drv, app, 1, PageSize::size4k);
+        std::set<Vpn> pages;
+        for (const auto &acc :
+             generateCta(app, allocs, 0, PageSize::size4k))
+            pages.insert(vpnOf(acc.vaddr, PageSize::size4k));
+        return pages.size();
+    };
+    // Random (gups) touches far more pages per CTA than streaming
+    // (gemv).
+    EXPECT_GT(pagesTouched("gups"), 8 * pagesTouched("gemv"));
+}
+
+TEST(Generator, StreamLengthMatchesParams)
+{
+    MemoryMap map(4, 1 << 20);
+    GpuDriver drv(map, DriverParams{});
+    const AppParams &app = appByName("fft");
+    auto allocs = allocateFor(drv, app, 1, PageSize::size4k);
+    auto s = generateCta(app, allocs, 0, PageSize::size4k);
+    EXPECT_EQ(s.size(), app.accesses_per_cta);
+}
+
+TEST(AssignCta, PoliciesDistributeDifferently)
+{
+    MemoryMap map(4, 1 << 20);
+    GpuDriver drv(map, DriverParams{});
+    const AppParams &app = appByName("cov");
+    auto allocs = allocateFor(drv, app, 1, PageSize::size4k);
+
+    // Round-robin alternates chiplets per CTA.
+    EXPECT_EQ(assignCta(MappingPolicyKind::round_robin, app, allocs, 0,
+                        4), 0u);
+    EXPECT_EQ(assignCta(MappingPolicyKind::round_robin, app, allocs, 5,
+                        4), 1u);
+
+    // LASP co-locates: the first quarter of CTAs sit on chiplet 0.
+    EXPECT_EQ(assignCta(MappingPolicyKind::lasp, app, allocs, 0, 4), 0u);
+    EXPECT_EQ(assignCta(MappingPolicyKind::lasp, app, allocs,
+                        app.ctas - 1, 4), 3u);
+
+    // Chunking blocks CTAs coarsely.
+    EXPECT_EQ(assignCta(MappingPolicyKind::chunking, app, allocs, 0, 4),
+              0u);
+    EXPECT_EQ(assignCta(MappingPolicyKind::chunking, app, allocs,
+                        app.ctas - 1, 4), 3u);
+}
+
+TEST(AssignCta, AllChipletsGetWork)
+{
+    MemoryMap map(4, 1 << 20);
+    GpuDriver drv(map, DriverParams{});
+    const AppParams &app = appByName("atax");
+    auto allocs = allocateFor(drv, app, 1, PageSize::size4k);
+    std::set<ChipletId> used;
+    for (std::uint32_t t = 0; t < app.ctas; ++t)
+        used.insert(assignCta(MappingPolicyKind::lasp, app, allocs, t, 4));
+    EXPECT_EQ(used.size(), 4u);
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Calibration helper (not installed): prints measured L2 TLB MPKI and
+ * wall time per app under the baseline configuration.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+using namespace barre;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    std::printf("%-8s %-6s %10s %10s %12s %8s %9s %6s\n", "app", "cat",
+                "paper", "measured", "runtime", "ats", "l2miss",
+                "wall_s");
+    for (const auto &app : standardSuite()) {
+        SystemConfig cfg = SystemConfig::baselineAts();
+        cfg.workload_scale = scale;
+        auto t0 = std::chrono::steady_clock::now();
+        RunMetrics m = runApp(cfg, app);
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        std::printf("%-8s %-6s %10.3f %10.3f %12llu %8llu %9llu %6.2f\n",
+                    app.name.c_str(), app.category.c_str(),
+                    app.paper_mpki, m.l2_mpki,
+                    (unsigned long long)m.runtime,
+                    (unsigned long long)m.ats_packets,
+                    (unsigned long long)m.l2_tlb_misses, wall);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * sweep - run (configuration x application) grids and emit CSV.
+ *
+ *   sweep --modes baseline,fbarre --apps atax,matr,gups --out grid.csv
+ *   sweep --modes baseline,barre,fbarre --scale 0.25
+ *
+ * Intended for plotting and for regression-diffing whole result grids.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/csv.hh"
+#include "harness/experiment.hh"
+
+using namespace barre;
+
+namespace
+{
+
+std::vector<std::string>
+split(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        if (!tok.empty())
+            out.push_back(tok);
+    return out;
+}
+
+SystemConfig
+configFor(const std::string &mode)
+{
+    if (mode == "baseline")
+        return SystemConfig::baselineAts();
+    if (mode == "valkyrie")
+        return SystemConfig::valkyrieCfg();
+    if (mode == "least")
+        return SystemConfig::leastCfg();
+    if (mode == "barre")
+        return SystemConfig::barreCfg();
+    if (mode == "fbarre")
+        return SystemConfig::fbarreCfg(2);
+    if (mode == "fbarre4")
+        return SystemConfig::fbarreCfg(4);
+    barre_fatal("unknown mode '%s'", mode.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> modes{"baseline", "fbarre"};
+    std::vector<std::string> apps;
+    std::string out_file;
+    double scale = 1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                barre_fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--modes") {
+            modes = split(next());
+        } else if (arg == "--apps") {
+            apps = split(next());
+        } else if (arg == "--out") {
+            out_file = next();
+        } else if (arg == "--scale") {
+            scale = std::atof(next().c_str());
+        } else {
+            std::fprintf(stderr,
+                         "usage: sweep [--modes a,b] [--apps x,y] "
+                         "[--scale F] [--out FILE]\n");
+            return arg == "--help" || arg == "-h" ? 0 : 1;
+        }
+    }
+
+    if (apps.empty())
+        for (const auto &a : standardSuite())
+            apps.push_back(a.name);
+
+    std::vector<RunMetrics> rows;
+    for (const auto &mode : modes) {
+        for (const auto &name : apps) {
+            SystemConfig cfg = configFor(mode);
+            cfg.workload_scale = scale;
+            RunMetrics m = runApp(cfg, appByName(name));
+            std::fprintf(stderr, "%-9s %-6s %12llu cycles\n",
+                         mode.c_str(), name.c_str(),
+                         (unsigned long long)m.runtime);
+            rows.push_back(std::move(m));
+        }
+    }
+
+    if (out_file.empty()) {
+        writeCsv(std::cout, rows);
+    } else {
+        std::ofstream os(out_file);
+        if (!os)
+            barre_fatal("cannot write %s", out_file.c_str());
+        writeCsv(os, rows);
+        std::printf("wrote %zu rows to %s\n", rows.size(),
+                    out_file.c_str());
+    }
+    return 0;
+}
