@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_bench_common.dir/common.cc.o"
+  "CMakeFiles/barre_bench_common.dir/common.cc.o.d"
+  "libbarre_bench_common.a"
+  "libbarre_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

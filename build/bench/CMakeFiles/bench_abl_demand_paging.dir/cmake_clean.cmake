@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_demand_paging.dir/bench_abl_demand_paging.cc.o"
+  "CMakeFiles/bench_abl_demand_paging.dir/bench_abl_demand_paging.cc.o.d"
+  "bench_abl_demand_paging"
+  "bench_abl_demand_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_demand_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

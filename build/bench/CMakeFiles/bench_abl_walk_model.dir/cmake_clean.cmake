@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_walk_model.dir/bench_abl_walk_model.cc.o"
+  "CMakeFiles/bench_abl_walk_model.dir/bench_abl_walk_model.cc.o.d"
+  "bench_abl_walk_model"
+  "bench_abl_walk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_walk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_superpage_migration.dir/bench_fig02_superpage_migration.cc.o"
+  "CMakeFiles/bench_fig02_superpage_migration.dir/bench_fig02_superpage_migration.cc.o.d"
+  "bench_fig02_superpage_migration"
+  "bench_fig02_superpage_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_superpage_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

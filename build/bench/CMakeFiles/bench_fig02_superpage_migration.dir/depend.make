@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_superpage_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_mshr.dir/bench_fig04_mshr.cc.o"
+  "CMakeFiles/bench_fig04_mshr.dir/bench_fig04_mshr.cc.o.d"
+  "bench_fig04_mshr"
+  "bench_fig04_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

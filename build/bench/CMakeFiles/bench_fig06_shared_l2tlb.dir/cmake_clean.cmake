@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_shared_l2tlb.dir/bench_fig06_shared_l2tlb.cc.o"
+  "CMakeFiles/bench_fig06_shared_l2tlb.dir/bench_fig06_shared_l2tlb.cc.o.d"
+  "bench_fig06_shared_l2tlb"
+  "bench_fig06_shared_l2tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_shared_l2tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

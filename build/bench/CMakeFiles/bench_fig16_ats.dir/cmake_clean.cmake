@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_ats.dir/bench_fig16_ats.cc.o"
+  "CMakeFiles/bench_fig16_ats.dir/bench_fig16_ats.cc.o.d"
+  "bench_fig16_ats"
+  "bench_fig16_ats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_ats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17a_filter_hits.dir/bench_fig17a_filter_hits.cc.o"
+  "CMakeFiles/bench_fig17a_filter_hits.dir/bench_fig17a_filter_hits.cc.o.d"
+  "bench_fig17a_filter_hits"
+  "bench_fig17a_filter_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17a_filter_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig17a_filter_hits.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig19_sharing_traffic.cc" "bench/CMakeFiles/bench_fig19_sharing_traffic.dir/bench_fig19_sharing_traffic.cc.o" "gcc" "bench/CMakeFiles/bench_fig19_sharing_traffic.dir/bench_fig19_sharing_traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/barre_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/barre_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/barre_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/barre_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/barre_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/barre_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/barre_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/barre_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/barre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/barre_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/barre_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/barre_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

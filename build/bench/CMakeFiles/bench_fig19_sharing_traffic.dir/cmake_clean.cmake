@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_sharing_traffic.dir/bench_fig19_sharing_traffic.cc.o"
+  "CMakeFiles/bench_fig19_sharing_traffic.dir/bench_fig19_sharing_traffic.cc.o.d"
+  "bench_fig19_sharing_traffic"
+  "bench_fig19_sharing_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_sharing_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_chiplets.dir/bench_fig20_chiplets.cc.o"
+  "CMakeFiles/bench_fig20_chiplets.dir/bench_fig20_chiplets.cc.o.d"
+  "bench_fig20_chiplets"
+  "bench_fig20_chiplets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_chiplets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

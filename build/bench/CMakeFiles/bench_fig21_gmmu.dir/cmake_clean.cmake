@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_gmmu.dir/bench_fig21_gmmu.cc.o"
+  "CMakeFiles/bench_fig21_gmmu.dir/bench_fig21_gmmu.cc.o.d"
+  "bench_fig21_gmmu"
+  "bench_fig21_gmmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_gmmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

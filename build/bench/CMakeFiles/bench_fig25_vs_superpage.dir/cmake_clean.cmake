@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_vs_superpage.dir/bench_fig25_vs_superpage.cc.o"
+  "CMakeFiles/bench_fig25_vs_superpage.dir/bench_fig25_vs_superpage.cc.o.d"
+  "bench_fig25_vs_superpage"
+  "bench_fig25_vs_superpage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_vs_superpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig26_mappings.dir/bench_fig26_mappings.cc.o"
+  "CMakeFiles/bench_fig26_mappings.dir/bench_fig26_mappings.cc.o.d"
+  "bench_fig26_mappings"
+  "bench_fig26_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

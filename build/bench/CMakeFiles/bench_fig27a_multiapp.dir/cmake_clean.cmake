@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27a_multiapp.dir/bench_fig27a_multiapp.cc.o"
+  "CMakeFiles/bench_fig27a_multiapp.dir/bench_fig27a_multiapp.cc.o.d"
+  "bench_fig27a_multiapp"
+  "bench_fig27a_multiapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27a_multiapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

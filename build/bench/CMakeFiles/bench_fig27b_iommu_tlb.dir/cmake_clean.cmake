@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27b_iommu_tlb.dir/bench_fig27b_iommu_tlb.cc.o"
+  "CMakeFiles/bench_fig27b_iommu_tlb.dir/bench_fig27b_iommu_tlb.cc.o.d"
+  "bench_fig27b_iommu_tlb"
+  "bench_fig27b_iommu_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27b_iommu_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig27b_iommu_tlb.
+# This may be replaced when dependencies are built.

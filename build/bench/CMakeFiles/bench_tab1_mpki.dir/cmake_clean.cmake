@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_mpki.dir/bench_tab1_mpki.cc.o"
+  "CMakeFiles/bench_tab1_mpki.dir/bench_tab1_mpki.cc.o.d"
+  "bench_tab1_mpki"
+  "bench_tab1_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

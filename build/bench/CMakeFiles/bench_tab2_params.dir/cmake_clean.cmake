@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_params.dir/bench_tab2_params.cc.o"
+  "CMakeFiles/bench_tab2_params.dir/bench_tab2_params.cc.o.d"
+  "bench_tab2_params"
+  "bench_tab2_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

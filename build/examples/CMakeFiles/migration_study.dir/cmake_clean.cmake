@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_study.dir/migration_study.cpp.o"
+  "CMakeFiles/migration_study.dir/migration_study.cpp.o.d"
+  "migration_study"
+  "migration_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

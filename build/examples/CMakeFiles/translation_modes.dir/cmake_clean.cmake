@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_modes.dir/translation_modes.cpp.o"
+  "CMakeFiles/translation_modes.dir/translation_modes.cpp.o.d"
+  "translation_modes"
+  "translation_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

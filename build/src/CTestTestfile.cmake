@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("filters")
+subdirs("noc")
+subdirs("tlb")
+subdirs("cache")
+subdirs("iommu")
+subdirs("core")
+subdirs("driver")
+subdirs("gpu")
+subdirs("baselines")
+subdirs("workloads")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_cache.dir/cache.cc.o"
+  "CMakeFiles/barre_cache.dir/cache.cc.o.d"
+  "libbarre_cache.a"
+  "libbarre_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/filter_engine.cc" "src/core/CMakeFiles/barre_core.dir/filter_engine.cc.o" "gcc" "src/core/CMakeFiles/barre_core.dir/filter_engine.cc.o.d"
+  "/root/repo/src/core/pec.cc" "src/core/CMakeFiles/barre_core.dir/pec.cc.o" "gcc" "src/core/CMakeFiles/barre_core.dir/pec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/barre_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/barre_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/barre_filters.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_core.dir/filter_engine.cc.o"
+  "CMakeFiles/barre_core.dir/filter_engine.cc.o.d"
+  "CMakeFiles/barre_core.dir/pec.cc.o"
+  "CMakeFiles/barre_core.dir/pec.cc.o.d"
+  "libbarre_core.a"
+  "libbarre_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

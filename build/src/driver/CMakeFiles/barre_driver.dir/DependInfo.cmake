@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/gpu_driver.cc" "src/driver/CMakeFiles/barre_driver.dir/gpu_driver.cc.o" "gcc" "src/driver/CMakeFiles/barre_driver.dir/gpu_driver.cc.o.d"
+  "/root/repo/src/driver/mapping_policy.cc" "src/driver/CMakeFiles/barre_driver.dir/mapping_policy.cc.o" "gcc" "src/driver/CMakeFiles/barre_driver.dir/mapping_policy.cc.o.d"
+  "/root/repo/src/driver/migration.cc" "src/driver/CMakeFiles/barre_driver.dir/migration.cc.o" "gcc" "src/driver/CMakeFiles/barre_driver.dir/migration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/barre_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/barre_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/barre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/barre_filters.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_driver.dir/gpu_driver.cc.o"
+  "CMakeFiles/barre_driver.dir/gpu_driver.cc.o.d"
+  "CMakeFiles/barre_driver.dir/mapping_policy.cc.o"
+  "CMakeFiles/barre_driver.dir/mapping_policy.cc.o.d"
+  "CMakeFiles/barre_driver.dir/migration.cc.o"
+  "CMakeFiles/barre_driver.dir/migration.cc.o.d"
+  "libbarre_driver.a"
+  "libbarre_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

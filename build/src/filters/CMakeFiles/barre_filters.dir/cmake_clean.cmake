@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_filters.dir/cuckoo_filter.cc.o"
+  "CMakeFiles/barre_filters.dir/cuckoo_filter.cc.o.d"
+  "libbarre_filters.a"
+  "libbarre_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

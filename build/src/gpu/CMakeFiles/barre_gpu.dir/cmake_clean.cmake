@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_gpu.dir/chiplet.cc.o"
+  "CMakeFiles/barre_gpu.dir/chiplet.cc.o.d"
+  "CMakeFiles/barre_gpu.dir/fbarre_service.cc.o"
+  "CMakeFiles/barre_gpu.dir/fbarre_service.cc.o.d"
+  "libbarre_gpu.a"
+  "libbarre_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_harness.dir/config.cc.o"
+  "CMakeFiles/barre_harness.dir/config.cc.o.d"
+  "CMakeFiles/barre_harness.dir/csv.cc.o"
+  "CMakeFiles/barre_harness.dir/csv.cc.o.d"
+  "CMakeFiles/barre_harness.dir/experiment.cc.o"
+  "CMakeFiles/barre_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/barre_harness.dir/system.cc.o"
+  "CMakeFiles/barre_harness.dir/system.cc.o.d"
+  "libbarre_harness.a"
+  "libbarre_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

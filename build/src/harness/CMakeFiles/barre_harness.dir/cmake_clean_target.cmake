@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbarre_harness.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iommu/gmmu.cc" "src/iommu/CMakeFiles/barre_iommu.dir/gmmu.cc.o" "gcc" "src/iommu/CMakeFiles/barre_iommu.dir/gmmu.cc.o.d"
+  "/root/repo/src/iommu/iommu.cc" "src/iommu/CMakeFiles/barre_iommu.dir/iommu.cc.o" "gcc" "src/iommu/CMakeFiles/barre_iommu.dir/iommu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/barre_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/barre_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/barre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/barre_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/barre_filters.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

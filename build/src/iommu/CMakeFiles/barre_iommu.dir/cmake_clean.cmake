@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_iommu.dir/gmmu.cc.o"
+  "CMakeFiles/barre_iommu.dir/gmmu.cc.o.d"
+  "CMakeFiles/barre_iommu.dir/iommu.cc.o"
+  "CMakeFiles/barre_iommu.dir/iommu.cc.o.d"
+  "libbarre_iommu.a"
+  "libbarre_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

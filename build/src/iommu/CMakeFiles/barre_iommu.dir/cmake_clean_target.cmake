@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbarre_iommu.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_mem.dir/frame_allocator.cc.o"
+  "CMakeFiles/barre_mem.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/barre_mem.dir/page_table.cc.o"
+  "CMakeFiles/barre_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/barre_mem.dir/pte.cc.o"
+  "CMakeFiles/barre_mem.dir/pte.cc.o.d"
+  "libbarre_mem.a"
+  "libbarre_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

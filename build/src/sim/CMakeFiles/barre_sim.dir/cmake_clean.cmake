@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_sim.dir/logging.cc.o"
+  "CMakeFiles/barre_sim.dir/logging.cc.o.d"
+  "CMakeFiles/barre_sim.dir/stats.cc.o"
+  "CMakeFiles/barre_sim.dir/stats.cc.o.d"
+  "libbarre_sim.a"
+  "libbarre_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

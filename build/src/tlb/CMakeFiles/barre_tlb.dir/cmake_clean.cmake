@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_tlb.dir/tlb.cc.o"
+  "CMakeFiles/barre_tlb.dir/tlb.cc.o.d"
+  "libbarre_tlb.a"
+  "libbarre_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_workloads.dir/suite.cc.o"
+  "CMakeFiles/barre_workloads.dir/suite.cc.o.d"
+  "CMakeFiles/barre_workloads.dir/trace.cc.o"
+  "CMakeFiles/barre_workloads.dir/trace.cc.o.d"
+  "CMakeFiles/barre_workloads.dir/workload.cc.o"
+  "CMakeFiles/barre_workloads.dir/workload.cc.o.d"
+  "libbarre_workloads.a"
+  "libbarre_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

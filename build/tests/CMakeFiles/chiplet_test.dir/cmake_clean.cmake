@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chiplet_test.dir/gpu/chiplet_test.cc.o"
+  "CMakeFiles/chiplet_test.dir/gpu/chiplet_test.cc.o.d"
+  "chiplet_test"
+  "chiplet_test.pdb"
+  "chiplet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chiplet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

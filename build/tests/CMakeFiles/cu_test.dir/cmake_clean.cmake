@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cu_test.dir/gpu/cu_test.cc.o"
+  "CMakeFiles/cu_test.dir/gpu/cu_test.cc.o.d"
+  "cu_test"
+  "cu_test.pdb"
+  "cu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

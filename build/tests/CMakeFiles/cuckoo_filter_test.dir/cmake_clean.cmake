@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuckoo_filter_test.dir/filters/cuckoo_filter_test.cc.o"
+  "CMakeFiles/cuckoo_filter_test.dir/filters/cuckoo_filter_test.cc.o.d"
+  "cuckoo_filter_test"
+  "cuckoo_filter_test.pdb"
+  "cuckoo_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuckoo_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

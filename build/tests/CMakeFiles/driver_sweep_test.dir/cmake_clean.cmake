@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_sweep_test.dir/driver/driver_sweep_test.cc.o"
+  "CMakeFiles/driver_sweep_test.dir/driver/driver_sweep_test.cc.o.d"
+  "driver_sweep_test"
+  "driver_sweep_test.pdb"
+  "driver_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

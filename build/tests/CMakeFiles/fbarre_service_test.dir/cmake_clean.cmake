@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbarre_service_test.dir/gpu/fbarre_service_test.cc.o"
+  "CMakeFiles/fbarre_service_test.dir/gpu/fbarre_service_test.cc.o.d"
+  "fbarre_service_test"
+  "fbarre_service_test.pdb"
+  "fbarre_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbarre_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_allocator_test.dir/mem/frame_allocator_test.cc.o"
+  "CMakeFiles/frame_allocator_test.dir/mem/frame_allocator_test.cc.o.d"
+  "frame_allocator_test"
+  "frame_allocator_test.pdb"
+  "frame_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

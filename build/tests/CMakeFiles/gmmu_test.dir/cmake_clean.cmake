@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmu_test.dir/iommu/gmmu_test.cc.o"
+  "CMakeFiles/gmmu_test.dir/iommu/gmmu_test.cc.o.d"
+  "gmmu_test"
+  "gmmu_test.pdb"
+  "gmmu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_driver_test.dir/driver/gpu_driver_test.cc.o"
+  "CMakeFiles/gpu_driver_test.dir/driver/gpu_driver_test.cc.o.d"
+  "gpu_driver_test"
+  "gpu_driver_test.pdb"
+  "gpu_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

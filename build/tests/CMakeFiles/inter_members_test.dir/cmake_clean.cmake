@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inter_members_test.dir/core/inter_members_test.cc.o"
+  "CMakeFiles/inter_members_test.dir/core/inter_members_test.cc.o.d"
+  "inter_members_test"
+  "inter_members_test.pdb"
+  "inter_members_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inter_members_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

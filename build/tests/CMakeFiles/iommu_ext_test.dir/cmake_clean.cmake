@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iommu_ext_test.dir/iommu/iommu_ext_test.cc.o"
+  "CMakeFiles/iommu_ext_test.dir/iommu/iommu_ext_test.cc.o.d"
+  "iommu_ext_test"
+  "iommu_ext_test.pdb"
+  "iommu_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iommu_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iommu_test.dir/iommu/iommu_test.cc.o"
+  "CMakeFiles/iommu_test.dir/iommu/iommu_test.cc.o.d"
+  "iommu_test"
+  "iommu_test.pdb"
+  "iommu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iommu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

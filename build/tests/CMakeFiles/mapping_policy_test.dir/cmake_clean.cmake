@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_policy_test.dir/driver/mapping_policy_test.cc.o"
+  "CMakeFiles/mapping_policy_test.dir/driver/mapping_policy_test.cc.o.d"
+  "mapping_policy_test"
+  "mapping_policy_test.pdb"
+  "mapping_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

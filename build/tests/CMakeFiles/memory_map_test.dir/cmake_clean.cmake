@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_map_test.dir/mem/memory_map_test.cc.o"
+  "CMakeFiles/memory_map_test.dir/mem/memory_map_test.cc.o.d"
+  "memory_map_test"
+  "memory_map_test.pdb"
+  "memory_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshr_test.dir/tlb/mshr_test.cc.o"
+  "CMakeFiles/mshr_test.dir/tlb/mshr_test.cc.o.d"
+  "mshr_test"
+  "mshr_test.pdb"
+  "mshr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

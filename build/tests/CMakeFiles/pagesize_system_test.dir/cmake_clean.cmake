@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesize_system_test.dir/harness/pagesize_system_test.cc.o"
+  "CMakeFiles/pagesize_system_test.dir/harness/pagesize_system_test.cc.o.d"
+  "pagesize_system_test"
+  "pagesize_system_test.pdb"
+  "pagesize_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesize_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

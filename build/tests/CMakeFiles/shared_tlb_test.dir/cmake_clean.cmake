@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_tlb_test.dir/gpu/shared_tlb_test.cc.o"
+  "CMakeFiles/shared_tlb_test.dir/gpu/shared_tlb_test.cc.o.d"
+  "shared_tlb_test"
+  "shared_tlb_test.pdb"
+  "shared_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

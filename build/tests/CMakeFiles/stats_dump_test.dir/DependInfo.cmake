@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness/stats_dump_test.cc" "tests/CMakeFiles/stats_dump_test.dir/harness/stats_dump_test.cc.o" "gcc" "tests/CMakeFiles/stats_dump_test.dir/harness/stats_dump_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/barre_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/barre_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/barre_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/barre_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/barre_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/barre_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/barre_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/barre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/barre_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/barre_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/barre_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

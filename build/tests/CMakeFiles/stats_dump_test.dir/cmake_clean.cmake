@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_dump_test.dir/harness/stats_dump_test.cc.o"
+  "CMakeFiles/stats_dump_test.dir/harness/stats_dump_test.cc.o.d"
+  "stats_dump_test"
+  "stats_dump_test.pdb"
+  "stats_dump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

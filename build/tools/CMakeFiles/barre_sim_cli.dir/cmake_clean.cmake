@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barre_sim_cli.dir/barre_sim.cc.o"
+  "CMakeFiles/barre_sim_cli.dir/barre_sim.cc.o.d"
+  "barre_sim"
+  "barre_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barre_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
