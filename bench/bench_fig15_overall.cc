@@ -31,11 +31,10 @@ main(int argc, char **argv)
         {"F-Barre-2Merge", fb2},
         {"F-Barre-4Merge", fb4},
     };
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     store.printSpeedupTable(
         "Fig 15: overall performance", "baseline",

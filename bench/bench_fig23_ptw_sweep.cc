@@ -23,11 +23,10 @@ main(int argc, char **argv)
         configs.push_back({"base-" + std::to_string(ptws), base});
         configs.push_back({"fbarre-" + std::to_string(ptws), fb});
     }
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     TextTable table({"app", "8 PTWs", "16 PTWs", "32 PTWs"});
     std::map<std::string, std::vector<double>> per_p;

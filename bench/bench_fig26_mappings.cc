@@ -28,11 +28,10 @@ main(int argc, char **argv)
     add(MappingPolicyKind::chunking, "chunk");
     add(MappingPolicyKind::coda, "coda");
 
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     TextTable table({"app", "round-robin", "chunking", "CODA"});
     std::map<std::string, std::vector<double>> per;

@@ -5,9 +5,9 @@
  * CTA-level sharing. Paper: +17% average; Mid-Mid peaks at +34.7%.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
+#include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench/common.hh"
 
@@ -23,13 +23,13 @@ struct Pair
     std::string a, b;
 };
 
-std::map<std::string, std::array<RunMetrics, 2>> g_results;
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    (void)argc;
+    (void)argv;
     double scale = envScale();
     // One representative pair per intensity combination.
     std::vector<Pair> pairs{
@@ -38,38 +38,33 @@ main(int argc, char **argv)
         {"Mid-High", "atax", "gups"}, {"High-High", "matr", "bicg"},
     };
 
+    // Jobs are (pair, config) cells, config-minor: index 2*p + cfg.
+    std::vector<std::function<RunMetrics()>> sims;
     for (const auto &p : pairs) {
         for (int cfg_idx = 0; cfg_idx < 2; ++cfg_idx) {
-            std::string cname = cfg_idx == 0 ? "baseline" : "fbarre";
-            benchmark::RegisterBenchmark(
-                (cname + "/" + p.label).c_str(),
-                [p, cfg_idx, scale](benchmark::State &state) {
-                    for (auto _ : state) {
-                        SystemConfig cfg =
-                            cfg_idx == 0 ? SystemConfig::baselineAts()
-                                         : SystemConfig::fbarreCfg(2);
-                        cfg.workload_scale = scale;
-                        RunMetrics m = runApps(
-                            cfg, {appByName(p.a), appByName(p.b)});
-                        g_results[p.label][cfg_idx] = m;
-                        state.counters["sim_cycles"] =
-                            static_cast<double>(m.runtime);
-                    }
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
+            sims.push_back([p, cfg_idx, scale] {
+                SystemConfig cfg = cfg_idx == 0
+                                       ? SystemConfig::baselineAts()
+                                       : SystemConfig::fbarreCfg(2);
+                cfg.workload_scale = scale;
+                return runApps(cfg, {appByName(p.a), appByName(p.b)});
+            });
         }
     }
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    std::vector<RunMetrics> results = runManyJobs(sims);
 
     TextTable table({"pair", "apps", "F-Barre speedup"});
     std::vector<double> speed;
-    for (const auto &p : pairs) {
-        const auto &r = g_results[p.label];
-        double s = static_cast<double>(r[0].runtime) /
-                   static_cast<double>(r[1].runtime);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const Pair &p = pairs[i];
+        const RunMetrics &base = results[2 * i];
+        const RunMetrics &fb = results[2 * i + 1];
+        std::fprintf(stderr, "%-9s %-10s %14llu vs %14llu cycles\n",
+                     p.label.c_str(), (p.a + "+" + p.b).c_str(),
+                     (unsigned long long)base.runtime,
+                     (unsigned long long)fb.runtime);
+        double s = static_cast<double>(base.runtime) /
+                   static_cast<double>(fb.runtime);
         speed.push_back(s);
         table.addRow({p.label, p.a + "+" + p.b, fmt(s)});
     }

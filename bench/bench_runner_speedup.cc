@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Self-benchmark for the experiment runner and the event-queue hot path.
+ *
+ * Runs a fixed (config x app) matrix twice — serial (jobs=1) and
+ * parallel (jobs=min(8, cores), or $BARRE_JOBS) — checks the results
+ * are identical, and emits machine-readable JSON so the performance
+ * trajectory is tracked from PR to PR:
+ *
+ *   build/bench/bench_runner_speedup [out.json]     # default BENCH_runner.json
+ *
+ * JSON fields: host cores, jobs, serial/parallel wall seconds, speedup,
+ * simulated events/sec in both modes, and a raw EventQueue
+ * schedule+fire throughput microbenchmark.
+ *
+ * $BARRE_SCALE scales the workload (default 0.1 here: big enough to
+ * measure, small enough for CI).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "harness/pool.hh"
+#include "sim/event_queue.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+namespace
+{
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Raw EventQueue throughput: self-rescheduling chains, ~1M events. */
+double
+eventQueueEventsPerSec()
+{
+    constexpr std::uint64_t kChains = 64;
+    constexpr std::uint64_t kEvents = 1'000'000;
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    std::function<void(std::uint64_t)> beat =
+        [&](std::uint64_t chain) {
+            if (++fired >= kEvents)
+                return;
+            // Mix of heap pushes and the zero-delay fast lane, like a
+            // real simulation's wakeup traffic.
+            eq.scheduleAfter(chain % 4 == 0 ? 0 : 1 + chain % 7,
+                             [&beat, chain] { beat(chain); });
+        };
+    for (std::uint64_t c = 0; c < kChains; ++c)
+        eq.scheduleAfter(1 + c % 5, [&beat, c] { beat(c); });
+    double secs = wallSeconds([&] { eq.run(); });
+    return secs > 0 ? static_cast<double>(eq.fired()) / secs : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = argc > 1 ? argv[1] : "BENCH_runner.json";
+    double scale = envScale(0.1);
+
+    unsigned cores = std::thread::hardware_concurrency();
+    unsigned jobs = ThreadPool::defaultWorkers();
+    if (!std::getenv("BARRE_JOBS"))
+        jobs = std::min(jobs, 8u);
+
+    std::vector<NamedConfig> cfgs{
+        {"baseline", SystemConfig::baselineAts()},
+        {"fbarre", SystemConfig::fbarreCfg(2)},
+    };
+    for (auto &nc : cfgs)
+        nc.cfg.workload_scale = scale;
+    std::vector<AppParams> apps = scaledSubset();
+
+    std::fprintf(stderr,
+                 "runner self-benchmark: %zu cells, scale %.3g, "
+                 "%u cores, %u jobs\n",
+                 cfgs.size() * apps.size(), scale, cores, jobs);
+
+    std::vector<RunMetrics> serial, parallel;
+    double serial_s = wallSeconds(
+        [&] { serial = runMany(cfgs, apps, /*jobs=*/1); });
+    double parallel_s = wallSeconds(
+        [&] { parallel = runMany(cfgs, apps, jobs); });
+
+    bool identical = serial == parallel;
+    if (!identical)
+        std::fprintf(stderr,
+                     "ERROR: parallel results differ from serial!\n");
+
+    std::uint64_t events = 0;
+    for (const auto &m : serial)
+        events += m.sim_events;
+
+    double eq_rate = eventQueueEventsPerSec();
+    double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"runner_speedup\",\n"
+                 "  \"host_cores\": %u,\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"cells\": %zu,\n"
+                 "  \"workload_scale\": %g,\n"
+                 "  \"serial_wall_s\": %.6f,\n"
+                 "  \"parallel_wall_s\": %.6f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"sim_events\": %llu,\n"
+                 "  \"serial_events_per_s\": %.0f,\n"
+                 "  \"parallel_events_per_s\": %.0f,\n"
+                 "  \"eventqueue_events_per_s\": %.0f,\n"
+                 "  \"identical_results\": %s\n"
+                 "}\n",
+                 cores, jobs, cfgs.size() * apps.size(), scale,
+                 serial_s, parallel_s, speedup,
+                 (unsigned long long)events,
+                 serial_s > 0 ? events / serial_s : 0.0,
+                 parallel_s > 0 ? events / parallel_s : 0.0, eq_rate,
+                 identical ? "true" : "false");
+    std::fclose(f);
+
+    std::printf("serial   %.3fs\nparallel %.3fs (%u jobs)\n"
+                "speedup  %.2fx\nevents/s %.3g serial, %.3g parallel\n"
+                "eventqueue %.3g events/s\nwrote %s\n",
+                serial_s, parallel_s, jobs, speedup,
+                serial_s > 0 ? events / serial_s : 0.0,
+                parallel_s > 0 ? events / parallel_s : 0.0, eq_rate,
+                out_path.c_str());
+    return identical ? 0 : 1;
+}

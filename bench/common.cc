@@ -87,6 +87,27 @@ ResultStore::printSpeedupTable(const std::string &title,
 }
 
 void
+runAll(ResultStore &store, const std::vector<NamedConfig> &configs,
+       const std::vector<AppParams> &apps, double scale)
+{
+    std::vector<NamedConfig> scaled = configs;
+    for (auto &nc : scaled)
+        nc.cfg.workload_scale *= scale;
+
+    std::vector<RunMetrics> results = runMany(scaled, apps);
+
+    for (std::size_t c = 0; c < scaled.size(); ++c) {
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const RunMetrics &m = results[c * apps.size() + a];
+            store.put(scaled[c].name, apps[a].name, m);
+            std::fprintf(stderr, "%-18s %-8s %14llu cycles\n",
+                         scaled[c].name.c_str(), apps[a].name.c_str(),
+                         (unsigned long long)m.runtime);
+        }
+    }
+}
+
+void
 registerRuns(ResultStore &store, const std::vector<NamedConfig> &configs,
              const std::vector<AppParams> &apps, double scale)
 {

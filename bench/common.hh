@@ -30,12 +30,8 @@ namespace barre::bench
 /** Workload scale factor from $BARRE_SCALE. */
 double envScale(double def = 1.0);
 
-/** One column of an experiment: a named system configuration. */
-struct NamedConfig
-{
-    std::string name;
-    SystemConfig cfg;
-};
+/** One column of an experiment (now shared with the harness). */
+using NamedConfig = barre::NamedConfig;
 
 /** Collected metrics for every (config, app) cell. */
 class ResultStore
@@ -75,6 +71,16 @@ void registerRuns(ResultStore &store,
 
 /** Initialize + run google-benchmark (call from main after register). */
 int runBenchmarks(int argc, char **argv);
+
+/**
+ * Run every (config, app) cell through runMany() — parallel across
+ * host cores unless $BARRE_JOBS=1 — and deposit the metrics into
+ * @p store. Per-cell progress lines go to stderr in deterministic
+ * (config-major) order after all cells finish, so stdout tables are
+ * byte-identical regardless of the worker count.
+ */
+void runAll(ResultStore &store, const std::vector<NamedConfig> &configs,
+            const std::vector<AppParams> &apps, double scale);
 
 } // namespace barre::bench
 

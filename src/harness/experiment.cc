@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "harness/pool.hh"
 #include "sim/logging.hh"
 
 namespace barre
@@ -33,6 +34,49 @@ runApps(const SystemConfig &cfg, const std::vector<AppParams> &apps)
     RunMetrics m = sys.run();
     m.app = label;
     return m;
+}
+
+std::vector<RunMetrics>
+runManyJobs(const std::vector<std::function<RunMetrics()>> &sims,
+            unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = ThreadPool::defaultWorkers();
+
+    std::vector<RunMetrics> results(sims.size());
+    if (jobs == 1 || sims.size() <= 1) {
+        // Serial reference path ($BARRE_JOBS=1): no pool, no threads.
+        for (std::size_t i = 0; i < sims.size(); ++i)
+            results[i] = sims[i]();
+        return results;
+    }
+
+    // Warm process-wide lazy singletons (the workload suite) before
+    // fanning out, so workers never contend on first-use init.
+    standardSuite();
+
+    ThreadPool pool(jobs);
+    pool.parallelFor(sims.size(),
+                     [&](std::size_t i) { results[i] = sims[i](); });
+    return results;
+}
+
+std::vector<RunMetrics>
+runMany(const std::vector<NamedConfig> &cfgs,
+        const std::vector<AppParams> &apps, unsigned jobs)
+{
+    std::vector<std::function<RunMetrics()>> sims;
+    sims.reserve(cfgs.size() * apps.size());
+    for (const auto &nc : cfgs) {
+        for (const auto &app : apps) {
+            sims.push_back([&nc, &app] {
+                RunMetrics m = runApp(nc.cfg, app);
+                m.config = nc.name;
+                return m;
+            });
+        }
+    }
+    return runManyJobs(sims, jobs);
 }
 
 std::string

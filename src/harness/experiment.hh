@@ -2,11 +2,18 @@
  * @file
  * One-call experiment helpers and plain-text table output used by the
  * benchmark harness (one bench binary per paper figure/table).
+ *
+ * runMany() is the sweep workhorse: it fans independent simulations out
+ * across host cores (work-stealing pool, $BARRE_JOBS workers) while
+ * keeping results bitwise identical to the serial loop — every
+ * simulation owns its EventQueue/Rng/StatRegistry, and results are
+ * collected by index, never by completion order.
  */
 
 #ifndef BARRE_HARNESS_EXPERIMENT_HH
 #define BARRE_HARNESS_EXPERIMENT_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,6 +30,33 @@ RunMetrics runApp(const SystemConfig &cfg, const AppParams &app);
 /** Multi-programmed run: each app gets its own process id. */
 RunMetrics runApps(const SystemConfig &cfg,
                    const std::vector<AppParams> &apps);
+
+/** One column of an experiment: a named system configuration. */
+struct NamedConfig
+{
+    std::string name;
+    SystemConfig cfg;
+};
+
+/**
+ * Run the full (config x app) grid — config-major, i.e. result index
+ * c * apps.size() + a — across @p jobs workers (0 = $BARRE_JOBS, else
+ * hardware concurrency; 1 = plain serial loop, no threads spawned).
+ * Each cell is runApp() with RunMetrics::config set to the config name.
+ * Results are deterministic and independent of the worker count.
+ */
+std::vector<RunMetrics> runMany(const std::vector<NamedConfig> &cfgs,
+                                const std::vector<AppParams> &apps,
+                                unsigned jobs = 0);
+
+/**
+ * Generic form: run arbitrary simulation thunks, return their results
+ * in argument order. Thunks must be independent (no shared mutable
+ * state); each should build and run its own System.
+ */
+std::vector<RunMetrics>
+runManyJobs(const std::vector<std::function<RunMetrics()>> &sims,
+            unsigned jobs = 0);
 
 /**
  * Fixed-width text table, printed in the shape of the paper's figures

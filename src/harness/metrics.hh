@@ -24,6 +24,7 @@ struct RunMetrics
     Tick runtime = 0;
     std::uint64_t accesses = 0;
     double instructions = 0;
+    std::uint64_t sim_events = 0; ///< events fired by the EventQueue
 
     /// @name TLB / translation
     /// @{
@@ -86,6 +87,9 @@ struct RunMetrics
         std::uint64_t total = served + ats_packets;
         return total ? static_cast<double>(served) / total : 0.0;
     }
+
+    /** Field-wise equality (used by determinism assertions). */
+    friend bool operator==(const RunMetrics &, const RunMetrics &) = default;
 };
 
 /** Geometric mean of speedups (paper-style averaging). */

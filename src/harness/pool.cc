@@ -1,0 +1,151 @@
+#include "harness/pool.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    if (const char *s = std::getenv("BARRE_JOBS")) {
+        long v = std::strtol(s, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        barre_warn("ignoring invalid BARRE_JOBS='%s'", s);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+    : concurrency_(workers > 0 ? workers : defaultWorkers())
+{
+    queues_.reserve(concurrency_);
+    for (unsigned i = 0; i < concurrency_; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    // Slot 0 is the calling thread; spawn the rest.
+    threads_.reserve(concurrency_ - 1);
+    for (unsigned i = 1; i < concurrency_; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(state_m_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+bool
+ThreadPool::popOwn(std::size_t self, std::size_t &out)
+{
+    WorkerQueue &wq = *queues_[self];
+    std::lock_guard<std::mutex> lk(wq.m);
+    if (wq.q.empty())
+        return false;
+    out = wq.q.back();
+    wq.q.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::stealFrom(std::size_t self, std::size_t &out)
+{
+    const std::size_t n = queues_.size();
+    for (std::size_t off = 1; off < n; ++off) {
+        WorkerQueue &wq = *queues_[(self + off) % n];
+        std::lock_guard<std::mutex> lk(wq.m);
+        if (wq.q.empty())
+            continue;
+        out = wq.q.front();
+        wq.q.pop_front();
+        return true;
+    }
+    return false;
+}
+
+bool
+ThreadPool::runOneTask(std::size_t self)
+{
+    std::size_t idx;
+    if (!popOwn(self, idx) && !stealFrom(self, idx))
+        return false;
+
+    try {
+        (*fn_)(idx);
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(state_m_);
+        if (!first_error_)
+            first_error_ = std::current_exception();
+    }
+
+    std::lock_guard<std::mutex> lk(state_m_);
+    if (--remaining_ == 0)
+        done_.notify_all();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(state_m_);
+            wake_.wait(lk,
+                       [&] { return stopping_ || batch_ != seen; });
+            if (stopping_)
+                return;
+            seen = batch_;
+        }
+        while (runOneTask(self)) {
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    {
+        std::lock_guard<std::mutex> lk(state_m_);
+        barre_assert(fn_ == nullptr, "parallelFor is not reentrant");
+        fn_ = &fn;
+        remaining_ = n;
+        first_error_ = nullptr;
+        for (std::size_t i = 0; i < n; ++i) {
+            WorkerQueue &wq = *queues_[i % queues_.size()];
+            std::lock_guard<std::mutex> qlk(wq.m);
+            wq.q.push_back(i);
+        }
+        ++batch_;
+    }
+    wake_.notify_all();
+
+    // The caller is worker 0.
+    while (runOneTask(0)) {
+    }
+
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(state_m_);
+        done_.wait(lk, [&] { return remaining_ == 0; });
+        fn_ = nullptr;
+        err = first_error_;
+        first_error_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace barre

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A small work-stealing thread pool for fanning independent simulations
+ * out across host cores.
+ *
+ * Each worker owns a deque of task indices: it pops its own work from the
+ * back (LIFO, cache-warm) and steals from the front of a victim's deque
+ * when it runs dry (FIFO, takes the oldest — and for simulation sweeps
+ * typically largest-remaining — chunk of work). Tasks are plain indices
+ * into a caller-provided function, so results can be collected by index
+ * and remain deterministically ordered no matter which worker ran what.
+ */
+
+#ifndef BARRE_HARNESS_POOL_HH
+#define BARRE_HARNESS_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace barre
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * A pool of @p workers-way concurrency (0 = defaultWorkers()). The
+     * calling thread counts as worker 0 and participates in every
+     * parallelFor(), so only workers-1 threads are spawned — and
+     * ThreadPool(1) spawns none and degrades to a plain serial loop.
+     * Spawned workers park on a condition variable between batches.
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Joins all workers; outstanding parallelFor() must have returned. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workers() const { return concurrency_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), distributed over the workers, and
+     * block until all calls returned. The calling thread participates in
+     * the work too. If any call throws, the first exception (in worker
+     * encounter order) is rethrown here after all tasks finished or were
+     * abandoned; remaining queued tasks still run.
+     *
+     * Not reentrant: one parallelFor() at a time per pool.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Worker count policy: $BARRE_JOBS if set (>= 1), else
+     * std::thread::hardware_concurrency(), else 1.
+     */
+    static unsigned defaultWorkers();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex m;
+        std::deque<std::size_t> q;
+    };
+
+    void workerLoop(std::size_t self);
+    bool runOneTask(std::size_t self);
+    bool popOwn(std::size_t self, std::size_t &out);
+    bool stealFrom(std::size_t self, std::size_t &out);
+
+    unsigned concurrency_ = 1;
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex state_m_;
+    std::condition_variable wake_;   ///< workers wait for a batch
+    std::condition_variable done_;   ///< parallelFor waits for completion
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t remaining_ = 0; ///< tasks not yet finished in this batch
+    std::uint64_t batch_ = 0;   ///< bumped per parallelFor, wakes workers
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+} // namespace barre
+
+#endif // BARRE_HARNESS_POOL_HH

@@ -334,7 +334,7 @@ System::run()
         }
     }
 
-    eq_.run();
+    std::uint64_t fired = eq_.run();
     barre_assert(cus_done_ == cus_with_work_,
                  "simulation drained with %u/%u CUs unfinished",
                  cus_with_work_ - cus_done_, cus_with_work_);
@@ -344,6 +344,7 @@ System::run()
     m.runtime = finish_tick_;
     m.accesses = total_accesses_;
     m.instructions = total_instructions_;
+    m.sim_events = fired;
 
     for (auto &c : chiplets_) {
         m.l2_tlb_hits += c->l2TlbHits();

@@ -5,6 +5,13 @@
  * Events are closures scheduled at an absolute Tick. Events scheduled for
  * the same tick fire in scheduling order (a monotone sequence number breaks
  * ties), which keeps simulations reproducible across runs and platforms.
+ *
+ * Internally the queue is a hand-rolled 4-ary min-heap (shallower than a
+ * binary heap, and sift operations move entries instead of copying the
+ * std::function payloads) plus a FIFO fast lane for events scheduled at
+ * the current tick — the common scheduleAfter(0) hand-off pattern skips
+ * the heap entirely. Firing order is the total order (when, seq) in both
+ * lanes, so the fast lane is invisible to simulation results.
  */
 
 #ifndef BARRE_SIM_EVENT_QUEUE_HH
@@ -12,7 +19,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -36,7 +43,7 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    EventQueue() { heap_.reserve(kReserve); }
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -44,9 +51,16 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Number of events not yet fired. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t
+    pending() const
+    {
+        return heap_.size() + (now_lane_.size() - now_head_);
+    }
 
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return heap_.empty() && nowLaneEmpty(); }
+
+    /** Total events fired over the queue's lifetime. */
+    std::uint64_t fired() const { return fired_total_; }
 
     /**
      * Schedule @p cb to fire at absolute tick @p when.
@@ -58,14 +72,26 @@ class EventQueue
         barre_assert(when >= now_,
                      "scheduling into the past (%llu < %llu)",
                      (unsigned long long)when, (unsigned long long)now_);
-        heap_.push(Entry{when, seq_++, std::move(cb)});
+        if (when == now_)
+            pushNowLane(std::move(cb));
+        else
+            heapPush(Entry{when, seq_++, std::move(cb)});
     }
 
-    /** Schedule @p cb to fire @p delay cycles from now. */
+    /**
+     * Schedule @p cb to fire @p delay cycles from now.
+     *
+     * Fast path: a relative delay can never land in the past, so the
+     * range assert is skipped, and zero-delay events go to the FIFO
+     * fast lane instead of the heap.
+     */
     void
     scheduleAfter(Cycles delay, Callback cb)
     {
-        schedule(now_ + delay, std::move(cb));
+        if (delay == 0)
+            pushNowLane(std::move(cb));
+        else
+            heapPush(Entry{now_ + delay, seq_++, std::move(cb)});
     }
 
     /**
@@ -76,16 +102,20 @@ class EventQueue
     run(std::uint64_t limit = ~std::uint64_t{0})
     {
         std::uint64_t fired = 0;
-        while (!heap_.empty() && fired < limit) {
-            // Move the entry out before popping so the callback may
-            // schedule new events (which mutates the heap).
-            Entry e = heap_.top();
-            heap_.pop();
-            barre_assert(e.when >= now_, "event queue went backwards");
-            now_ = e.when;
-            e.cb();
+        while (fired < limit) {
+            if (!nowLaneEmpty()) {
+                fireNowOrTiedHeapTop();
+            } else if (!heap_.empty()) {
+                Entry e = heapPop();
+                barre_assert(e.when >= now_, "event queue went backwards");
+                now_ = e.when;
+                e.cb();
+            } else {
+                break;
+            }
             ++fired;
         }
+        fired_total_ += fired;
         return fired;
     }
 
@@ -98,15 +128,21 @@ class EventQueue
     runUntil(Tick until)
     {
         std::uint64_t fired = 0;
-        while (!heap_.empty() && heap_.top().when <= until) {
-            Entry e = heap_.top();
-            heap_.pop();
-            now_ = e.when;
-            e.cb();
+        for (;;) {
+            if (!nowLaneEmpty() && now_ <= until) {
+                fireNowOrTiedHeapTop();
+            } else if (!heap_.empty() && heap_.front().when <= until) {
+                Entry e = heapPop();
+                now_ = e.when;
+                e.cb();
+            } else {
+                break;
+            }
             ++fired;
         }
         if (now_ < until)
             now_ = until;
+        fired_total_ += fired;
         return fired;
     }
 
@@ -116,19 +152,104 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         Callback cb;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
-        }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    static constexpr std::size_t kReserve = 1024;
+
+    static bool
+    before(Tick wa, std::uint64_t sa, Tick wb, std::uint64_t sb)
+    {
+        return wa != wb ? wa < wb : sa < sb;
+    }
+
+    bool nowLaneEmpty() const { return now_head_ == now_lane_.size(); }
+
+    /**
+     * All entries in the fast lane carry when == now_: they are pushed
+     * at the current tick, and now_ cannot advance while the lane is
+     * non-empty (an event with a later tick is never the minimum then).
+     */
+    void
+    pushNowLane(Callback cb)
+    {
+        now_lane_.push_back(Entry{now_, seq_++, std::move(cb)});
+    }
+
+    /**
+     * Fire the fast-lane head — unless a heap entry at the same tick
+     * was scheduled earlier (smaller seq); it wins the FIFO tie-break.
+     */
+    void
+    fireNowOrTiedHeapTop()
+    {
+        if (!heap_.empty() && heap_.front().when == now_ &&
+            heap_.front().seq < now_lane_[now_head_].seq) {
+            Entry e = heapPop();
+            e.cb();
+            return;
+        }
+        Entry e = std::move(now_lane_[now_head_++]);
+        if (nowLaneEmpty()) {
+            now_lane_.clear();
+            now_head_ = 0;
+        }
+        e.cb();
+    }
+
+    void
+    heapPush(Entry e)
+    {
+        std::size_t i = heap_.size();
+        heap_.push_back(Entry{});
+        // Sift the hole up, moving parents down (no closure copies).
+        while (i > 0) {
+            std::size_t p = (i - 1) >> 2;
+            if (!before(e.when, e.seq, heap_[p].when, heap_[p].seq))
+                break;
+            heap_[i] = std::move(heap_[p]);
+            i = p;
+        }
+        heap_[i] = std::move(e);
+    }
+
+    /** Remove and return the minimum (when, seq) entry by move. */
+    Entry
+    heapPop()
+    {
+        Entry out = std::move(heap_.front());
+        Entry tail = std::move(heap_.back());
+        heap_.pop_back();
+        const std::size_t n = heap_.size();
+        if (n > 0) {
+            std::size_t i = 0;
+            for (;;) {
+                std::size_t c = 4 * i + 1;
+                if (c >= n)
+                    break;
+                std::size_t m = c;
+                const std::size_t end = c + 4 < n ? c + 4 : n;
+                for (++c; c < end; ++c) {
+                    if (before(heap_[c].when, heap_[c].seq,
+                               heap_[m].when, heap_[m].seq))
+                        m = c;
+                }
+                if (!before(heap_[m].when, heap_[m].seq, tail.when,
+                            tail.seq))
+                    break;
+                heap_[i] = std::move(heap_[m]);
+                i = m;
+            }
+            heap_[i] = std::move(tail);
+        }
+        return out;
+    }
+
+    std::vector<Entry> heap_;     ///< 4-ary min-heap on (when, seq)
+    std::vector<Entry> now_lane_; ///< FIFO of events at tick now_
+    std::size_t now_head_ = 0;    ///< first unfired fast-lane entry
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t fired_total_ = 0;
 };
 
 } // namespace barre

@@ -1,10 +1,23 @@
 #include "sim/logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <stdexcept>
 
 namespace barre
 {
+
+namespace
+{
+
+/**
+ * Serializes whole log lines. Simulations may run concurrently (see
+ * harness/pool.hh); single fprintf calls are atomic enough on POSIX,
+ * but this keeps the guarantee explicit and portable.
+ */
+std::mutex log_mutex;
+
+} // namespace
 
 std::string
 csprintf(const char *fmt, ...)
@@ -27,7 +40,11 @@ csprintf(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lk(log_mutex);
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     // Throwing (rather than abort()) lets unit tests assert on panics.
     throw std::logic_error("panic: " + msg);
 }
@@ -35,19 +52,25 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lk(log_mutex);
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     throw std::runtime_error("fatal: " + msg);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lk(log_mutex);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lk(log_mutex);
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the work-stealing thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/pool.hh"
+
+using namespace barre;
+
+TEST(ThreadPool, SingleWorkerSpawnsNoThreadsAndRunsEverything)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workers(), 1u);
+    std::vector<int> hits(100, 0);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<std::size_t> total{0};
+    for (int round = 0; round < 5; ++round)
+        pool.parallelFor(64, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 5u * 64u);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndWorkContinues)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(100, [&](std::size_t i) {
+            if (i == 13)
+                throw std::runtime_error("boom");
+            ++ran;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+    // Remaining tasks were not abandoned.
+    EXPECT_EQ(ran.load(), 99);
+}
+
+TEST(ThreadPool, MoreWorkersThanTasks)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(3, [&](std::size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DefaultWorkersHonorsBarreJobs)
+{
+    setenv("BARRE_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultWorkers(), 3u);
+    setenv("BARRE_JOBS", "0", 1); // invalid, falls back to hardware
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+    unsetenv("BARRE_JOBS");
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+}

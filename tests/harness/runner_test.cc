@@ -1,0 +1,101 @@
+/**
+ * @file
+ * runMany() must produce results bitwise identical to the serial loop,
+ * in the same order, for every worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.hh"
+
+using namespace barre;
+
+namespace
+{
+
+std::vector<NamedConfig>
+testConfigs()
+{
+    SystemConfig base = SystemConfig::baselineAts();
+    base.workload_scale = 0.04;
+    SystemConfig fb = SystemConfig::fbarreCfg(2);
+    fb.workload_scale = 0.04;
+    return {{"baseline", base}, {"fbarre", fb}};
+}
+
+std::vector<AppParams>
+testApps()
+{
+    return {appByName("fft"), appByName("atax"), appByName("gups")};
+}
+
+} // namespace
+
+TEST(RunMany, MatchesSerialLoopCellForCell)
+{
+    auto cfgs = testConfigs();
+    auto apps = testApps();
+
+    // Hand-rolled serial reference, config-major like runMany.
+    std::vector<RunMetrics> expect;
+    for (const auto &nc : cfgs) {
+        for (const auto &app : apps) {
+            RunMetrics m = runApp(nc.cfg, app);
+            m.config = nc.name;
+            expect.push_back(m);
+        }
+    }
+
+    std::vector<RunMetrics> got = runMany(cfgs, apps, /*jobs=*/1);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]) << "cell " << i;
+}
+
+TEST(RunMany, ResultsIndependentOfThreadCount)
+{
+    auto cfgs = testConfigs();
+    auto apps = testApps();
+
+    std::vector<RunMetrics> serial = runMany(cfgs, apps, 1);
+    ASSERT_EQ(serial.size(), cfgs.size() * apps.size());
+    for (unsigned jobs : {2u, 8u}) {
+        std::vector<RunMetrics> par = runMany(cfgs, apps, jobs);
+        ASSERT_EQ(par.size(), serial.size()) << jobs << " jobs";
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(par[i], serial[i])
+                << "cell " << i << " with " << jobs << " jobs";
+    }
+}
+
+TEST(RunMany, ConfigAndAppLabelsFollowGridOrder)
+{
+    auto cfgs = testConfigs();
+    auto apps = testApps();
+    std::vector<RunMetrics> got = runMany(cfgs, apps, 2);
+    ASSERT_EQ(got.size(), 6u);
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const RunMetrics &m = got[c * apps.size() + a];
+            EXPECT_EQ(m.config, cfgs[c].name);
+            EXPECT_EQ(m.app, apps[a].name);
+        }
+    }
+}
+
+TEST(RunManyJobs, ArbitraryThunksKeepArgumentOrder)
+{
+    SystemConfig cfg = SystemConfig::baselineAts();
+    cfg.workload_scale = 0.04;
+    std::vector<std::function<RunMetrics()>> sims;
+    std::vector<std::string> names{"gups", "fft", "atax"};
+    for (const auto &n : names)
+        sims.push_back([cfg, n] { return runApp(cfg, appByName(n)); });
+
+    std::vector<RunMetrics> got = runManyJobs(sims, 4);
+    ASSERT_EQ(got.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(got[i].app, names[i]);
+}

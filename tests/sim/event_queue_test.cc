@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -119,4 +120,149 @@ TEST(EventQueue, InterleavedScheduleAndRun)
     eq.schedule(0, beat);
     eq.run();
     EXPECT_EQ(ticks, (std::vector<Tick>{0, 10, 20, 30, 40}));
+}
+
+// ---- ordering invariants (same-tick FIFO, fast lane, boundaries) ----
+
+TEST(EventQueueOrdering, ZeroDelayKeepsFifoWithSameTickHeapEvents)
+{
+    // Events already in the heap for tick T were scheduled earlier
+    // (smaller seq) than zero-delay events created *at* tick T, so they
+    // must fire first even though the latter sit in the fast lane.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(0);
+        // Zero-delay: scheduled at tick 10, after the two below.
+        eq.scheduleAfter(0, [&] { order.push_back(3); });
+        eq.scheduleAfter(0, [&] { order.push_back(4); });
+    });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueOrdering, ZeroDelayChainsAreFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] {
+        eq.scheduleAfter(0, [&] {
+            order.push_back(1);
+            eq.scheduleAfter(0, [&] { order.push_back(3); });
+        });
+        eq.scheduleAfter(0, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueueOrdering, ScheduleAtNowIsFifoWithScheduleAfterZero)
+{
+    // schedule(now, ...) and scheduleAfter(0, ...) interleave in plain
+    // scheduling order.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(7, [&] {
+        eq.schedule(7, [&] { order.push_back(1); });
+        eq.scheduleAfter(0, [&] { order.push_back(2); });
+        eq.schedule(7, [&] { order.push_back(3); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueOrdering, GlobalWhenSeqOrderUnderStress)
+{
+    // 5000 events at pseudo-random ticks must fire in (when, seq) order.
+    EventQueue eq;
+    std::vector<std::pair<Tick, int>> fired;
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        Tick when = (x >> 33) % 97;
+        eq.schedule(when, [&fired, &eq, i] {
+            fired.emplace_back(eq.now(), i);
+        });
+    }
+    eq.run();
+    ASSERT_EQ(fired.size(), 5000u);
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        ASSERT_LE(fired[i - 1].first, fired[i].first);
+        if (fired[i - 1].first == fired[i].first)
+            ASSERT_LT(fired[i - 1].second, fired[i].second);
+    }
+}
+
+TEST(EventQueueOrdering, RunUntilBoundaryIsInclusive)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(9, [&] { order.push_back(1); });
+    eq.schedule(10, [&] {
+        order.push_back(2);
+        // Zero-delay at the boundary tick still runs in this pass.
+        eq.scheduleAfter(0, [&] { order.push_back(3); });
+    });
+    eq.schedule(11, [&] { order.push_back(4); });
+    EXPECT_EQ(eq.runUntil(10), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueOrdering, RunUntilThenRunPreservesFifoAcrossCalls)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.runUntil(10);
+    // now() == 10; same-tick events scheduled now fire on the next run.
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.scheduleAfter(0, [&] { order.push_back(3); });
+    eq.schedule(12, [&] { order.push_back(4); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueOrdering, SchedulingIntoThePastAsserts)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_THROW(eq.schedule(99, [] {}), std::logic_error);
+    // Same tick is allowed (== now), one past is not.
+    eq.schedule(100, [] {});
+    eq.run();
+}
+
+TEST(EventQueueOrdering, RunWithLimitStopsInsideFastLane)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3, [&] {
+        for (int i = 0; i < 4; ++i)
+            eq.scheduleAfter(0, [&order, i] { order.push_back(i); });
+    });
+    EXPECT_EQ(eq.run(3), 3u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_EQ(eq.run(), 2u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueOrdering, FiredCounterAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 3; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    eq.schedule(10, [] {});
+    eq.runUntil(10);
+    EXPECT_EQ(eq.fired(), 4u);
 }

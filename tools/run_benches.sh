@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build Release and run the runner self-benchmark; writes BENCH_runner.json
+# at the repo root. Used to track the perf trajectory PR over PR.
+#
+#   tools/run_benches.sh                 # all cores
+#   BARRE_JOBS=8 tools/run_benches.sh    # fixed worker count
+#   BARRE_SCALE=0.5 tools/run_benches.sh # bigger workload
+#
+# Env:
+#   BUILD_DIR  - build tree to use (default: <repo>/build-release)
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+build=${BUILD_DIR:-"$root/build-release"}
+
+cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j "$(nproc)" --target bench_runner_speedup
+
+"$build/bench/bench_runner_speedup" "$root/BENCH_runner.json"
+echo "---"
+cat "$root/BENCH_runner.json"

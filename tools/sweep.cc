@@ -4,6 +4,11 @@
  *
  *   sweep --modes baseline,fbarre --apps atax,matr,gups --out grid.csv
  *   sweep --modes baseline,barre,fbarre --scale 0.25
+ *   sweep --jobs 8            # explicit worker count (default: all
+ *                             # cores, or $BARRE_JOBS; 1 = serial)
+ *
+ * Cells run in parallel via runMany(); output rows and CSV bytes are
+ * identical regardless of the worker count.
  *
  * Intended for plotting and for regression-diffing whole result grids.
  */
@@ -63,6 +68,7 @@ main(int argc, char **argv)
     std::vector<std::string> apps;
     std::string out_file;
     double scale = 1.0;
+    unsigned jobs = 0; // 0 = $BARRE_JOBS / hardware concurrency
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -79,10 +85,12 @@ main(int argc, char **argv)
             out_file = next();
         } else if (arg == "--scale") {
             scale = std::atof(next().c_str());
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::atoi(next().c_str()));
         } else {
             std::fprintf(stderr,
                          "usage: sweep [--modes a,b] [--apps x,y] "
-                         "[--scale F] [--out FILE]\n");
+                         "[--scale F] [--jobs N] [--out FILE]\n");
             return arg == "--help" || arg == "-h" ? 0 : 1;
         }
     }
@@ -91,16 +99,23 @@ main(int argc, char **argv)
         for (const auto &a : standardSuite())
             apps.push_back(a.name);
 
-    std::vector<RunMetrics> rows;
+    std::vector<NamedConfig> cfgs;
     for (const auto &mode : modes) {
-        for (const auto &name : apps) {
-            SystemConfig cfg = configFor(mode);
-            cfg.workload_scale = scale;
-            RunMetrics m = runApp(cfg, appByName(name));
+        SystemConfig cfg = configFor(mode);
+        cfg.workload_scale = scale;
+        cfgs.push_back({mode, cfg});
+    }
+    std::vector<AppParams> app_params;
+    for (const auto &name : apps)
+        app_params.push_back(appByName(name));
+
+    std::vector<RunMetrics> rows = runMany(cfgs, app_params, jobs);
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const RunMetrics &r = rows[m * apps.size() + a];
             std::fprintf(stderr, "%-9s %-6s %12llu cycles\n",
-                         mode.c_str(), name.c_str(),
-                         (unsigned long long)m.runtime);
-            rows.push_back(std::move(m));
+                         modes[m].c_str(), apps[a].c_str(),
+                         (unsigned long long)r.runtime);
         }
     }
 
