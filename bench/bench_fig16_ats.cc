@@ -23,11 +23,10 @@ main(int argc, char **argv)
         {"Barre", SystemConfig::barreCfg()},
         {"F-Barre", SystemConfig::fbarreCfg(2)},
     };
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     TextTable table({"app", "ats-time -% (Barre)", "ats-time -% (F-B)",
                      "coalesced% (Barre)", "coalesced% (F-B)",

@@ -34,7 +34,7 @@ sweep(ResultStore &store, const std::string &suffix,
         configs.push_back({"base-" + tag + suffix, base});
         configs.push_back({"fbarre-" + tag + suffix, fb});
     }
-    registerRuns(store, configs, apps, scale);
+    runAll(store, configs, apps, scale);
 }
 
 void
@@ -82,10 +82,8 @@ main(int argc, char **argv)
         big.push_back(a.scaled(16.0));
     sweep(store, "-16x", big, scale * 0.25,
           std::uint64_t{8} << 30);
-
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    (void)argc;
+    (void)argv;
 
     printPanel(store, "Fig 24 (left): F-Barre speedup vs page size", "",
                apps);

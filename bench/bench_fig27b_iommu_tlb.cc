@@ -21,11 +21,10 @@ main(int argc, char **argv)
 
     std::vector<NamedConfig> configs{{"IOMMU-TLB", base},
                                      {"IOMMU-TLB+F-Barre", fb}};
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     store.printSpeedupTable("Fig 27b: F-Barre with an IOMMU TLB",
                             "IOMMU-TLB", {"IOMMU-TLB+F-Barre"}, apps);

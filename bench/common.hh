@@ -13,8 +13,7 @@
  *                 BARRE_SCALE=0.1 for a quick pass.
  */
 
-#ifndef BARRE_BENCH_COMMON_HH
-#define BARRE_BENCH_COMMON_HH
+#pragma once
 
 #include <benchmark/benchmark.h>
 
@@ -84,4 +83,3 @@ void runAll(ResultStore &store, const std::vector<NamedConfig> &configs,
 
 } // namespace barre::bench
 
-#endif // BARRE_BENCH_COMMON_HH

@@ -11,8 +11,7 @@
  * inside the package.
  */
 
-#ifndef BARRE_BASELINES_LEAST_HH
-#define BARRE_BASELINES_LEAST_HH
+#pragma once
 
 #include <vector>
 
@@ -129,4 +128,3 @@ class LeastService : public SimObject, public TranslationService
 
 } // namespace barre
 
-#endif // BARRE_BASELINES_LEAST_HH

@@ -8,8 +8,7 @@
  * from the IOMMU and fills the L2 TLB when the responses return.
  */
 
-#ifndef BARRE_BASELINES_VALKYRIE_HH
-#define BARRE_BASELINES_VALKYRIE_HH
+#pragma once
 
 #include <unordered_map>
 #include <unordered_set>
@@ -117,4 +116,3 @@ class ValkyrieService : public TranslationService
 
 } // namespace barre
 
-#endif // BARRE_BASELINES_VALKYRIE_HH

@@ -7,8 +7,7 @@
  * L2 (Table II geometries).
  */
 
-#ifndef BARRE_CACHE_CACHE_HH
-#define BARRE_CACHE_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -67,4 +66,3 @@ class Cache
 
 } // namespace barre
 
-#endif // BARRE_CACHE_CACHE_HH

@@ -14,8 +14,7 @@
  * service that owns it.
  */
 
-#ifndef BARRE_CORE_FILTER_ENGINE_HH
-#define BARRE_CORE_FILTER_ENGINE_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -53,6 +52,16 @@ class FilterEngine
     void lcfInsert(ProcessId pid, Vpn vpn);
     void lcfErase(ProcessId pid, Vpn vpn);
     bool lcfContains(ProcessId pid, Vpn vpn) const;
+
+    /** lcfContains without touching the hit/lookup statistics (audits). */
+    bool
+    lcfPeek(ProcessId pid, Vpn vpn) const
+    {
+        return lcf_.contains(keyOf(pid, vpn));
+    }
+
+    /** Lossy LCF inserts so far; while 0 the LCF has no false negatives. */
+    std::uint64_t lcfLossyInserts() const { return lcf_.lossyInserts(); }
     /// @}
 
     /// @name Remote filters (one per peer, updated by peer messages)
@@ -96,4 +105,3 @@ class FilterEngine
 
 } // namespace barre
 
-#endif // BARRE_CORE_FILTER_ENGINE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/page_table.hh"
 #include "sim/logging.hh"
 
 namespace barre
@@ -197,6 +198,70 @@ sameGroup(const PecEntry &entry, Vpn walking, Vpn pending,
     std::uint32_t op = entry.offsetOf(pending);
     std::uint32_t width = std::max<std::uint32_t>(num_merged, 1);
     return ow / width == op / width;
+}
+
+void
+auditGroup(const PecEntry &entry, const PageTable &pt, Vpn vpn,
+           const MemoryMap &map)
+{
+    auto pte = pt.walk(vpn);
+    if (!pte)
+        return;
+    const CoalInfo ci = pte->coalInfo();
+    if (!ci.coalesced())
+        return;
+
+    barre_assert(entry.contains(entry.pid, vpn),
+                 "coalesced VPN %llx outside its PEC entry's range",
+                 (unsigned long long)vpn);
+    barre_assert(ci.bitmap & (std::uint32_t{1} << ci.interOrder),
+                 "VPN %llx: own order position %u missing from its "
+                 "coalescing bitmap %x",
+                 (unsigned long long)vpn, ci.interOrder, ci.bitmap);
+    if (ci.merged) {
+        barre_assert(ci.intraOrder < ci.numMerged,
+                     "VPN %llx: intra order %u outside merged run of %u",
+                     (unsigned long long)vpn, ci.intraOrder,
+                     ci.numMerged);
+    }
+
+    for (Vpn member : groupMembers(entry, vpn, ci)) {
+        if (member == vpn)
+            continue;
+        auto mpte = pt.walk(member);
+        barre_assert(mpte.has_value(),
+                     "coalescing-group member %llx of %llx is unmapped",
+                     (unsigned long long)member, (unsigned long long)vpn);
+        auto calc = calcPending(entry, vpn, pte->pfn(), ci, member, map);
+        barre_assert(calc.has_value(),
+                     "group member %llx of %llx is not PEC-calculable",
+                     (unsigned long long)member, (unsigned long long)vpn);
+        barre_assert(calc->pfn == mpte->pfn(),
+                     "member %llx: PEC-calculated PFN %llx != page-table "
+                     "PFN %llx",
+                     (unsigned long long)member,
+                     (unsigned long long)calc->pfn,
+                     (unsigned long long)mpte->pfn());
+        barre_assert(map.chipletOf(mpte->pfn()) == entry.chipletOf(member),
+                     "member %llx mapped on chiplet %u, layout says %u",
+                     (unsigned long long)member,
+                     map.chipletOf(mpte->pfn()), entry.chipletOf(member));
+        const CoalInfo mci = mpte->coalInfo();
+        barre_assert(mci.bitmap == ci.bitmap && mci.merged == ci.merged &&
+                     mci.numMerged == ci.numMerged,
+                     "member %llx: group metadata diverges from %llx",
+                     (unsigned long long)member, (unsigned long long)vpn);
+        barre_assert(mci.interOrder == calc->coal.interOrder,
+                     "member %llx: inter-GPU order %u, expected %u",
+                     (unsigned long long)member, mci.interOrder,
+                     calc->coal.interOrder);
+        if (ci.merged) {
+            barre_assert(mci.intraOrder == calc->coal.intraOrder,
+                         "member %llx: intra order %u, expected %u",
+                         (unsigned long long)member, mci.intraOrder,
+                         calc->coal.intraOrder);
+        }
+    }
 }
 
 } // namespace pec

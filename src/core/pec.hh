@@ -26,8 +26,7 @@
  * migrated page clears its position bit without renumbering the others.
  */
 
-#ifndef BARRE_CORE_PEC_HH
-#define BARRE_CORE_PEC_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -41,6 +40,8 @@
 
 namespace barre
 {
+
+class PageTable;
 
 /** One PEC-buffer entry: the layout descriptor of one data buffer. */
 struct PecEntry
@@ -204,8 +205,19 @@ std::optional<PecCalc> calcPending(const PecEntry &entry, Vpn t_vpn,
 bool sameGroup(const PecEntry &entry, Vpn walking, Vpn pending,
                std::uint32_t num_merged);
 
+/**
+ * Deep audit (sim/invariant.hh): starting from @p vpn's installed PTE,
+ * verify its whole coalescing group is consistent with the page table —
+ * every member under the group bitmap is mapped, resolves to exactly
+ * the PEC-calculated PFN on the layout's chiplet, and carries matching
+ * group metadata with its own 2-D (inter, intra) coordinates. A page
+ * without a coalesced PTE audits trivially. Panics (throws) on
+ * violation. O(group size) walks.
+ */
+void auditGroup(const PecEntry &entry, const PageTable &pt, Vpn vpn,
+                const MemoryMap &map);
+
 } // namespace pec
 
 } // namespace barre
 
-#endif // BARRE_CORE_PEC_HH

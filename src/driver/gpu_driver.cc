@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 
 namespace barre
@@ -106,6 +107,11 @@ GpuDriver::mapGroupCoalesced(PageTable &pt, const PecEntry &layout,
         if (merged)
             ++merged_pages_;
     }
+
+    // The group just became live: check that every member resolves to
+    // the PEC-calculated PFN before the simulation can depend on it.
+    BARRE_AUDIT(
+        pec::auditGroup(layout, pt, plan.members.front().second, map_));
 }
 
 DataAlloc
@@ -362,6 +368,14 @@ GpuDriver::migratePage(ProcessId pid, Vpn vpn, ChipletId dest)
     res.stale_vpns.erase(
         std::unique(res.stale_vpns.begin(), res.stale_vpns.end()),
         res.stale_vpns.end());
+
+    // Excluding the migrated position must leave every surviving
+    // member's group arithmetic intact.
+    BARRE_AUDIT(
+        if (const PecEntry *e = findPecEntry(pid, vpn)) {
+            for (Vpn stale : res.stale_vpns)
+                pec::auditGroup(*e, pt, stale, map_);
+        });
     return res;
 }
 

@@ -16,8 +16,7 @@
  * paper assumes); all timing lives in the simulated datapath.
  */
 
-#ifndef BARRE_DRIVER_GPU_DRIVER_HH
-#define BARRE_DRIVER_GPU_DRIVER_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -167,4 +166,3 @@ class GpuDriver
 
 } // namespace barre
 
-#endif // BARRE_DRIVER_GPU_DRIVER_HH

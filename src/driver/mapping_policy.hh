@@ -17,8 +17,7 @@
  *  - Round-robin (Idyll baseline): gran = 1 for everything.
  */
 
-#ifndef BARRE_DRIVER_MAPPING_POLICY_HH
-#define BARRE_DRIVER_MAPPING_POLICY_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -63,4 +62,3 @@ PecEntry computeLayout(MappingPolicyKind kind, std::uint64_t pages,
 
 } // namespace barre
 
-#endif // BARRE_DRIVER_MAPPING_POLICY_HH

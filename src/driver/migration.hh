@@ -13,8 +13,7 @@
  * invalidate hook flushes stale TLB entries and filter state.
  */
 
-#ifndef BARRE_DRIVER_MIGRATION_HH
-#define BARRE_DRIVER_MIGRATION_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -111,4 +110,3 @@ class AcudMigrator
 
 } // namespace barre
 
-#endif // BARRE_DRIVER_MIGRATION_HH

@@ -1,5 +1,6 @@
 #include "filters/cuckoo_filter.hh"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
@@ -99,8 +100,12 @@ CuckooFilter::insert(std::uint64_t item)
     std::uint32_t i1 = bucketOf(item);
     std::uint32_t i2 = altBucket(i1, fp);
 
-    if (tryPlace(i1, fp) || tryPlace(i2, fp))
+    if (tryPlace(i1, fp) || tryPlace(i2, fp)) {
+        BARRE_AUDIT(shadowInsert(item));
+        BARRE_AUDIT_EVERY(audit_tick_, kAuditPeriod,
+                          auditNoFalseNegatives());
         return true;
+    }
 
     // Both buckets full: relocate a victim, alternating buckets.
     std::uint32_t bucket = (kick_rng_.next() & 1) ? i2 : i1;
@@ -109,13 +114,23 @@ CuckooFilter::insert(std::uint64_t item)
             static_cast<std::uint32_t>(kick_rng_.below(params_.ways));
         std::swap(fp, slot(bucket, victim_way));
         bucket = altBucket(bucket, fp);
-        if (tryPlace(bucket, fp))
+        if (tryPlace(bucket, fp)) {
+            BARRE_AUDIT(shadowInsert(item));
+            BARRE_AUDIT_EVERY(audit_tick_, kAuditPeriod,
+                              auditNoFalseNegatives());
             return true;
+        }
     }
     // Filter too full; the displaced fingerprint is dropped. This makes
     // the failure lossy (a prior item may now miss), matching hardware
     // filters that bound insertion work. Callers treat this as an
     // unfortunate-but-safe event (filters are hints, verified at the TLB).
+    // The inserted item itself landed in the table along the kick chain;
+    // any shadow item sharing the dropped fingerprint may be the loser,
+    // so all of them leave the audit's tracking set.
+    ++lossy_;
+    BARRE_AUDIT(shadowInsert(item));
+    BARRE_AUDIT(shadowPurgeFingerprint(fp));
     return false;
 }
 
@@ -134,9 +149,13 @@ CuckooFilter::erase(std::uint64_t item)
 {
     Fingerprint fp = fingerprintOf(item);
     std::uint32_t i1 = bucketOf(item);
-    if (removeFrom(i1, fp))
-        return true;
-    return removeFrom(altBucket(i1, fp), fp);
+    bool removed = removeFrom(i1, fp) || removeFrom(altBucket(i1, fp), fp);
+    if (removed) {
+        BARRE_AUDIT(shadowErase(item));
+        BARRE_AUDIT_EVERY(audit_tick_, kAuditPeriod,
+                          auditNoFalseNegatives());
+    }
+    return removed;
 }
 
 void
@@ -144,6 +163,56 @@ CuckooFilter::clear()
 {
     std::fill(slots_.begin(), slots_.end(), empty_slot);
     occupied_ = 0;
+    lossy_ = 0;
+    shadow_.clear();
+}
+
+void
+CuckooFilter::auditNoFalseNegatives() const
+{
+    std::uint64_t filled = 0;
+    for (Fingerprint s : slots_)
+        filled += s != empty_slot;
+    barre_assert(filled == occupied_,
+                 "cuckoo occupancy counter %llu != %llu filled slots",
+                 (unsigned long long)occupied_,
+                 (unsigned long long)filled);
+    for (std::uint64_t item : shadow_) {
+        barre_assert(contains(item),
+                     "cuckoo filter lost item %llx: inserted fingerprint "
+                     "not locatable in either bucket",
+                     (unsigned long long)item);
+    }
+}
+
+void
+CuckooFilter::shadowInsert(std::uint64_t item)
+{
+    shadow_.push_back(item);
+}
+
+void
+CuckooFilter::shadowErase(std::uint64_t item)
+{
+    auto it = std::find(shadow_.begin(), shadow_.end(), item);
+    if (it != shadow_.end()) {
+        *it = shadow_.back();
+        shadow_.pop_back();
+        return;
+    }
+    // Erasing an item we never tracked still removed one copy of its
+    // fingerprint — which some tracked item may have depended on.
+    shadowPurgeFingerprint(fingerprintOf(item));
+}
+
+void
+CuckooFilter::shadowPurgeFingerprint(Fingerprint fp)
+{
+    shadow_.erase(std::remove_if(shadow_.begin(), shadow_.end(),
+                                 [&](std::uint64_t x) {
+                                     return fingerprintOf(x) == fp;
+                                 }),
+                  shadow_.end());
 }
 
 } // namespace barre

@@ -11,13 +11,13 @@
  * configures 9-bit fingerprints, 4-way buckets, 256 rows (1024 slots).
  */
 
-#ifndef BARRE_FILTERS_CUCKOO_FILTER_HH
-#define BARRE_FILTERS_CUCKOO_FILTER_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "filters/hash.hh"
+#include "sim/invariant.hh"
 #include "sim/rng.hh"
 
 namespace barre
@@ -58,6 +58,14 @@ class CuckooFilter
     void clear();
 
     std::uint64_t size() const { return occupied_; }
+
+    /**
+     * Number of inserts that failed after exhausting max_kicks, each of
+     * which may have silently dropped one resident fingerprint. While
+     * this is zero the filter has had no false negatives.
+     */
+    std::uint64_t lossyInserts() const { return lossy_; }
+
     std::uint64_t capacity() const
     {
         return std::uint64_t{params_.rows} * params_.ways;
@@ -76,10 +84,32 @@ class CuckooFilter
 
     const CuckooFilterParams &params() const { return params_; }
 
+    /**
+     * Deep audit (sim/invariant.hh): every item successfully inserted
+     * and not yet erased or displaced by a lossy full-filter insert
+     * must still be locatable — the filter's no-false-negative
+     * guarantee — and the occupancy counter must match the table.
+     * Tracking state is only maintained under BARRE_CHECK_INVARIANTS;
+     * without it the audit is a no-op. Panics (throws) on violation.
+     */
+    void auditNoFalseNegatives() const;
+
+    /**
+     * Test hook: wipe one slot behind the bookkeeping's back, breaking
+     * the no-false-negative guarantee on purpose so invariant tests
+     * can assert auditNoFalseNegatives() fires.
+     */
+    void
+    debugCorruptSlot(std::uint32_t bucket, std::uint32_t way)
+    {
+        slot(bucket, way) = empty_slot;
+    }
+
   private:
     using Fingerprint = std::uint16_t; // holds up to 16-bit fingerprints
 
     static constexpr Fingerprint empty_slot = 0;
+    static constexpr std::uint64_t kAuditPeriod = 256;
 
     Fingerprint fingerprintOf(std::uint64_t item) const;
     std::uint32_t bucketOf(std::uint64_t item) const;
@@ -96,9 +126,21 @@ class CuckooFilter
     std::uint32_t row_mask_;
     std::vector<Fingerprint> slots_;
     std::uint64_t occupied_ = 0;
+    std::uint64_t lossy_ = 0;
     Rng kick_rng_;
+
+    /**
+     * Shadow multiset of live items, maintained only under
+     * BARRE_CHECK_INVARIANTS (see shadowInsert/shadowErase). Items
+     * whose fingerprint a lossy insert may have displaced are purged
+     * conservatively, so the audit never reports a by-design loss.
+     */
+    std::vector<std::uint64_t> shadow_;
+    std::uint64_t audit_tick_ = 0; ///< BARRE_AUDIT_EVERY site counter
+
+    void shadowInsert(std::uint64_t item);
+    void shadowErase(std::uint64_t item);
+    void shadowPurgeFingerprint(Fingerprint fp);
 };
 
 } // namespace barre
-
-#endif // BARRE_FILTERS_CUCKOO_FILTER_HH

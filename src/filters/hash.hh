@@ -6,8 +6,7 @@
  * filter salt so LCF/RCF instances hash independently.
  */
 
-#ifndef BARRE_FILTERS_HASH_HH
-#define BARRE_FILTERS_HASH_HH
+#pragma once
 
 #include <cstdint>
 
@@ -29,4 +28,3 @@ mixHash(std::uint64_t x, std::uint64_t salt = 0)
 
 } // namespace barre
 
-#endif // BARRE_FILTERS_HASH_HH

@@ -11,8 +11,7 @@
  * needs (L2 TLB MPKI, remote accesses, ...).
  */
 
-#ifndef BARRE_GPU_CHIPLET_HH
-#define BARRE_GPU_CHIPLET_HH
+#pragma once
 
 #include <deque>
 #include <memory>
@@ -191,4 +190,3 @@ class Chiplet : public SimObject
 
 } // namespace barre
 
-#endif // BARRE_GPU_CHIPLET_HH

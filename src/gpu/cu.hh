@@ -10,8 +10,7 @@
  * CU drains.
  */
 
-#ifndef BARRE_GPU_CU_HH
-#define BARRE_GPU_CU_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -106,4 +105,3 @@ class Cu : public SimObject
 
 } // namespace barre
 
-#endif // BARRE_GPU_CU_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 
 namespace barre
@@ -231,6 +232,12 @@ void
 FBarreService::onL2Insert(ChipletId chiplet, const TlbEntry &entry)
 {
     engines_[chiplet]->lcfInsert(entry.pid, entry.vpn);
+    // The insert just restored TLB ⊆ LCF on this chiplet (the evict
+    // listener already removed the victim from both); a safe point to
+    // audit coherence. Not valid inside onL2Evict: Tlb::insert fires
+    // the evict listener while the victim entry is still installed.
+    BARRE_AUDIT_EVERY(audit_tick_, kAuditPeriod,
+                      auditFilterCoherence(chiplet));
     if (!entry.coal.coalesced() || !params_.peer_sharing)
         return;
     const PecEntry *pec = pec_buffers_[chiplet]->find(entry.pid,
@@ -243,6 +250,30 @@ FBarreService::onL2Insert(ChipletId chiplet, const TlbEntry &entry)
             continue;
         sendFilterUpdates(chiplet, p, true, entry.pid, members);
     }
+}
+
+void
+FBarreService::auditFilterCoherence(ChipletId chiplet) const
+{
+    const Tlb *tlb = l2_tlbs_[chiplet];
+    if (!tlb)
+        return;
+    const FilterEngine &eng = *engines_[chiplet];
+    if (eng.lcfLossyInserts() > 0)
+        return; // best-effort territory: false negatives are by design
+    tlb->forEachValid([&](const TlbEntry &te) {
+        barre_assert(eng.lcfPeek(te.pid, te.vpn),
+                     "chiplet %u: L2 TLB entry (pid %u, vpn %llx) is "
+                     "not visible in the local coalescing filter",
+                     chiplet, te.pid, (unsigned long long)te.vpn);
+    });
+}
+
+void
+FBarreService::auditFilterCoherence() const
+{
+    for (std::uint32_t c = 0; c < chiplets_; ++c)
+        auditFilterCoherence(static_cast<ChipletId>(c));
 }
 
 void

@@ -18,8 +18,7 @@
  * in their RCF for this chiplet.
  */
 
-#ifndef BARRE_GPU_FBARRE_SERVICE_HH
-#define BARRE_GPU_FBARRE_SERVICE_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -75,6 +74,19 @@ class FBarreService : public SimObject, public TranslationService
     FilterEngine &engine(ChipletId c) { return *engines_[c]; }
     PecBuffer &pecBuffer(ChipletId c) { return *pec_buffers_[c]; }
 
+    /**
+     * Deep audit (sim/invariant.hh) of L2-TLB/LCF coherence on
+     * @p chiplet: every valid L2 TLB entry's VPN must be visible in the
+     * chiplet's local coalescing filter — the property step 1 of the
+     * translation flow relies on. Skipped once the LCF has recorded a
+     * lossy insert (the filter is best-effort by design from then on).
+     * Panics (throws) on violation. O(L2 entries).
+     */
+    void auditFilterCoherence(ChipletId chiplet) const;
+
+    /** auditFilterCoherence over every chiplet with an attached L2. */
+    void auditFilterCoherence() const;
+
     /// @name Statistics (Fig 16c/17/18/19 series)
     /// @{
     std::uint64_t localCalcHits() const { return local_hits_.value(); }
@@ -90,6 +102,8 @@ class FBarreService : public SimObject, public TranslationService
     std::uint64_t perChipletStorageBits() const;
 
   private:
+    static constexpr std::uint64_t kAuditPeriod = 256;
+
     /**
      * VPNs that could belong to the same coalescing group as @p vpn per
      * the buffer layout (probe set; membership is verified against the
@@ -130,8 +144,8 @@ class FBarreService : public SimObject, public TranslationService
     Counter remote_hits_;
     Counter fallbacks_;
     Counter filter_updates_;
+    std::uint64_t audit_tick_ = 0; ///< BARRE_AUDIT_EVERY site counter
 };
 
 } // namespace barre
 
-#endif // BARRE_GPU_FBARRE_SERVICE_HH

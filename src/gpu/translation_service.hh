@@ -13,8 +13,7 @@
  * trackers and filters, and are told about shootdowns.
  */
 
-#ifndef BARRE_GPU_TRANSLATION_SERVICE_HH
-#define BARRE_GPU_TRANSLATION_SERVICE_HH
+#pragma once
 
 #include "iommu/gmmu.hh"
 #include "iommu/iommu.hh"
@@ -83,4 +82,3 @@ class GmmuService : public TranslationService
 
 } // namespace barre
 
-#endif // BARRE_GPU_TRANSLATION_SERVICE_HH

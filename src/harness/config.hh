@@ -4,8 +4,7 @@
  * translation configurations the evaluation compares.
  */
 
-#ifndef BARRE_HARNESS_CONFIG_HH
-#define BARRE_HARNESS_CONFIG_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -89,4 +88,3 @@ struct SystemConfig
 
 } // namespace barre
 
-#endif // BARRE_HARNESS_CONFIG_HH

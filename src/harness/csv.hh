@@ -4,8 +4,7 @@
  * outside the text tables (gnuplot/matplotlib/pandas).
  */
 
-#ifndef BARRE_HARNESS_CSV_HH
-#define BARRE_HARNESS_CSV_HH
+#pragma once
 
 #include <iosfwd>
 #include <vector>
@@ -26,4 +25,3 @@ void writeCsv(std::ostream &os, const std::vector<RunMetrics> &rows);
 
 } // namespace barre
 
-#endif // BARRE_HARNESS_CSV_HH

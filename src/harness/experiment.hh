@@ -10,8 +10,7 @@
  * collected by index, never by completion order.
  */
 
-#ifndef BARRE_HARNESS_EXPERIMENT_HH
-#define BARRE_HARNESS_EXPERIMENT_HH
+#pragma once
 
 #include <functional>
 #include <string>
@@ -84,4 +83,3 @@ std::string fmt(double v, int precision = 3);
 
 } // namespace barre
 
-#endif // BARRE_HARNESS_EXPERIMENT_HH

@@ -4,8 +4,7 @@
  * figure and table in the evaluation.
  */
 
-#ifndef BARRE_HARNESS_METRICS_HH
-#define BARRE_HARNESS_METRICS_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -97,4 +96,3 @@ double geomean(const std::vector<double> &xs);
 
 } // namespace barre
 
-#endif // BARRE_HARNESS_METRICS_HH

@@ -11,8 +11,7 @@
  * and remain deterministically ordered no matter which worker ran what.
  */
 
-#ifndef BARRE_HARNESS_POOL_HH
-#define BARRE_HARNESS_POOL_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -94,4 +93,3 @@ class ThreadPool
 
 } // namespace barre
 
-#endif // BARRE_HARNESS_POOL_HH

@@ -5,8 +5,7 @@
  * wired per a SystemConfig.
  */
 
-#ifndef BARRE_HARNESS_SYSTEM_HH
-#define BARRE_HARNESS_SYSTEM_HH
+#pragma once
 
 #include <memory>
 #include <ostream>
@@ -106,4 +105,3 @@ class System
 
 } // namespace barre
 
-#endif // BARRE_HARNESS_SYSTEM_HH

@@ -14,8 +14,7 @@
  * queue after a coalesced walk, removing both local and remote walks.
  */
 
-#ifndef BARRE_IOMMU_GMMU_HH
-#define BARRE_IOMMU_GMMU_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -120,4 +119,3 @@ class GmmuSystem : public SimObject
 
 } // namespace barre
 
-#endif // BARRE_IOMMU_GMMU_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 
 namespace barre
@@ -130,6 +131,14 @@ Iommu::enqueue(Request req)
     }
     queue_depth_.sample(
         static_cast<double>(pw_queue_.size() + overflow_.size()));
+    BARRE_AUDIT(
+        barre_assert(params_.ptws == 0 ||
+                     pw_queue_.size() <= params_.pw_queue_entries,
+                     "PW queue overran its %u entries",
+                     params_.pw_queue_entries);
+        barre_assert(params_.ptws == 0 || busy_ptws_ <= params_.ptws,
+                     "%u walks in flight with only %u PTWs", busy_ptws_,
+                     params_.ptws));
     tryDispatch();
 }
 
@@ -277,6 +286,18 @@ Iommu::completeWalk(const Request &req)
             } else if (auto calc = pec::calcPending(
                            *entry, req.vpn, resp.pfn, resp.coal,
                            it->vpn, *memory_map_)) {
+                // The calculated PFN is about to skip this request's
+                // walk; it must agree with the authoritative table.
+                BARRE_AUDIT(
+                    if (auto truth = tableFor(it->pid)->walk(it->vpn)) {
+                        barre_assert(
+                            truth->pfn() == calc->pfn,
+                            "PEC-calculated PFN %llx for vpn %llx "
+                            "diverges from page-table PFN %llx",
+                            (unsigned long long)calc->pfn,
+                            (unsigned long long)it->vpn,
+                            (unsigned long long)truth->pfn());
+                    });
                 AtsResponse co;
                 co.pid = it->pid;
                 co.vpn = it->vpn;

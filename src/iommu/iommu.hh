@@ -16,8 +16,7 @@
  * calculation can catch them.
  */
 
-#ifndef BARRE_IOMMU_IOMMU_HH
-#define BARRE_IOMMU_IOMMU_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -229,4 +228,3 @@ class Iommu : public SimObject
 
 } // namespace barre
 
-#endif // BARRE_IOMMU_IOMMU_HH

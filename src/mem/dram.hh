@@ -7,8 +7,7 @@
  * bandwidth (Table II: 1 TB/s, 100 ns). One instance per chiplet.
  */
 
-#ifndef BARRE_MEM_DRAM_HH
-#define BARRE_MEM_DRAM_HH
+#pragma once
 
 #include <cstdint>
 
@@ -64,4 +63,3 @@ class Dram : public SimObject
 
 } // namespace barre
 
-#endif // BARRE_MEM_DRAM_HH

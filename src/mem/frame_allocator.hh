@@ -15,8 +15,7 @@
  * common-availability search degrades the way real, aged memory would.
  */
 
-#ifndef BARRE_MEM_FRAME_ALLOCATOR_HH
-#define BARRE_MEM_FRAME_ALLOCATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -86,4 +85,3 @@ class FrameAllocator
 
 } // namespace barre
 
-#endif // BARRE_MEM_FRAME_ALLOCATOR_HH

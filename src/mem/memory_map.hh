@@ -8,8 +8,7 @@
  * "global PFN map").
  */
 
-#ifndef BARRE_MEM_MEMORY_MAP_HH
-#define BARRE_MEM_MEMORY_MAP_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -78,4 +77,3 @@ class MemoryMap
 
 } // namespace barre
 
-#endif // BARRE_MEM_MEMORY_MAP_HH

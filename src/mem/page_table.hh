@@ -8,8 +8,7 @@
  * walkers (the paper configures 500-cycle walks), not here.
  */
 
-#ifndef BARRE_MEM_PAGE_TABLE_HH
-#define BARRE_MEM_PAGE_TABLE_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -94,4 +93,3 @@ class PageTable
 
 } // namespace barre
 
-#endif // BARRE_MEM_PAGE_TABLE_HH

@@ -24,8 +24,7 @@
  * Bits 12..51 hold the global PFN; bit 0 is Present as usual.
  */
 
-#ifndef BARRE_MEM_PTE_HH
-#define BARRE_MEM_PTE_HH
+#pragma once
 
 #include <bit>
 #include <cstdint>
@@ -128,4 +127,3 @@ class Pte
 
 } // namespace barre
 
-#endif // BARRE_MEM_PTE_HH

@@ -10,8 +10,7 @@
  *    (the "global PFN map" of the paper's Fig 7a).
  */
 
-#ifndef BARRE_MEM_TYPES_HH
-#define BARRE_MEM_TYPES_HH
+#pragma once
 
 #include <cstdint>
 
@@ -75,4 +74,3 @@ paddrOf(Pfn pfn, Addr offset, PageSize ps)
 
 } // namespace barre
 
-#endif // BARRE_MEM_TYPES_HH

@@ -8,8 +8,7 @@
  * local operations.
  */
 
-#ifndef BARRE_NOC_INTERCONNECT_HH
-#define BARRE_NOC_INTERCONNECT_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -78,4 +77,3 @@ class Interconnect : public SimObject
 
 } // namespace barre
 
-#endif // BARRE_NOC_INTERCONNECT_HH

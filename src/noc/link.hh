@@ -7,8 +7,7 @@
  * building block for the intra-MCM mesh and the PCIe connection.
  */
 
-#ifndef BARRE_NOC_LINK_HH
-#define BARRE_NOC_LINK_HH
+#pragma once
 
 #include <cstdint>
 
@@ -67,4 +66,3 @@ class Link : public SimObject
 
 } // namespace barre
 
-#endif // BARRE_NOC_LINK_HH

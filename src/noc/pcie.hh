@@ -7,8 +7,7 @@
  * with same-direction traffic.
  */
 
-#ifndef BARRE_NOC_PCIE_HH
-#define BARRE_NOC_PCIE_HH
+#pragma once
 
 #include <memory>
 
@@ -59,4 +58,3 @@ class Pcie : public SimObject
 
 } // namespace barre
 
-#endif // BARRE_NOC_PCIE_HH

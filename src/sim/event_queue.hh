@@ -14,14 +14,14 @@
  * lanes, so the fast lane is invisible to simulation results.
  */
 
-#ifndef BARRE_SIM_EVENT_QUEUE_HH
-#define BARRE_SIM_EVENT_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -114,6 +114,8 @@ class EventQueue
                 break;
             }
             ++fired;
+            BARRE_AUDIT_EVERY(audit_tick_, kAuditPeriod,
+                              auditInvariants());
         }
         fired_total_ += fired;
         return fired;
@@ -139,11 +141,51 @@ class EventQueue
                 break;
             }
             ++fired;
+            BARRE_AUDIT_EVERY(audit_tick_, kAuditPeriod,
+                              auditInvariants());
         }
         if (now_ < until)
             now_ = until;
         fired_total_ += fired;
         return fired;
+    }
+
+    /**
+     * Deep audit of the queue's structural invariants (see
+     * sim/invariant.hh): the 4-ary heap property on (when, seq), no
+     * heap entry in the past, and the fast lane holding only
+     * current-tick entries in FIFO (strictly increasing seq) order.
+     * Panics (throws) on violation. O(pending).
+     */
+    void
+    auditInvariants() const
+    {
+        const std::size_t n = heap_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            barre_assert(heap_[i].when >= now_,
+                         "heap entry %zu at tick %llu is in the past "
+                         "(now %llu)",
+                         i, (unsigned long long)heap_[i].when,
+                         (unsigned long long)now_);
+            if (i == 0)
+                continue;
+            const std::size_t p = (i - 1) >> 2;
+            barre_assert(!before(heap_[i].when, heap_[i].seq,
+                                 heap_[p].when, heap_[p].seq),
+                         "4-ary heap order violated at index %zu", i);
+        }
+        barre_assert(now_head_ <= now_lane_.size(),
+                     "fast-lane head past its end");
+        for (std::size_t i = now_head_; i < now_lane_.size(); ++i) {
+            barre_assert(now_lane_[i].when == now_,
+                         "fast-lane entry %zu at tick %llu, not now "
+                         "(%llu)",
+                         i, (unsigned long long)now_lane_[i].when,
+                         (unsigned long long)now_);
+            barre_assert(i == now_head_ ||
+                         now_lane_[i - 1].seq < now_lane_[i].seq,
+                         "fast lane is not FIFO at entry %zu", i);
+        }
     }
 
   private:
@@ -155,6 +197,7 @@ class EventQueue
     };
 
     static constexpr std::size_t kReserve = 1024;
+    static constexpr std::uint64_t kAuditPeriod = 4096;
 
     static bool
     before(Tick wa, std::uint64_t sa, Tick wb, std::uint64_t sb)
@@ -250,8 +293,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t fired_total_ = 0;
+    std::uint64_t audit_tick_ = 0; ///< BARRE_AUDIT_EVERY site counter
 };
 
 } // namespace barre
-
-#endif // BARRE_SIM_EVENT_QUEUE_HH

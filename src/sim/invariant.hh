@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deep invariant audits for the simulation hot structures.
+ *
+ * The audits themselves (EventQueue heap order, cuckoo-filter
+ * no-false-negative, coalescing-group/page-table consistency, L2-TLB/LCF
+ * coherence) are always compiled — tests call them directly — but the
+ * *automatic* call sites inside hot paths, and any shadow state they
+ * need, only exist when the build defines BARRE_CHECK_INVARIANTS
+ * (CMake -DBARRE_CHECK_INVARIANTS=ON; on in the `debug` and `asan-ubsan`
+ * presets). A failed audit raises barre_panic, which throws, so unit
+ * tests can corrupt a structure on purpose and assert the audit fires.
+ *
+ * Usage in a hot structure:
+ * @code
+ *   BARRE_AUDIT(auditInvariants());            // every call, audits on
+ *   BARRE_AUDIT_EVERY(audit_tick_, 4096, auditInvariants());
+ * @endcode
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace barre
+{
+
+#ifdef BARRE_CHECK_INVARIANTS
+inline constexpr bool invariants_enabled = true;
+#else
+inline constexpr bool invariants_enabled = false;
+#endif
+
+} // namespace barre
+
+#ifdef BARRE_CHECK_INVARIANTS
+
+/** Run the audit statement(s) when invariant checking is compiled in. */
+#define BARRE_AUDIT(...)                                                   \
+    do {                                                                   \
+        __VA_ARGS__;                                                       \
+    } while (0)
+
+/**
+ * Run the audit statement(s) every @p period-th call, using @p counter
+ * (a member of type std::uint64_t reserved for this site) to count
+ * calls. Amortizes O(n) audits over hot paths so audited builds stay
+ * usable.
+ */
+#define BARRE_AUDIT_EVERY(counter, period, ...)                            \
+    do {                                                                   \
+        if (++(counter) % (period) == 0) {                                 \
+            __VA_ARGS__;                                                   \
+        }                                                                  \
+    } while (0)
+
+#else
+
+#define BARRE_AUDIT(...)                                                   \
+    do {                                                                   \
+    } while (0)
+
+#define BARRE_AUDIT_EVERY(counter, period, ...)                            \
+    do {                                                                   \
+        (void)(counter);                                                   \
+    } while (0)
+
+#endif // BARRE_CHECK_INVARIANTS

@@ -8,8 +8,7 @@
  * inform() - plain status output.
  */
 
-#ifndef BARRE_SIM_LOGGING_HH
-#define BARRE_SIM_LOGGING_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,4 +52,3 @@ void informImpl(const std::string &msg);
         }                                                                  \
     } while (0)
 
-#endif // BARRE_SIM_LOGGING_HH

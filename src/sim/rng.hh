@@ -7,8 +7,7 @@
  * not portable).
  */
 
-#ifndef BARRE_SIM_RNG_HH
-#define BARRE_SIM_RNG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -77,4 +76,3 @@ class Rng
 
 } // namespace barre
 
-#endif // BARRE_SIM_RNG_HH

@@ -7,8 +7,7 @@
  * SimObjects lies with the System assembly in harness/.
  */
 
-#ifndef BARRE_SIM_SIM_OBJECT_HH
-#define BARRE_SIM_SIM_OBJECT_HH
+#pragma once
 
 #include <string>
 #include <utility>
@@ -50,4 +49,3 @@ class SimObject
 
 } // namespace barre
 
-#endif // BARRE_SIM_SIM_OBJECT_HH

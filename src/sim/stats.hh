@@ -7,8 +7,7 @@
  * (ratios) are computed at dump time.
  */
 
-#ifndef BARRE_SIM_STATS_HH
-#define BARRE_SIM_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -125,4 +124,3 @@ class StatRegistry
 
 } // namespace barre
 
-#endif // BARRE_SIM_STATS_HH

@@ -6,8 +6,7 @@
  * Address-space types (VPN/PFN/...) live in mem/types.hh.
  */
 
-#ifndef BARRE_SIM_TYPES_HH
-#define BARRE_SIM_TYPES_HH
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -38,4 +37,3 @@ constexpr ChipletId invalid_chiplet = ~ChipletId{0};
 
 } // namespace barre
 
-#endif // BARRE_SIM_TYPES_HH

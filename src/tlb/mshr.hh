@@ -8,8 +8,7 @@
  * back-pressure examined in paper Fig 4).
  */
 
-#ifndef BARRE_TLB_MSHR_HH
-#define BARRE_TLB_MSHR_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -105,4 +104,3 @@ class Mshr
 
 } // namespace barre
 
-#endif // BARRE_TLB_MSHR_HH

@@ -12,8 +12,7 @@
  * coalescing-group filters.
  */
 
-#ifndef BARRE_TLB_TLB_HH
-#define BARRE_TLB_TLB_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -78,6 +77,16 @@ class Tlb
     void setEvictListener(EvictListener l) { on_evict_ = std::move(l); }
     void setInsertListener(InsertListener l) { on_insert_ = std::move(l); }
 
+    /** Visit every valid entry (audits, debug dumps); order is set-major. */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const Way &way : ways_)
+            if (way.entry.valid)
+                fn(way.entry);
+    }
+
     const TlbParams &params() const { return params_; }
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
@@ -117,4 +126,3 @@ class Tlb
 
 } // namespace barre
 
-#endif // BARRE_TLB_TLB_HH

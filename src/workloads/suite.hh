@@ -5,8 +5,7 @@
  * place them in the same low/mid/high L2-TLB-MPKI classes.
  */
 
-#ifndef BARRE_WORKLOADS_SUITE_HH
-#define BARRE_WORKLOADS_SUITE_HH
+#pragma once
 
 #include <vector>
 
@@ -26,4 +25,3 @@ std::vector<AppParams> scaledSubset();
 
 } // namespace barre
 
-#endif // BARRE_WORKLOADS_SUITE_HH

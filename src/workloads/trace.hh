@@ -11,8 +11,7 @@
  *   <hex vaddr> <pid>      - access with an explicit process id
  */
 
-#ifndef BARRE_WORKLOADS_TRACE_HH
-#define BARRE_WORKLOADS_TRACE_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -55,4 +54,3 @@ Trace recordTrace(const AppParams &app,
 
 } // namespace barre
 
-#endif // BARRE_WORKLOADS_TRACE_HH

@@ -14,8 +14,7 @@
  * generates each CTA's warp-level memory-access stream.
  */
 
-#ifndef BARRE_WORKLOADS_WORKLOAD_HH
-#define BARRE_WORKLOADS_WORKLOAD_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -98,4 +97,3 @@ ChipletId assignCta(MappingPolicyKind policy, const AppParams &app,
 
 } // namespace barre
 
-#endif // BARRE_WORKLOADS_WORKLOAD_HH

@@ -117,13 +117,14 @@ TEST(Chiplet, LocalVsRemoteDataLatency)
     Tick local = 0, remote = 0;
     rig.chip0->access(0, 1, rig.addrOfPage(0), [&] {
         Tick t0 = rig.eq.now();
-        rig.chip0->access(0, 1, rig.addrOfPage(0) + 4096 - 64, [&] {
+        // t0 by value: the inner callback outlives this frame.
+        rig.chip0->access(0, 1, rig.addrOfPage(0) + 4096 - 64, [&, t0] {
             local = rig.eq.now() - t0;
         });
     });
     rig.chip0->access(1, 1, rig.addrOfPage(4), [&] {
         Tick t0 = rig.eq.now();
-        rig.chip0->access(1, 1, rig.addrOfPage(4) + 4096 - 64, [&] {
+        rig.chip0->access(1, 1, rig.addrOfPage(4) + 4096 - 64, [&, t0] {
             remote = rig.eq.now() - t0;
         });
     });

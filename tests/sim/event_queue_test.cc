@@ -191,8 +191,9 @@ TEST(EventQueueOrdering, GlobalWhenSeqOrderUnderStress)
     ASSERT_EQ(fired.size(), 5000u);
     for (std::size_t i = 1; i < fired.size(); ++i) {
         ASSERT_LE(fired[i - 1].first, fired[i].first);
-        if (fired[i - 1].first == fired[i].first)
+        if (fired[i - 1].first == fired[i].first) {
             ASSERT_LT(fired[i - 1].second, fired[i].second);
+        }
     }
 }
 

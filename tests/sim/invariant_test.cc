@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the debug invariant layer (sim/invariant.hh): the audits
+ * pass on healthy state and, crucially, *fire* when state is corrupted
+ * behind the bookkeeping's back — a dead assertion is worse than none.
+ *
+ * The audit entry points are compiled unconditionally so these tests
+ * run in every build flavor; only the automatic call sites and the
+ * cuckoo filter's shadow tracking are gated by BARRE_CHECK_INVARIANTS.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "driver/gpu_driver.hh"
+#include "filters/cuckoo_filter.hh"
+#include "sim/event_queue.hh"
+#include "sim/invariant.hh"
+
+using namespace barre;
+
+namespace
+{
+
+CuckooFilterParams
+smallFilter()
+{
+    CuckooFilterParams p;
+    p.rows = 16;
+    p.ways = 4;
+    return p;
+}
+
+DriverParams
+barreParams(std::uint32_t merge = 1)
+{
+    DriverParams p;
+    p.policy = MappingPolicyKind::lasp;
+    p.barre = true;
+    p.merge_limit = merge;
+    return p;
+}
+
+} // namespace
+
+TEST(CuckooAudit, HealthyFilterPasses)
+{
+    CuckooFilter f(smallFilter());
+    for (std::uint64_t i = 1; i <= 40; ++i)
+        f.insert(i * 0x9e37);
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        f.erase(i * 0x9e37);
+    EXPECT_NO_THROW(f.auditNoFalseNegatives());
+}
+
+TEST(CuckooAudit, CorruptedBucketFires)
+{
+    CuckooFilter f(smallFilter());
+    for (std::uint64_t i = 1; i <= 16; ++i)
+        ASSERT_TRUE(f.insert(i * 0x51ed));
+    ASSERT_EQ(f.size(), 16u);
+    // Wipe every slot behind the occupancy/shadow bookkeeping: the
+    // audit must notice the table no longer backs its own counters.
+    for (std::uint32_t b = 0; b < smallFilter().rows; ++b)
+        for (std::uint32_t w = 0; w < smallFilter().ways; ++w)
+            f.debugCorruptSlot(b, w);
+    EXPECT_THROW(f.auditNoFalseNegatives(), std::logic_error);
+}
+
+TEST(CuckooAudit, ShadowCatchesSilentDropOfOneItem)
+{
+    if (!invariants_enabled)
+        GTEST_SKIP() << "shadow tracking needs BARRE_CHECK_INVARIANTS";
+    CuckooFilter f(smallFilter());
+    for (std::uint64_t i = 1; i <= 24; ++i)
+        ASSERT_TRUE(f.insert(i * 0x2c9b));
+    // Corrupt single slots until some live item turns up missing; the
+    // occupancy counter alone cannot pinpoint it, the shadow set can.
+    bool fired = false;
+    for (std::uint32_t b = 0; b < smallFilter().rows && !fired; ++b) {
+        f.debugCorruptSlot(b, 0);
+        try {
+            f.auditNoFalseNegatives();
+        } catch (const std::logic_error &) {
+            fired = true;
+        }
+    }
+    EXPECT_TRUE(fired);
+}
+
+TEST(CuckooAudit, LossyFilterIsExemptFromShadowAudit)
+{
+    // Overfill far past capacity: inserts start failing (dropping
+    // victim fingerprints), which is by-design data loss — the audit
+    // must tolerate it rather than cry wolf.
+    CuckooFilter f(smallFilter());
+    for (std::uint64_t i = 1; i <= 500; ++i)
+        f.insert(i * 0x6b43);
+    EXPECT_GT(f.lossyInserts(), 0u);
+    EXPECT_NO_THROW(f.auditNoFalseNegatives());
+}
+
+TEST(PecAudit, HealthyGroupsPass)
+{
+    MemoryMap map(4, 0x4000);
+    GpuDriver drv(map, barreParams());
+    auto a = drv.gpuMalloc(1, 12);
+    ASSERT_EQ(a.coalesced_pages, 12u);
+    PageTable &pt = drv.pageTable(1);
+    for (std::uint64_t p = 0; p < 12; ++p)
+        EXPECT_NO_THROW(
+            pec::auditGroup(a.layout, pt, a.start_vpn + p, map));
+}
+
+TEST(PecAudit, MergedGroupsPass)
+{
+    MemoryMap map(4, 0x4000);
+    GpuDriver drv(map, barreParams(2));
+    auto a = drv.gpuMalloc(1, 32);
+    PageTable &pt = drv.pageTable(1);
+    for (std::uint64_t p = 0; p < 32; ++p)
+        EXPECT_NO_THROW(
+            pec::auditGroup(a.layout, pt, a.start_vpn + p, map));
+}
+
+TEST(PecAudit, WrongMemberPfnFires)
+{
+    MemoryMap map(4, 0x4000);
+    GpuDriver drv(map, barreParams());
+    auto a = drv.gpuMalloc(1, 12);
+    PageTable &pt = drv.pageTable(1);
+    // Remap one group member a frame off while keeping its coalescing
+    // bits: the PEC calculation no longer matches the page table.
+    Vpn victim = a.start_vpn + 3;
+    auto pte = pt.walk(victim);
+    ASSERT_TRUE(pte.has_value());
+    pt.map(victim, pte->pfn() + 1, pte->coalInfo());
+    EXPECT_THROW(pec::auditGroup(a.layout, pt, a.start_vpn, map),
+                 std::logic_error);
+}
+
+TEST(PecAudit, UnmappedMemberFires)
+{
+    MemoryMap map(4, 0x4000);
+    GpuDriver drv(map, barreParams());
+    auto a = drv.gpuMalloc(1, 12);
+    PageTable &pt = drv.pageTable(1);
+    ASSERT_TRUE(pt.unmap(a.start_vpn + 6));
+    // start_vpn + 0 shares a group with + 3, + 6, + 9 (gran 3).
+    EXPECT_THROW(pec::auditGroup(a.layout, pt, a.start_vpn, map),
+                 std::logic_error);
+}
+
+TEST(PecAudit, DivergingGroupMetadataFires)
+{
+    MemoryMap map(4, 0x4000);
+    GpuDriver drv(map, barreParams());
+    auto a = drv.gpuMalloc(1, 12);
+    PageTable &pt = drv.pageTable(1);
+    Vpn victim = a.start_vpn + 9;
+    CoalInfo ci = pt.walk(victim)->coalInfo();
+    ci.bitmap &= ~(std::uint32_t{1} << 0); // drop position 0 only here
+    ASSERT_TRUE(pt.updateCoalInfo(victim, ci));
+    EXPECT_THROW(pec::auditGroup(a.layout, pt, a.start_vpn, map),
+                 std::logic_error);
+}
+
+TEST(PecAudit, UncoalescedPageAuditsTrivially)
+{
+    MemoryMap map(4, 0x4000);
+    GpuDriver drv(map, barreParams());
+    auto a = drv.gpuMalloc(1, 1); // single page: no group
+    PageTable &pt = drv.pageTable(1);
+    EXPECT_NO_THROW(pec::auditGroup(a.layout, pt, a.start_vpn, map));
+    EXPECT_NO_THROW(
+        pec::auditGroup(a.layout, pt, a.start_vpn + 100, map)); // unmapped
+}
+
+TEST(EventQueueAudit, OrderedHeapAndFastLanePass)
+{
+    EventQueue eq;
+    int fired = 0;
+    int extra = 0;
+    for (int i = 0; i < 64; ++i)
+        eq.schedule((i * 37) % 101, [&] {
+            ++fired;
+            eq.auditInvariants();
+            if (fired % 8 == 0)
+                eq.schedule(eq.now(), [&] { ++extra; }); // fast lane
+        });
+    eq.auditInvariants();
+    eq.run();
+    eq.auditInvariants();
+    EXPECT_EQ(fired, 64);
+    EXPECT_EQ(extra, 8);
+}

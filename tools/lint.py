@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the Barre Chord simulator.
+
+Checks the properties the compiler cannot express but the simulator's
+correctness story depends on:
+
+  pragma-once      every header uses #pragma once (no ad-hoc guards).
+  nondeterminism   no wall-clock or libc randomness in src/: results
+                   must be bitwise reproducible across runs, machines,
+                   and $BARRE_JOBS settings (std::rand, srand, time(),
+                   system_clock, random_device, gettimeofday, ...).
+  unordered-iter   no range-for over std::unordered_{map,set} in src/:
+                   iteration order is implementation-defined and leaks
+                   straight into stats/CSV output and event order.
+  iostream-ban     no #include <iostream> outside tools/ and bench/;
+                   sim code reports through sim/logging.hh so output
+                   stays line-atomic under the parallel runner.
+  naked-new        no naked new/delete in src/; ownership goes through
+                   std::unique_ptr/containers.
+
+A line may opt out of one rule with a trailing `lint-allow:<rule>`
+comment.  `--format-check` additionally runs clang-format in dry-run
+mode over the tree (skipped with a notice when clang-format is not
+installed; CI installs it).
+
+Exit status: 0 clean, 1 violations, 2 usage/environment error.
+"""
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+HEADER_GLOBS = ["src/**/*.hh", "bench/**/*.hh"]
+CPP_GLOBS = [
+    "src/**/*.hh", "src/**/*.cc",
+    "tests/**/*.cc",
+    "bench/**/*.hh", "bench/**/*.cc",
+    "tools/**/*.cc",
+    "examples/**/*.cpp",
+]
+
+# (rule, regex, message) applied to comment/string-stripped src/ code.
+NONDETERMINISM = [
+    (re.compile(r"\bstd::rand\b|(?<![\w:])s?rand\s*\("),
+     "libc rand() is banned in sim code; use sim/rng.hh (seeded, "
+     "deterministic)"),
+    (re.compile(r"(?<![\w:.])time\s*\("),
+     "wall-clock time() is banned in sim code; simulations must be "
+     "reproducible"),
+    (re.compile(r"\bsystem_clock\b"),
+     "std::chrono::system_clock is banned in sim code; results must "
+     "not depend on wall-clock time"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device is banned in sim code; seed sim/rng.hh "
+     "deterministically"),
+    (re.compile(r"\bgettimeofday\b|\bclock_gettime\b"),
+     "wall-clock syscalls are banned in sim code"),
+]
+
+ALLOW_RE = re.compile(r"lint-allow:([\w-]+)")
+
+STRING_OR_COMMENT_RE = re.compile(
+    r'//[^\n]*'
+    r'|/\*.*?\*/'
+    r'|"(?:[^"\\\n]|\\.)*"'
+    r"|'(?:[^'\\\n]|\\.)*'",
+    re.DOTALL,
+)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving newlines."""
+    def blank(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+    return STRING_OR_COMMENT_RE.sub(blank, text)
+
+
+def allowed_rules(line):
+    return set(ALLOW_RE.findall(line))
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = Path(root)
+        self.violations = []
+
+    def report(self, path, lineno, rule, message):
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def files(self, globs):
+        seen = set()
+        for pattern in globs:
+            for path in sorted(self.root.glob(pattern)):
+                if path.is_file() and path not in seen:
+                    seen.add(path)
+                    yield path
+
+    # -- rules -----------------------------------------------------------
+
+    def check_pragma_once(self):
+        for path in self.files(HEADER_GLOBS):
+            text = path.read_text()
+            if "#pragma once" not in text:
+                self.report(path, 1, "pragma-once",
+                            "header must use #pragma once")
+            if re.search(r"^#ifndef BARRE_\w+\s*\n#define BARRE_",
+                         text, re.MULTILINE):
+                self.report(path, 1, "pragma-once",
+                            "replace the include guard with #pragma once")
+
+    def check_nondeterminism(self):
+        for path in self.files(["src/**/*.hh", "src/**/*.cc"]):
+            raw_lines = path.read_text().splitlines()
+            stripped = strip_comments_and_strings("\n".join(raw_lines))
+            for lineno, line in enumerate(stripped.splitlines(), 1):
+                raw = raw_lines[lineno - 1]
+                for regex, message in NONDETERMINISM:
+                    if regex.search(line) and \
+                            "nondeterminism" not in allowed_rules(raw):
+                        self.report(path, lineno, "nondeterminism",
+                                    message)
+
+    def check_unordered_iteration(self):
+        decl_re = re.compile(
+            r"unordered_(?:map|set)\s*<[^;{}]*?>\s*(\w+)\s*[;{=]",
+            re.DOTALL)
+        for path in self.files(["src/**/*.hh", "src/**/*.cc"]):
+            raw_lines = path.read_text().splitlines()
+            text = strip_comments_and_strings("\n".join(raw_lines))
+            names = set(decl_re.findall(text))
+            if not names:
+                continue
+            loop_re = re.compile(
+                r"for\s*\([^;)]*:\s*\*?(?:this->)?(%s)\s*\)"
+                % "|".join(re.escape(n) for n in names))
+            for lineno, line in enumerate(text.splitlines(), 1):
+                m = loop_re.search(line)
+                if m and "unordered-iter" not in \
+                        allowed_rules(raw_lines[lineno - 1]):
+                    self.report(
+                        path, lineno, "unordered-iter",
+                        f"range-for over unordered container "
+                        f"'{m.group(1)}': iteration order is "
+                        f"nondeterministic; iterate a sorted copy or "
+                        f"use an ordered container")
+
+    def check_iostream(self):
+        for path in self.files(["src/**/*.hh", "src/**/*.cc",
+                                "tests/**/*.cc", "examples/**/*.cpp"]):
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), 1):
+                if re.match(r"\s*#\s*include\s*<iostream>", line) and \
+                        "iostream-ban" not in allowed_rules(line):
+                    self.report(
+                        path, lineno, "iostream-ban",
+                        "#include <iostream> is only allowed under "
+                        "tools/ and bench/; use sim/logging.hh or "
+                        "<cstdio>")
+
+    def check_naked_new(self):
+        new_re = re.compile(r"(?<![\w.>])new\s+[A-Za-z_:(]")
+        delete_re = re.compile(r"(?<![\w.>])delete(\[\])?\s+[A-Za-z_:(*]")
+        for path in self.files(["src/**/*.hh", "src/**/*.cc"]):
+            raw_lines = path.read_text().splitlines()
+            text = strip_comments_and_strings("\n".join(raw_lines))
+            for lineno, line in enumerate(text.splitlines(), 1):
+                raw = raw_lines[lineno - 1]
+                if "naked-new" in allowed_rules(raw):
+                    continue
+                if new_re.search(line):
+                    self.report(path, lineno, "naked-new",
+                                "naked new in sim code; use "
+                                "std::make_unique/containers")
+                if delete_re.search(line):
+                    self.report(path, lineno, "naked-new",
+                                "naked delete in sim code; use "
+                                "std::unique_ptr/containers")
+
+    # -- clang-format ----------------------------------------------------
+
+    def check_format(self):
+        binary = shutil.which("clang-format")
+        if not binary:
+            print("lint: clang-format not found; skipping format check",
+                  file=sys.stderr)
+            return
+        files = [str(p) for p in self.files(CPP_GLOBS)]
+        proc = subprocess.run(
+            [binary, "--dry-run", "-Werror", "--style=file", *files],
+            cwd=self.root, capture_output=True, text=True)
+        if proc.returncode != 0:
+            tail = proc.stderr.strip().splitlines()
+            for line in tail[:40]:
+                print(line, file=sys.stderr)
+            self.violations.append(
+                f"[format] clang-format --dry-run failed for the tree "
+                f"({len(tail)} diagnostic lines)")
+
+    def run(self, format_check=False):
+        self.check_pragma_once()
+        self.check_nondeterminism()
+        self.check_unordered_iteration()
+        self.check_iostream()
+        self.check_naked_new()
+        if format_check:
+            self.check_format()
+        return self.violations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=Path(__file__).resolve().parent
+                        .parent, help="repository root to lint")
+    parser.add_argument("--format-check", action="store_true",
+                        help="also run clang-format --dry-run -Werror")
+    args = parser.parse_args()
+
+    root = Path(args.root)
+    if not (root / "src").is_dir():
+        print(f"lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    violations = Linter(root).run(format_check=args.format_check)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
