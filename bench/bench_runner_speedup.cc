@@ -2,16 +2,19 @@
  * @file
  * Self-benchmark for the experiment runner and the event-queue hot path.
  *
- * Runs a fixed (config x app) matrix twice — serial (jobs=1) and
- * parallel (jobs=min(8, cores), or $BARRE_JOBS) — checks the results
- * are identical, and emits machine-readable JSON so the performance
- * trajectory is tracked from PR to PR:
+ * Runs a fixed, cost-skewed (config x app) matrix three ways — serial
+ * (jobs=1), parallel in index order, and parallel with the
+ * longest-expected-first ordering runMany() uses (cellCostHint) —
+ * checks all results are identical, and emits machine-readable JSON
+ * so the performance trajectory is tracked from PR to PR:
  *
- *   build/bench/bench_runner_speedup [out.json]     # default BENCH_runner.json
+ *   build/bench/bench_runner_speedup [out.json]  # BENCH_runner.json
  *
  * JSON fields: host cores, jobs, serial/parallel wall seconds, speedup,
- * simulated events/sec in both modes, and a raw EventQueue
- * schedule+fire throughput microbenchmark.
+ * the ordering gain (index-order wall / longest-first wall, > 1 means
+ * the long `gups`-class cells no longer tail the batch), simulated
+ * events/sec, and a raw EventQueue schedule+fire throughput
+ * microbenchmark.
  *
  * $BARRE_SCALE scales the workload (default 0.1 here: big enough to
  * measure, small enough for CI).
@@ -94,13 +97,29 @@ main(int argc, char **argv)
                  "%u cores, %u jobs\n",
                  cfgs.size() * apps.size(), scale, cores, jobs);
 
-    std::vector<RunMetrics> serial, parallel;
+    // Index-order scheduling reference: the same cells through the
+    // unhinted runManyJobs() path, so the only difference from the
+    // ordered run is the start order.
+    std::vector<std::function<RunMetrics()>> sims;
+    for (const auto &nc : cfgs) {
+        for (const auto &app : apps) {
+            sims.push_back([&nc, &app] {
+                RunMetrics m = runApp(nc.cfg, app);
+                m.config = nc.name;
+                return m;
+            });
+        }
+    }
+
+    std::vector<RunMetrics> serial, unordered, parallel;
     double serial_s = wallSeconds(
         [&] { serial = runMany(cfgs, apps, /*jobs=*/1); });
+    double unordered_s = wallSeconds(
+        [&] { unordered = runManyJobs(sims, jobs); });
     double parallel_s = wallSeconds(
         [&] { parallel = runMany(cfgs, apps, jobs); });
 
-    bool identical = serial == parallel;
+    bool identical = serial == parallel && serial == unordered;
     if (!identical)
         std::fprintf(stderr,
                      "ERROR: parallel results differ from serial!\n");
@@ -111,6 +130,8 @@ main(int argc, char **argv)
 
     double eq_rate = eventQueueEventsPerSec();
     double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+    double ordering_gain =
+        parallel_s > 0 ? unordered_s / parallel_s : 0.0;
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f) {
@@ -125,8 +146,10 @@ main(int argc, char **argv)
                  "  \"cells\": %zu,\n"
                  "  \"workload_scale\": %g,\n"
                  "  \"serial_wall_s\": %.6f,\n"
+                 "  \"parallel_unordered_wall_s\": %.6f,\n"
                  "  \"parallel_wall_s\": %.6f,\n"
                  "  \"speedup\": %.3f,\n"
+                 "  \"ordering_gain\": %.3f,\n"
                  "  \"sim_events\": %llu,\n"
                  "  \"serial_events_per_s\": %.0f,\n"
                  "  \"parallel_events_per_s\": %.0f,\n"
@@ -134,17 +157,19 @@ main(int argc, char **argv)
                  "  \"identical_results\": %s\n"
                  "}\n",
                  cores, jobs, cfgs.size() * apps.size(), scale,
-                 serial_s, parallel_s, speedup,
-                 (unsigned long long)events,
+                 serial_s, unordered_s, parallel_s, speedup,
+                 ordering_gain, (unsigned long long)events,
                  serial_s > 0 ? events / serial_s : 0.0,
                  parallel_s > 0 ? events / parallel_s : 0.0, eq_rate,
                  identical ? "true" : "false");
     std::fclose(f);
 
-    std::printf("serial   %.3fs\nparallel %.3fs (%u jobs)\n"
+    std::printf("serial   %.3fs\nparallel %.3fs index-order, "
+                "%.3fs longest-first (%u jobs, gain %.2fx)\n"
                 "speedup  %.2fx\nevents/s %.3g serial, %.3g parallel\n"
                 "eventqueue %.3g events/s\nwrote %s\n",
-                serial_s, parallel_s, jobs, speedup,
+                serial_s, unordered_s, parallel_s, jobs,
+                ordering_gain, speedup,
                 serial_s > 0 ? events / serial_s : 0.0,
                 parallel_s > 0 ? events / parallel_s : 0.0, eq_rate,
                 out_path.c_str());

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "harness/sweep_io.hh"
 #include "sim/logging.hh"
 
 namespace barre::bench
@@ -11,10 +12,11 @@ double
 envScale(double def)
 {
     const char *s = std::getenv("BARRE_SCALE");
-    if (!s)
+    if (!s || !*s)
         return def;
-    double v = std::atof(s);
-    return v > 0 ? v : def;
+    // Strict: BARRE_SCALE=x must not silently run at the default
+    // scale and masquerade as a scaled measurement.
+    return parseScaleArg(s, "BARRE_SCALE");
 }
 
 namespace

@@ -22,10 +22,76 @@ csvHeader()
 }
 
 std::string
+csvQuote(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string out;
+    out.reserve(field.size() + 2);
+    out.push_back('"');
+    for (char c : field) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::vector<std::string>
+splitCsvRecord(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    for (;;) {
+        cur.clear();
+        if (i < n && line[i] == '"') {
+            ++i; // quoted field
+            for (;;) {
+                if (i >= n)
+                    barre_fatal("unterminated quote in CSV record "
+                                "'%s'",
+                                line.c_str());
+                if (line[i] == '"') {
+                    if (i + 1 < n && line[i + 1] == '"') {
+                        cur.push_back('"');
+                        i += 2;
+                        continue;
+                    }
+                    ++i; // closing quote
+                    break;
+                }
+                cur.push_back(line[i++]);
+            }
+            if (i < n && line[i] != ',')
+                barre_fatal("garbage after closing quote in CSV "
+                            "record '%s'",
+                            line.c_str());
+        } else {
+            while (i < n && line[i] != ',') {
+                if (line[i] == '"')
+                    barre_fatal("stray quote in unquoted CSV field "
+                                "in record '%s'",
+                                line.c_str());
+                cur.push_back(line[i++]);
+            }
+        }
+        fields.push_back(cur);
+        if (i >= n)
+            break;
+        ++i; // consume the comma
+    }
+    return fields;
+}
+
+std::string
 csvRow(const RunMetrics &m)
 {
     std::ostringstream os;
-    os << m.config << ',' << m.app << ',' << m.runtime << ','
+    os << csvQuote(m.config) << ',' << csvQuote(m.app) << ','
+       << m.runtime << ','
        << m.accesses << ',' << m.instructions << ',' << m.l2_tlb_hits
        << ',' << m.l2_tlb_misses << ',' << m.l2_mpki << ','
        << m.mshr_retries << ',' << m.ats_packets << ',' << m.walks

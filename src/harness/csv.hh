@@ -23,5 +23,21 @@ std::string csvRow(const RunMetrics &m);
 /** Write a whole result set with header. */
 void writeCsv(std::ostream &os, const std::vector<RunMetrics> &rows);
 
+/**
+ * RFC-4180 quoting: returns @p field unchanged unless it contains a
+ * comma, double quote, or newline, in which case it is wrapped in
+ * double quotes with embedded quotes doubled. Applied to the config
+ * and app labels in csvRow() — multi-app labels ("atax+gups") and
+ * future config names may legally contain commas.
+ */
+std::string csvQuote(const std::string &field);
+
+/**
+ * Parse one CSV record into fields, undoing csvQuote(). The inverse
+ * of csvRow() for any label content. Fatal on malformed input
+ * (unterminated quote, garbage after a closing quote).
+ */
+std::vector<std::string> splitCsvRecord(const std::string &line);
+
 } // namespace barre
 

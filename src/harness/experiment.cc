@@ -1,12 +1,59 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <sstream>
 
 #include "harness/pool.hh"
 #include "sim/logging.hh"
 
 namespace barre
 {
+
+namespace
+{
+
+/**
+ * Optional persisted cost hints: $BARRE_COST_CACHE names a text file
+ * of "config/app<TAB>wall_seconds" lines. runMany() prefers a cell's
+ * last measured wall time over the MPKI model and rewrites the file
+ * after each sweep, so repeated sweeps converge on true costs.
+ */
+std::map<std::string, double>
+loadCostCache(const char *path)
+{
+    std::map<std::string, double> cache;
+    std::ifstream is(path);
+    std::string line;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        double secs = 0;
+        if (ls >> key >> secs && secs > 0)
+            cache[key] = secs;
+    }
+    return cache;
+}
+
+void
+saveCostCache(const char *path,
+              const std::map<std::string, double> &cache)
+{
+    std::ofstream os(path);
+    if (!os) {
+        barre_warn("cannot write cost cache '%s'", path);
+        return;
+    }
+    for (const auto &[key, secs] : cache)
+        os << key << '\t' << secs << '\n';
+}
+
+} // namespace
 
 RunMetrics
 runApp(const SystemConfig &cfg, const AppParams &app)
@@ -40,12 +87,25 @@ std::vector<RunMetrics>
 runManyJobs(const std::vector<std::function<RunMetrics()>> &sims,
             unsigned jobs)
 {
+    return runManyJobs(sims, {}, jobs);
+}
+
+std::vector<RunMetrics>
+runManyJobs(const std::vector<std::function<RunMetrics()>> &sims,
+            const std::vector<double> &cost_hints, unsigned jobs)
+{
+    barre_assert(cost_hints.empty() ||
+                     cost_hints.size() == sims.size(),
+                 "runManyJobs: %zu hints for %zu sims",
+                 cost_hints.size(), sims.size());
     if (jobs == 0)
         jobs = ThreadPool::defaultWorkers();
 
     std::vector<RunMetrics> results(sims.size());
     if (jobs == 1 || sims.size() <= 1) {
-        // Serial reference path ($BARRE_JOBS=1): no pool, no threads.
+        // Serial reference path ($BARRE_JOBS=1): no pool, no threads,
+        // no log buffering — output appears as each cell runs, in
+        // argument order.
         for (std::size_t i = 0; i < sims.size(); ++i)
             results[i] = sims[i]();
         return results;
@@ -55,28 +115,106 @@ runManyJobs(const std::vector<std::function<RunMetrics()>> &sims,
     // fanning out, so workers never contend on first-use init.
     standardSuite();
 
+    // Each cell's log traffic is captured on its worker and replayed
+    // below in argument order, so stdout/stderr match the serial run
+    // byte for byte instead of interleaving across cells.
+    std::vector<LogBlock> blocks(sims.size());
+    auto cell = [&](std::size_t i) {
+        beginLogBuffer();
+        try {
+            results[i] = sims[i]();
+        } catch (...) {
+            blocks[i] = endLogBuffer();
+            throw;
+        }
+        blocks[i] = endLogBuffer();
+    };
+
     ThreadPool pool(jobs);
-    pool.parallelFor(sims.size(),
-                     [&](std::size_t i) { results[i] = sims[i](); });
+    try {
+        if (cost_hints.empty()) {
+            pool.parallelFor(sims.size(), cell);
+        } else {
+            // Longest-expected-first: start order only — results are
+            // still collected by argument index.
+            std::vector<std::size_t> order(sims.size());
+            std::iota(order.begin(), order.end(), 0);
+            std::stable_sort(order.begin(), order.end(),
+                             [&](std::size_t a, std::size_t b) {
+                                 return cost_hints[a] > cost_hints[b];
+                             });
+            pool.parallelForOrdered(order, cell);
+        }
+    } catch (...) {
+        for (const auto &b : blocks)
+            replayLog(b);
+        throw;
+    }
+    for (const auto &b : blocks)
+        replayLog(b);
     return results;
+}
+
+double
+cellCostHint(const AppParams &app)
+{
+    // Wall time scales with simulated events: every access costs a
+    // TLB lookup, and every expected L2 TLB miss (paper MPKI x
+    // kilo-instructions) fans out into walk/IOMMU/NoC traffic that is
+    // roughly an order of magnitude more event work per miss.
+    double accesses =
+        static_cast<double>(app.ctas) * app.accesses_per_cta;
+    double expected_misses =
+        app.paper_mpki * app.totalInstructions() / 1000.0;
+    return accesses + 8.0 * expected_misses;
 }
 
 std::vector<RunMetrics>
 runMany(const std::vector<NamedConfig> &cfgs,
         const std::vector<AppParams> &apps, unsigned jobs)
 {
+    const char *cache_path = std::getenv("BARRE_COST_CACHE");
+    std::map<std::string, double> cache;
+    if (cache_path)
+        cache = loadCostCache(cache_path);
+
+    const std::size_t n = cfgs.size() * apps.size();
     std::vector<std::function<RunMetrics()>> sims;
-    sims.reserve(cfgs.size() * apps.size());
+    std::vector<double> hints;
+    std::vector<double> walls(n, 0.0);
+    sims.reserve(n);
+    hints.reserve(n);
     for (const auto &nc : cfgs) {
         for (const auto &app : apps) {
-            sims.push_back([&nc, &app] {
+            std::size_t i = sims.size();
+            bool timed = cache_path != nullptr;
+            sims.push_back([&nc, &app, &walls, i, timed] {
+                auto t0 = std::chrono::steady_clock::now();
                 RunMetrics m = runApp(nc.cfg, app);
                 m.config = nc.name;
+                if (timed)
+                    walls[i] = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   t0)
+                                   .count();
                 return m;
             });
+            auto it = cache.find(nc.name + "/" + app.name);
+            hints.push_back(it != cache.end()
+                                ? it->second
+                                : cellCostHint(app));
         }
     }
-    return runManyJobs(sims, jobs);
+    std::vector<RunMetrics> results = runManyJobs(sims, hints, jobs);
+
+    if (cache_path) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (walls[i] > 0)
+                cache[results[i].config + "/" + results[i].app] =
+                    walls[i];
+        saveCostCache(cache_path, cache);
+    }
+    return results;
 }
 
 std::string
@@ -92,6 +230,12 @@ TextTable::TextTable(std::vector<std::string> headers)
 void
 TextTable::addRow(std::vector<std::string> cells)
 {
+    // A row wider than the header is a caller bug — silently dropping
+    // the extra cells once corrupted a printed table. Short rows are
+    // legitimately padded (label-only separator rows).
+    barre_assert(cells.size() <= headers_.size(),
+                 "TextTable row has %zu cells but only %zu headers",
+                 cells.size(), headers_.size());
     cells.resize(headers_.size());
     rows_.push_back(std::move(cells));
 }

@@ -43,6 +43,11 @@ struct NamedConfig
  * hardware concurrency; 1 = plain serial loop, no threads spawned).
  * Each cell is runApp() with RunMetrics::config set to the config name.
  * Results are deterministic and independent of the worker count.
+ *
+ * Cells are scheduled longest-expected-first (cellCostHint(), or the
+ * cell's last measured wall time when $BARRE_COST_CACHE names a cache
+ * file) so a long `gups` cell never tails the batch; results are still
+ * collected by grid index, so output is unaffected by the ordering.
  */
 std::vector<RunMetrics> runMany(const std::vector<NamedConfig> &cfgs,
                                 const std::vector<AppParams> &apps,
@@ -52,10 +57,34 @@ std::vector<RunMetrics> runMany(const std::vector<NamedConfig> &cfgs,
  * Generic form: run arbitrary simulation thunks, return their results
  * in argument order. Thunks must be independent (no shared mutable
  * state); each should build and run its own System.
+ *
+ * In the parallel path each thunk's warn()/inform() output is
+ * buffered per cell and replayed in argument order once the batch
+ * finishes (sim/logging.hh LogBlock), so log output is byte-identical
+ * to the serial run instead of interleaving across cells.
  */
 std::vector<RunMetrics>
 runManyJobs(const std::vector<std::function<RunMetrics()>> &sims,
             unsigned jobs = 0);
+
+/**
+ * Like runManyJobs(sims, jobs), but starts thunks in descending
+ * @p cost_hints order (longest-expected-first) so expensive cells do
+ * not tail the batch. @p cost_hints must be empty (= argument order)
+ * or one hint per thunk; any monotone estimate works — only the
+ * relative order matters. Results are identical to the unhinted form.
+ */
+std::vector<RunMetrics>
+runManyJobs(const std::vector<std::function<RunMetrics()>> &sims,
+            const std::vector<double> &cost_hints, unsigned jobs = 0);
+
+/**
+ * Expected relative wall cost of one cell, from the app's Table I
+ * MPKI and access count: high-MPKI apps fire far more walk/IOMMU
+ * events per access, so they dominate a batch. Used by runMany() to
+ * order cells longest-expected-first.
+ */
+double cellCostHint(const AppParams &app);
 
 /**
  * Fixed-width text table, printed in the shape of the paper's figures

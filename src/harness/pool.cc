@@ -1,5 +1,6 @@
 #include "harness/pool.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "sim/logging.hh"
@@ -8,12 +9,33 @@ namespace barre
 {
 
 unsigned
+ThreadPool::parseJobs(const char *s)
+{
+    if (!s || !*s)
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0')
+        return 0; // not a number, or trailing garbage ("4x")
+    if (errno == ERANGE || v > static_cast<long long>(kMaxJobs)) {
+        barre_warn("BARRE_JOBS='%s' exceeds the %u-worker cap; "
+                   "clamping",
+                   s, kMaxJobs);
+        return kMaxJobs;
+    }
+    if (v < 1)
+        return 0;
+    return static_cast<unsigned>(v);
+}
+
+unsigned
 ThreadPool::defaultWorkers()
 {
     if (const char *s = std::getenv("BARRE_JOBS")) {
-        long v = std::strtol(s, nullptr, 10);
+        unsigned v = parseJobs(s);
         if (v >= 1)
-            return static_cast<unsigned>(v);
+            return v;
         barre_warn("ignoring invalid BARRE_JOBS='%s'", s);
     }
     unsigned hw = std::thread::hardware_concurrency();
@@ -50,8 +72,15 @@ ThreadPool::popOwn(std::size_t self, std::size_t &out)
     std::lock_guard<std::mutex> lk(wq.m);
     if (wq.q.empty())
         return false;
-    out = wq.q.back();
-    wq.q.pop_back();
+    if (fifo_) {
+        // Priority-ordered batch: always take the highest-priority
+        // (earliest-dealt) task still waiting.
+        out = wq.q.front();
+        wq.q.pop_front();
+    } else {
+        out = wq.q.back();
+        wq.q.pop_back();
+    }
     return true;
 }
 
@@ -114,6 +143,21 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &fn)
 {
+    runBatch(n, nullptr, fn);
+}
+
+void
+ThreadPool::parallelForOrdered(const std::vector<std::size_t> &order,
+                               const std::function<void(std::size_t)> &fn)
+{
+    runBatch(order.size(), &order, fn);
+}
+
+void
+ThreadPool::runBatch(std::size_t n,
+                     const std::vector<std::size_t> *order,
+                     const std::function<void(std::size_t)> &fn)
+{
     if (n == 0)
         return;
 
@@ -121,12 +165,16 @@ ThreadPool::parallelFor(std::size_t n,
         std::lock_guard<std::mutex> lk(state_m_);
         barre_assert(fn_ == nullptr, "parallelFor is not reentrant");
         fn_ = &fn;
+        fifo_ = order != nullptr;
         remaining_ = n;
         first_error_ = nullptr;
+        // Deal tasks round-robin; an ordered batch deals in priority
+        // order so FIFO pops start the most expensive work first.
         for (std::size_t i = 0; i < n; ++i) {
+            std::size_t task = order ? (*order)[i] : i;
             WorkerQueue &wq = *queues_[i % queues_.size()];
             std::lock_guard<std::mutex> qlk(wq.m);
-            wq.q.push_back(i);
+            wq.q.push_back(task);
         }
         ++batch_;
     }

@@ -60,10 +60,35 @@ class ThreadPool
                      const std::function<void(std::size_t)> &fn);
 
     /**
+     * Like parallelFor(order.size(), fn), but tasks *start* in the
+     * given priority order (a permutation of [0, order.size())): put
+     * the expected-longest task first so it never tails the batch.
+     * Queues drain FIFO in this mode — both own pops and steals take
+     * the highest-priority task still waiting. Which tasks run and
+     * what they compute is unchanged; only the start order differs,
+     * so index-collected results stay bitwise identical.
+     */
+    void parallelForOrdered(const std::vector<std::size_t> &order,
+                            const std::function<void(std::size_t)> &fn);
+
+    /**
      * Worker count policy: $BARRE_JOBS if set (>= 1), else
      * std::thread::hardware_concurrency(), else 1.
      */
     static unsigned defaultWorkers();
+
+    /** Largest worker count parseJobs()/defaultWorkers() will accept;
+     *  bigger values are clamped with a warning. */
+    static constexpr unsigned kMaxJobs = 1024;
+
+    /**
+     * Strict worker-count parsing for $BARRE_JOBS: returns the value
+     * for a well-formed positive integer, clamps values above kMaxJobs
+     * to kMaxJobs (with a warning), and returns 0 for anything else —
+     * empty, trailing garbage ("4x"), negative, or zero. Callers treat
+     * 0 as "fall back to hardware concurrency".
+     */
+    static unsigned parseJobs(const char *s);
 
   private:
     struct WorkerQueue
@@ -73,6 +98,8 @@ class ThreadPool
     };
 
     void workerLoop(std::size_t self);
+    void runBatch(std::size_t n, const std::vector<std::size_t> *order,
+                  const std::function<void(std::size_t)> &fn);
     bool runOneTask(std::size_t self);
     bool popOwn(std::size_t self, std::size_t &out);
     bool stealFrom(std::size_t self, std::size_t &out);
@@ -85,6 +112,7 @@ class ThreadPool
     std::condition_variable wake_;   ///< workers wait for a batch
     std::condition_variable done_;   ///< parallelFor waits for completion
     const std::function<void(std::size_t)> *fn_ = nullptr;
+    bool fifo_ = false;         ///< this batch drains in priority order
     std::size_t remaining_ = 0; ///< tasks not yet finished in this batch
     std::uint64_t batch_ = 0;   ///< bumped per parallelFor, wakes workers
     bool stopping_ = false;

@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace barre
 {
@@ -17,7 +18,56 @@ namespace
  */
 std::mutex log_mutex;
 
+/**
+ * Active capture for this thread, or null. Owned by the begin/end
+ * pair in runManyJobs' cell wrapper; plain pointer so the hot
+ * warn/inform path is a single thread-local load.
+ */
+thread_local LogBlock log_buffer;
+thread_local bool log_buffer_active = false;
+
 } // namespace
+
+void
+beginLogBuffer()
+{
+    if (log_buffer_active)
+        panicImpl(__FILE__, __LINE__,
+                  "beginLogBuffer: capture already active on this "
+                  "thread (no nesting)");
+    log_buffer.lines.clear();
+    log_buffer_active = true;
+}
+
+LogBlock
+endLogBuffer()
+{
+    if (!log_buffer_active)
+        panicImpl(__FILE__, __LINE__,
+                  "endLogBuffer without a matching beginLogBuffer");
+    log_buffer_active = false;
+    LogBlock out = std::move(log_buffer);
+    log_buffer.lines.clear();
+    return out;
+}
+
+bool
+logBufferActive()
+{
+    return log_buffer_active;
+}
+
+void
+replayLog(const LogBlock &block)
+{
+    if (block.empty())
+        return;
+    std::lock_guard<std::mutex> lk(log_mutex);
+    for (const auto &line : block.lines)
+        std::fprintf(line.to_stderr ? stderr : stdout, "%s\n",
+                     line.text.c_str());
+    std::fflush(stdout);
+}
 
 std::string
 csprintf(const char *fmt, ...)
@@ -63,6 +113,10 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (log_buffer_active) {
+        log_buffer.lines.push_back({true, "warn: " + msg});
+        return;
+    }
     std::lock_guard<std::mutex> lk(log_mutex);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
@@ -70,6 +124,10 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
+    if (log_buffer_active) {
+        log_buffer.lines.push_back({false, "info: " + msg});
+        return;
+    }
     std::lock_guard<std::mutex> lk(log_mutex);
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }

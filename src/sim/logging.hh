@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace barre
 {
@@ -27,6 +28,47 @@ std::string csprintf(const char *fmt, ...)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+/**
+ * A deferred block of log lines captured from one simulation cell.
+ *
+ * Under the parallel runner, line-atomic output from concurrent cells
+ * still interleaves across cells. runManyJobs() instead buffers each
+ * cell's warn()/inform() traffic into a LogBlock (beginLogBuffer /
+ * endLogBuffer bracket the cell on its worker thread) and replays the
+ * blocks in cell-index order once the batch finishes, so stderr/stdout
+ * read exactly like the serial run. panic()/fatal() bypass the buffer:
+ * their message must be visible even if the block is never replayed.
+ */
+struct LogBlock
+{
+    struct Line
+    {
+        bool to_stderr = false; ///< warn -> stderr, inform -> stdout
+        std::string text;       ///< full line, no trailing newline
+    };
+    std::vector<Line> lines;
+
+    bool empty() const { return lines.empty(); }
+};
+
+/**
+ * Start capturing this thread's warn()/inform() output into a buffer.
+ * Panics if a capture is already active on this thread (no nesting).
+ */
+void beginLogBuffer();
+
+/** Stop capturing and return everything buffered since begin. */
+LogBlock endLogBuffer();
+
+/** True while this thread's log output is being buffered. */
+bool logBufferActive();
+
+/**
+ * Emit a captured block to the real streams as one atomic unit (the
+ * whole block prints under the log mutex, never interleaved).
+ */
+void replayLog(const LogBlock &block);
 
 } // namespace barre
 

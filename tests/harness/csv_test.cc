@@ -45,3 +45,60 @@ TEST(Csv, WriteCsvEmitsHeaderPlusRows)
     EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
     EXPECT_EQ(text.rfind("config,app,", 0), 0u);
 }
+
+TEST(Csv, QuoteLeavesPlainFieldsAlone)
+{
+    EXPECT_EQ(csvQuote("fbarre"), "fbarre");
+    EXPECT_EQ(csvQuote("atax+gups"), "atax+gups");
+    EXPECT_EQ(csvQuote(""), "");
+}
+
+TEST(Csv, QuoteEscapesCommasQuotesAndNewlines)
+{
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvQuote("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, SplitCsvRecordUndoesQuoting)
+{
+    auto fields = splitCsvRecord("\"a,b\",plain,\"q\"\"q\",7");
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a,b");
+    EXPECT_EQ(fields[1], "plain");
+    EXPECT_EQ(fields[2], "q\"q");
+    EXPECT_EQ(fields[3], "7");
+}
+
+TEST(Csv, SplitCsvRecordHandlesEmptyFields)
+{
+    auto fields = splitCsvRecord("a,,c,");
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(Csv, SplitCsvRecordRejectsMalformedInput)
+{
+    EXPECT_THROW(splitCsvRecord("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(splitCsvRecord("\"x\"y,z"), std::runtime_error);
+    EXPECT_THROW(splitCsvRecord("a\"b,c"), std::runtime_error);
+}
+
+TEST(Csv, RowWithCommaInLabelKeepsColumnsAligned)
+{
+    // Regression: unquoted emission shifted every downstream column.
+    RunMetrics m;
+    m.config = "a+b,chunked";
+    m.app = "atax";
+    m.runtime = 99;
+    std::string row = csvRow(m);
+    EXPECT_EQ(row.rfind("\"a+b,chunked\",atax,99,", 0), 0u);
+
+    auto header = splitCsvRecord(csvHeader());
+    auto fields = splitCsvRecord(row);
+    ASSERT_EQ(fields.size(), header.size());
+    EXPECT_EQ(fields[0], "a+b,chunked");
+    EXPECT_EQ(fields[1], "atax");
+    EXPECT_EQ(fields[2], "99");
+}

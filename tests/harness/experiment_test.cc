@@ -53,3 +53,12 @@ TEST(TextTable, NumericRowHelper)
     EXPECT_NE(out.find("1.50"), std::string::npos);
     EXPECT_NE(out.find("2.25"), std::string::npos);
 }
+
+TEST(TextTable, PanicsOnRowsWiderThanTheHeader)
+{
+    // Silent truncation used to drop the extra cells; now it's a bug
+    // the caller hears about.
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), std::logic_error);
+    t.addRow({"1", "2"}); // exact width still fine
+}

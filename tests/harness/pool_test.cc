@@ -85,3 +85,88 @@ TEST(ThreadPool, DefaultWorkersHonorsBarreJobs)
     unsetenv("BARRE_JOBS");
     EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
 }
+
+TEST(ThreadPool, ParseJobsStrictness)
+{
+    EXPECT_EQ(ThreadPool::parseJobs("3"), 3u);
+    EXPECT_EQ(ThreadPool::parseJobs("1"), 1u);
+    // Regression: strtol without an end-pointer check accepted "4x"
+    // as 4.
+    EXPECT_EQ(ThreadPool::parseJobs("4x"), 0u);
+    EXPECT_EQ(ThreadPool::parseJobs("x"), 0u);
+    EXPECT_EQ(ThreadPool::parseJobs(""), 0u);
+    EXPECT_EQ(ThreadPool::parseJobs(nullptr), 0u);
+    EXPECT_EQ(ThreadPool::parseJobs("0"), 0u);
+    EXPECT_EQ(ThreadPool::parseJobs("-2"), 0u);
+}
+
+TEST(ThreadPool, ParseJobsClampsOverflowInsteadOfWrapping)
+{
+    // Regression: 2^32+1 used to wrap to 1 on the unsigned cast.
+    EXPECT_EQ(ThreadPool::parseJobs("4294967297"),
+              ThreadPool::kMaxJobs);
+    EXPECT_EQ(ThreadPool::parseJobs("99999999999999999999"),
+              ThreadPool::kMaxJobs);
+    EXPECT_EQ(ThreadPool::parseJobs("2000"), ThreadPool::kMaxJobs);
+}
+
+TEST(ThreadPool, DefaultWorkersRejectsTrailingGarbage)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned fallback = hw > 0 ? hw : 1;
+    setenv("BARRE_JOBS", "4x", 1);
+    EXPECT_EQ(ThreadPool::defaultWorkers(), fallback);
+    setenv("BARRE_JOBS", "-7", 1);
+    EXPECT_EQ(ThreadPool::defaultWorkers(), fallback);
+    unsetenv("BARRE_JOBS");
+}
+
+TEST(ThreadPool, OrderedBatchRunsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 4096;
+    // Reverse priority order: highest index first.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = n - 1 - i;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelForOrdered(order,
+                            [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleWorkerHonorsThePriorityOrder)
+{
+    ThreadPool pool(1);
+    std::vector<std::size_t> order{3, 0, 2, 1};
+    std::vector<std::size_t> ran;
+    pool.parallelForOrdered(order,
+                            [&](std::size_t i) { ran.push_back(i); });
+    EXPECT_EQ(ran, order);
+}
+
+TEST(ThreadPool, OrderedAndUnorderedBatchesInterleaveOnOnePool)
+{
+    ThreadPool pool(3);
+    std::atomic<std::size_t> total{0};
+    std::vector<std::size_t> order{2, 1, 0};
+    pool.parallelFor(5, [&](std::size_t) { ++total; });
+    pool.parallelForOrdered(order, [&](std::size_t) { ++total; });
+    pool.parallelFor(4, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 5u + 3u + 4u);
+}
+
+TEST(ThreadPool, OrderedBatchPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    std::vector<std::size_t> order{0, 1, 2, 3};
+    EXPECT_THROW(pool.parallelForOrdered(order,
+                                         [&](std::size_t i) {
+                                             if (i == 1)
+                                                 throw std::
+                                                     runtime_error(
+                                                         "boom");
+                                         }),
+                 std::runtime_error);
+}

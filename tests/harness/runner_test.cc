@@ -6,6 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.hh"
@@ -98,4 +104,80 @@ TEST(RunManyJobs, ArbitraryThunksKeepArgumentOrder)
     ASSERT_EQ(got.size(), names.size());
     for (std::size_t i = 0; i < names.size(); ++i)
         EXPECT_EQ(got[i].app, names[i]);
+}
+
+TEST(RunManyJobs, LongestFirstHintsKeepResultsBitwiseIdentical)
+{
+    SystemConfig cfg = SystemConfig::baselineAts();
+    cfg.workload_scale = 0.04;
+    std::vector<std::string> names{"gups", "fft", "atax", "matr"};
+    std::vector<std::function<RunMetrics()>> sims;
+    std::vector<double> hints;
+    for (const auto &n : names) {
+        sims.push_back([cfg, n] { return runApp(cfg, appByName(n)); });
+        hints.push_back(cellCostHint(appByName(n)));
+    }
+
+    std::vector<RunMetrics> serial = runManyJobs(sims, hints, 1);
+    ASSERT_EQ(serial.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(serial[i].app, names[i]);
+
+    for (unsigned jobs : {2u, 8u}) {
+        std::vector<RunMetrics> par = runManyJobs(sims, hints, jobs);
+        ASSERT_EQ(par.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(par[i], serial[i])
+                << "cell " << i << " with " << jobs << " jobs";
+    }
+}
+
+TEST(RunManyJobs, HintCountMismatchPanics)
+{
+    std::vector<std::function<RunMetrics()>> sims(3, [] {
+        return RunMetrics{};
+    });
+    std::vector<double> hints{1.0, 2.0};
+    EXPECT_THROW(runManyJobs(sims, hints, 2), std::logic_error);
+}
+
+TEST(CellCostHint, HighMpkiAppsCostMore)
+{
+    // gups (high MPKI class) must sort before fft (low class) so the
+    // longest cell starts first.
+    EXPECT_GT(cellCostHint(appByName("gups")),
+              cellCostHint(appByName("fft")));
+    EXPECT_GT(cellCostHint(appByName("matr")),
+              cellCostHint(appByName("gemv")));
+}
+
+TEST(RunMany, CostCachePersistsWallTimesAndStaysDeterministic)
+{
+    std::string path = testing::TempDir() + "barre_cost_cache_test";
+    std::remove(path.c_str());
+    setenv("BARRE_COST_CACHE", path.c_str(), 1);
+
+    auto cfgs = testConfigs();
+    auto apps = testApps();
+    std::vector<RunMetrics> first = runMany(cfgs, apps, 2);
+
+    // The cache file now holds one "config/app  seconds" line per cell.
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::map<std::string, double> cache;
+    std::string key;
+    double secs;
+    while (is >> key >> secs)
+        cache[key] = secs;
+    EXPECT_EQ(cache.size(), cfgs.size() * apps.size());
+    EXPECT_TRUE(cache.count("baseline/gups"));
+    for (const auto &[k, v] : cache)
+        EXPECT_GT(v, 0.0) << k;
+
+    // A second sweep consumes the cached costs as scheduling hints;
+    // results must be unaffected.
+    std::vector<RunMetrics> second = runMany(cfgs, apps, 2);
+    unsetenv("BARRE_COST_CACHE");
+    std::remove(path.c_str());
+    EXPECT_EQ(first, second);
 }

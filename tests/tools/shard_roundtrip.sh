@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# End-to-end check of the cluster-sweep sharding pipeline:
+#
+#   shard_roundtrip.sh <sweep-binary> <merge_csv-binary>
+#
+# Runs a small grid unsharded, then as --shard 0/2 + --shard 1/2,
+# merges the shards with merge_csv, and requires the merged CSV to be
+# byte-identical to the unsharded one. Also exercises merge_csv's
+# missing-shard and duplicate-shard rejection paths.
+set -eu
+
+SWEEP=${1:?usage: shard_roundtrip.sh <sweep> <merge_csv>}
+MERGE=${2:?usage: shard_roundtrip.sh <sweep> <merge_csv>}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+GRID="--modes baseline,fbarre --apps fft,atax,gups --scale 0.04"
+
+"$SWEEP" $GRID --out "$workdir/full.csv" 2>/dev/null
+"$SWEEP" $GRID --shard 0/2 --out "$workdir/s0.csv" 2>/dev/null
+"$SWEEP" $GRID --shard 1/2 --out "$workdir/s1.csv" 2>/dev/null
+
+"$MERGE" --out "$workdir/merged.csv" "$workdir/s0.csv" "$workdir/s1.csv"
+
+if ! cmp "$workdir/full.csv" "$workdir/merged.csv"; then
+    echo "FAIL: merged shards differ from the unsharded sweep" >&2
+    diff "$workdir/full.csv" "$workdir/merged.csv" >&2 || true
+    exit 1
+fi
+
+# Shard order on the command line must not matter.
+"$MERGE" --out "$workdir/merged_rev.csv" "$workdir/s1.csv" "$workdir/s0.csv"
+cmp "$workdir/full.csv" "$workdir/merged_rev.csv"
+
+# A missing shard must be fatal, not a silently short grid.
+if "$MERGE" "$workdir/s0.csv" >/dev/null 2>&1; then
+    echo "FAIL: merge_csv accepted a merge with a missing shard" >&2
+    exit 1
+fi
+
+# So must a duplicated shard.
+if "$MERGE" "$workdir/s0.csv" "$workdir/s0.csv" >/dev/null 2>&1; then
+    echo "FAIL: merge_csv accepted a duplicate shard" >&2
+    exit 1
+fi
+
+# And strict CLI parsing: garbage --jobs/--scale/--shard must abort.
+for bad in "--jobs x" "--scale x" "--scale 0" "--shard 2/2"; do
+    if "$SWEEP" $GRID $bad >/dev/null 2>&1; then
+        echo "FAIL: sweep accepted '$bad'" >&2
+        exit 1
+    fi
+done
+
+echo "shard roundtrip OK"

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "harness/experiment.hh"
+#include "harness/sweep_io.hh"
 #include "workloads/trace.hh"
 
 using namespace barre;
@@ -149,14 +150,11 @@ main(int argc, char **argv)
                 break;
             }
         } else if (arg == "--merge") {
-            cfg.driver.merge_limit =
-                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+            cfg.driver.merge_limit = parseUnsignedArg(next(), "--merge");
         } else if (arg == "--chiplets") {
-            cfg.chiplets =
-                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+            cfg.chiplets = parseUnsignedArg(next(), "--chiplets");
         } else if (arg == "--ptws") {
-            cfg.iommu.ptws =
-                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+            cfg.iommu.ptws = parseUnsignedArg(next(), "--ptws");
         } else if (arg == "--page-size") {
             cfg.page_size = parsePageSize(next());
         } else if (arg == "--policy") {
@@ -172,7 +170,7 @@ main(int argc, char **argv)
         } else if (arg == "--multicast") {
             cfg.iommu.multicast = true;
         } else if (arg == "--scale") {
-            cfg.workload_scale = std::atof(next().c_str());
+            cfg.workload_scale = parseScaleArg(next(), "--scale");
         } else if (arg == "--validate") {
             cfg.validate_translations = true;
         } else if (arg == "--stats") {

@@ -9,13 +9,14 @@
 #include <cstdlib>
 
 #include "harness/experiment.hh"
+#include "harness/sweep_io.hh"
 
 using namespace barre;
 
 int
 main(int argc, char **argv)
 {
-    double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    double scale = argc > 1 ? parseScaleArg(argv[1], "scale") : 1.0;
     std::printf("%-8s %-6s %10s %10s %12s %8s %9s %6s\n", "app", "cat",
                 "paper", "measured", "runtime", "ats", "l2miss",
                 "wall_s");

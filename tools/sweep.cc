@@ -6,9 +6,16 @@
  *   sweep --modes baseline,barre,fbarre --scale 0.25
  *   sweep --jobs 8            # explicit worker count (default: all
  *                             # cores, or $BARRE_JOBS; 1 = serial)
+ *   sweep --shard 0/4 --out shard0.csv
+ *                             # run every 4th cell (cluster sharding);
+ *                             # reassemble with tools/merge_csv
  *
  * Cells run in parallel via runMany(); output rows and CSV bytes are
- * identical regardless of the worker count.
+ * identical regardless of the worker count. With --shard i/N the
+ * process runs only its slice of the cell grid and prefixes the CSV
+ * with a manifest (shard id, grid signature, cell count) so
+ * merge_csv can validate and reassemble the full grid byte-identical
+ * to an unsharded run.
  *
  * Intended for plotting and for regression-diffing whole result grids.
  */
@@ -23,6 +30,7 @@
 
 #include "harness/csv.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep_io.hh"
 
 using namespace barre;
 
@@ -59,6 +67,15 @@ configFor(const std::string &mode)
     barre_fatal("unknown mode '%s'", mode.c_str());
 }
 
+std::string
+join(const std::vector<std::string> &xs)
+{
+    std::string out;
+    for (const auto &x : xs)
+        out += (out.empty() ? "" : ",") + x;
+    return out;
+}
+
 } // namespace
 
 int
@@ -69,6 +86,8 @@ main(int argc, char **argv)
     std::string out_file;
     double scale = 1.0;
     unsigned jobs = 0; // 0 = $BARRE_JOBS / hardware concurrency
+    bool sharded = false;
+    ShardSpec shard;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -84,13 +103,17 @@ main(int argc, char **argv)
         } else if (arg == "--out") {
             out_file = next();
         } else if (arg == "--scale") {
-            scale = std::atof(next().c_str());
+            scale = parseScaleArg(next(), "--scale");
         } else if (arg == "--jobs") {
-            jobs = static_cast<unsigned>(std::atoi(next().c_str()));
+            jobs = parseUnsignedArg(next(), "--jobs");
+        } else if (arg == "--shard") {
+            shard = parseShardArg(next());
+            sharded = true;
         } else {
             std::fprintf(stderr,
                          "usage: sweep [--modes a,b] [--apps x,y] "
-                         "[--scale F] [--jobs N] [--out FILE]\n");
+                         "[--scale F] [--jobs N] [--shard I/N] "
+                         "[--out FILE]\n");
             return arg == "--help" || arg == "-h" ? 0 : 1;
         }
     }
@@ -109,24 +132,70 @@ main(int argc, char **argv)
     for (const auto &name : apps)
         app_params.push_back(appByName(name));
 
-    std::vector<RunMetrics> rows = runMany(cfgs, app_params, jobs);
-    for (std::size_t m = 0; m < modes.size(); ++m) {
-        for (std::size_t a = 0; a < apps.size(); ++a) {
-            const RunMetrics &r = rows[m * apps.size() + a];
-            std::fprintf(stderr, "%-9s %-6s %12llu cycles\n",
-                         modes[m].c_str(), apps[a].c_str(),
-                         (unsigned long long)r.runtime);
+    const std::size_t total = cfgs.size() * app_params.size();
+
+    if (!sharded) {
+        std::vector<RunMetrics> rows = runMany(cfgs, app_params, jobs);
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+                const RunMetrics &r = rows[m * apps.size() + a];
+                std::fprintf(stderr, "%-9s %-6s %12llu cycles\n",
+                             modes[m].c_str(), apps[a].c_str(),
+                             (unsigned long long)r.runtime);
+            }
         }
+        if (out_file.empty()) {
+            writeCsv(std::cout, rows);
+        } else {
+            std::ofstream os(out_file);
+            if (!os)
+                barre_fatal("cannot write %s", out_file.c_str());
+            writeCsv(os, rows);
+            std::printf("wrote %zu rows to %s\n", rows.size(),
+                        out_file.c_str());
+        }
+        return 0;
+    }
+
+    // Sharded run: only this shard's slice of the config-major grid.
+    std::vector<std::size_t> cells = shardCells(total, shard);
+    std::vector<std::function<RunMetrics()>> sims;
+    std::vector<double> hints;
+    for (std::size_t cell : cells) {
+        const NamedConfig &nc = cfgs[cell / app_params.size()];
+        const AppParams &app = app_params[cell % app_params.size()];
+        sims.push_back([&nc, &app] {
+            RunMetrics m = runApp(nc.cfg, app);
+            m.config = nc.name;
+            return m;
+        });
+        hints.push_back(cellCostHint(app));
+    }
+    std::vector<RunMetrics> results = runManyJobs(sims, hints, jobs);
+
+    ShardFile sf;
+    sf.shard = shard;
+    sf.grid = "modes=" + join(modes) + ";apps=" + join(apps) +
+              ";scale=" + csprintf("%g", scale);
+    sf.total_cells = total;
+    sf.header = csvHeader();
+    for (std::size_t k = 0; k < results.size(); ++k) {
+        const RunMetrics &r = results[k];
+        std::fprintf(stderr, "[%zu/%zu] %-9s %-6s %12llu cycles\n",
+                     cells[k], total, r.config.c_str(),
+                     r.app.c_str(), (unsigned long long)r.runtime);
+        sf.rows.push_back(csvRow(r));
     }
 
     if (out_file.empty()) {
-        writeCsv(std::cout, rows);
+        writeShardCsv(std::cout, sf);
     } else {
         std::ofstream os(out_file);
         if (!os)
             barre_fatal("cannot write %s", out_file.c_str());
-        writeCsv(os, rows);
-        std::printf("wrote %zu rows to %s\n", rows.size(),
+        writeShardCsv(os, sf);
+        std::printf("wrote shard %u/%u (%zu of %zu cells) to %s\n",
+                    shard.index, shard.count, sf.rows.size(), total,
                     out_file.c_str());
     }
     return 0;
