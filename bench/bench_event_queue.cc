@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Microbenchmark for the two-level EventQueue front (DESIGN.md):
+ * ladder/calendar mode vs the pure-heap backstop, under the two delay
+ * distributions that bracket simulator behaviour:
+ *
+ *   - "iommu-burst": the translation pipeline's real mix — dense 1-64
+ *     cycle NoC/TLB/queue hops, same-tick continuations, 500-cycle walk
+ *     completions and rare 20k-cycle fault services. Almost everything
+ *     lands in the ladder window; this is the case the calendar front
+ *     exists for.
+ *   - "uniform-horizon": delays uniform over a 16k-tick horizon, so
+ *     most events overflow to the heap — the ladder's worst case; it
+ *     must not lose here.
+ *
+ * Both modes run the same seeded workload; the bench asserts they fire
+ * the same number of events and finish at the same tick (the cheap
+ * half of the differential test in tests/sim/event_queue_diff_test.cc).
+ * An end-to-end section runs a full F-Barre system both ways, checks
+ * the RunMetrics are bitwise identical, and reports simulated events/s.
+ *
+ *   build/bench/bench_event_queue [out.json]   # default BENCH_runner.json
+ *   build/bench/bench_event_queue --smoke      # small, no file writes
+ *
+ * The JSON is *merged* into the runner self-benchmark's file: if
+ * out.json already ends in a top-level object (bench_runner_speedup's
+ * output), an "event_queue" member is spliced in before the closing
+ * brace so one file tracks the whole perf trajectory.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "bench/common.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+namespace
+{
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** The translation pipeline's delay mix (see file comment). */
+Tick
+iommuBurstDelay(Rng &rng)
+{
+    const std::uint64_t r = rng.below(100);
+    if (r < 50)
+        return 1 + rng.below(8); // NoC / TLB pipeline hops
+    if (r < 75)
+        return 10 + rng.below(54); // queue + link serialization
+    if (r < 90)
+        return 0; // same-tick continuations
+    if (r < 99)
+        return 500; // page-walk completion
+    return 20000; // demand-paging fault service
+}
+
+/** Uniform over a horizon far wider than the ladder window. */
+Tick
+uniformHorizonDelay(Rng &rng)
+{
+    return rng.below(16384);
+}
+
+/**
+ * Self-rescheduling chains: every fired event draws the next delay and
+ * reschedules itself, like a CU slot or walker re-arming. The capture
+ * is one pointer, so scheduling stays on the InlineFn inline path.
+ */
+struct Load
+{
+    EventQueue eq;
+    Rng rng;
+    std::uint64_t count = 0;
+    std::uint64_t target;
+    Tick (*next_delay)(Rng &);
+
+    Load(QueueMode mode, std::uint64_t target, Tick (*delay)(Rng &))
+        : eq(mode), rng(0x0ddba11), target(target), next_delay(delay)
+    {}
+
+    void
+    beat()
+    {
+        if (++count >= target)
+            return;
+        eq.scheduleAfter(next_delay(rng), [this] { beat(); });
+    }
+
+    /** Seed the chains, drain the queue, return wall seconds. */
+    double
+    run(std::uint64_t chains)
+    {
+        for (std::uint64_t c = 0; c < chains; ++c)
+            eq.scheduleAfter(next_delay(rng), [this] { beat(); });
+        return wallSeconds([&] { eq.run(); });
+    }
+};
+
+struct Rates
+{
+    double ladder_eps = 0;
+    double heap_eps = 0;
+    bool identical = false;
+
+    double
+    ratio() const
+    {
+        return heap_eps > 0 ? ladder_eps / heap_eps : 0.0;
+    }
+};
+
+Rates
+compare(std::uint64_t events, Tick (*delay)(Rng &))
+{
+    constexpr std::uint64_t kChains = 64;
+    Load ladder(QueueMode::ladder, events, delay);
+    Load heap(QueueMode::heap_only, events, delay);
+    const double ladder_s = ladder.run(kChains);
+    const double heap_s = heap.run(kChains);
+    Rates r;
+    r.ladder_eps = ladder_s > 0 ? ladder.eq.fired() / ladder_s : 0.0;
+    r.heap_eps = heap_s > 0 ? heap.eq.fired() / heap_s : 0.0;
+    // The two modes must be observationally identical; the full
+    // firing-order proof lives in tests/sim/event_queue_diff_test.cc.
+    r.identical = ladder.eq.fired() == heap.eq.fired() &&
+                  ladder.eq.now() == heap.eq.now();
+    return r;
+}
+
+/** Full-system events/s, ladder vs heap, with RunMetrics equality. */
+Rates
+endToEnd(double scale)
+{
+    SystemConfig cfg = SystemConfig::fbarreCfg(2);
+    cfg.workload_scale = scale;
+    SystemConfig heap_cfg = cfg;
+    heap_cfg.heap_only_queue = true;
+    const AppParams &app = appByName("cov");
+
+    RunMetrics lm, hm;
+    const double ladder_s =
+        wallSeconds([&] { lm = runApp(cfg, app); });
+    const double heap_s =
+        wallSeconds([&] { hm = runApp(heap_cfg, app); });
+    Rates r;
+    r.ladder_eps = ladder_s > 0 ? lm.sim_events / ladder_s : 0.0;
+    r.heap_eps = heap_s > 0 ? hm.sim_events / heap_s : 0.0;
+    r.identical = lm == hm;
+    return r;
+}
+
+/**
+ * Splice "event_queue": {...} into @p path. An existing file (the
+ * runner self-benchmark's object) gets the member inserted before its
+ * final closing brace; otherwise a fresh object is written.
+ */
+bool
+mergeJson(const std::string &path, const std::string &member)
+{
+    std::string existing;
+    if (std::FILE *in = std::fopen(path.c_str(), "r")) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, in)) > 0)
+            existing.append(buf, n);
+        std::fclose(in);
+    }
+    std::string out;
+    const std::size_t brace = existing.rfind('}');
+    if (brace != std::string::npos) {
+        out = existing.substr(0, brace);
+        while (!out.empty() &&
+               (out.back() == '\n' || out.back() == ' '))
+            out.pop_back();
+        // Replace a previous event_queue member wholesale on re-runs.
+        const std::size_t prev = out.rfind(",\n  \"event_queue\":");
+        if (prev != std::string::npos)
+            out.erase(prev);
+        out += ",\n  \"event_queue\": " + member + "\n}\n";
+    } else {
+        out = "{\n  \"event_queue\": " + member + "\n}\n";
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_runner.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else
+            out_path = argv[i];
+    }
+
+    const std::uint64_t events = smoke ? 300'000 : 4'000'000;
+    const double scale = smoke ? 0.02 : envScale(0.1);
+
+    std::fprintf(stderr,
+                 "event-queue bench: %llu events/distribution%s\n",
+                 (unsigned long long)events, smoke ? " (smoke)" : "");
+
+    const Rates burst = compare(events, iommuBurstDelay);
+    const Rates uniform = compare(events, uniformHorizonDelay);
+    const Rates e2e = endToEnd(scale);
+
+    std::printf("iommu-burst     ladder %.3g ev/s, heap %.3g ev/s "
+                "(%.2fx)\n",
+                burst.ladder_eps, burst.heap_eps, burst.ratio());
+    std::printf("uniform-horizon ladder %.3g ev/s, heap %.3g ev/s "
+                "(%.2fx)\n",
+                uniform.ladder_eps, uniform.heap_eps, uniform.ratio());
+    std::printf("end-to-end      ladder %.3g ev/s, heap %.3g ev/s "
+                "(%.2fx), metrics %s\n",
+                e2e.ladder_eps, e2e.heap_eps, e2e.ratio(),
+                e2e.identical ? "identical" : "DIFFER");
+
+    const bool ok = burst.identical && uniform.identical &&
+                    e2e.identical;
+    if (!ok)
+        std::fprintf(stderr, "ERROR: ladder and heap-only modes "
+                             "disagree!\n");
+
+    if (!smoke) {
+        char member[512];
+        std::snprintf(
+            member, sizeof member,
+            "{\n"
+            "    \"events_per_distribution\": %llu,\n"
+            "    \"iommu_burst_ladder_eps\": %.0f,\n"
+            "    \"iommu_burst_heap_eps\": %.0f,\n"
+            "    \"iommu_burst_speedup\": %.3f,\n"
+            "    \"uniform_horizon_ladder_eps\": %.0f,\n"
+            "    \"uniform_horizon_heap_eps\": %.0f,\n"
+            "    \"uniform_horizon_speedup\": %.3f,\n"
+            "    \"end_to_end_ladder_eps\": %.0f,\n"
+            "    \"end_to_end_heap_eps\": %.0f,\n"
+            "    \"end_to_end_speedup\": %.3f,\n"
+            "    \"identical_results\": %s\n"
+            "  }",
+            (unsigned long long)events, burst.ladder_eps,
+            burst.heap_eps, burst.ratio(), uniform.ladder_eps,
+            uniform.heap_eps, uniform.ratio(), e2e.ladder_eps,
+            e2e.heap_eps, e2e.ratio(), ok ? "true" : "false");
+        if (!mergeJson(out_path, member)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    return ok ? 0 : 1;
+}

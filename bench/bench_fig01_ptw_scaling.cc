@@ -23,11 +23,10 @@ main(int argc, char **argv)
         configs.push_back(
             {ptws == 0 ? "inf-PTW" : std::to_string(ptws) + "-PTW", cfg});
     }
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     store.printSpeedupTable("Fig 1: speedup vs number of PTWs", "8-PTW",
                             {"16-PTW", "32-PTW", "inf-PTW"}, apps);

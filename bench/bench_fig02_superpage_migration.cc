@@ -23,11 +23,10 @@ main(int argc, char **argv)
 
     std::vector<NamedConfig> configs{{"4KB+mig", small},
                                      {"2MB+mig", super}};
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     store.printSpeedupTable(
         "Fig 2: 2MB super page speedup under migration", "4KB+mig",

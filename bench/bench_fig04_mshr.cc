@@ -22,11 +22,10 @@ main(int argc, char **argv)
         cfg.chiplet.l2_tlb.mshrs = mshrs;
         configs.push_back({std::to_string(mshrs) + "-MSHR", cfg});
     }
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     store.printSpeedupTable("Fig 4: speedup vs L2 TLB MSHRs", "16-MSHR",
                             {"32-MSHR", "64-MSHR"}, apps);

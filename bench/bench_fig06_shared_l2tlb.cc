@@ -23,11 +23,10 @@ main(int argc, char **argv)
 
     std::vector<NamedConfig> configs{{"private", priv},
                                      {"shared-oracle", shared}};
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     store.printSpeedupTable("Fig 6: oracle shared L2 TLB", "private",
                             {"shared-oracle"}, apps);

@@ -29,6 +29,8 @@ struct LeastParams
     Cycles peer_tlb_latency = 10;
     std::uint32_t probe_bytes = 8;
     std::uint32_t reply_bytes = 16;
+
+    bool operator==(const LeastParams &) const = default;
 };
 
 class LeastService : public SimObject, public TranslationService

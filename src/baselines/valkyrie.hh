@@ -26,6 +26,8 @@ struct ValkyrieParams
     std::uint32_t prefetch_degree = 1;
     /** Skip prefetching when this many translations are in flight. */
     std::uint32_t pressure_limit = 24;
+
+    bool operator==(const ValkyrieParams &) const = default;
 };
 
 class ValkyrieService : public TranslationService

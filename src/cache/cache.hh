@@ -25,6 +25,8 @@ struct CacheParams
     std::uint32_t line_bytes = 64;
     Cycles hit_latency = 1;
     std::uint32_t mshrs = 16;
+
+    bool operator==(const CacheParams &) const = default;
 };
 
 class Cache

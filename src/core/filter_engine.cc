@@ -29,6 +29,8 @@ FilterEngine::FilterEngine(ChipletId chiplet, std::uint32_t chiplets,
         rcfs_.emplace_back(
             saltedParams(params, (std::uint64_t{chiplet} << 8) | p));
     }
+    if constexpr (invariants_enabled)
+        rcf_shadow_.resize(chiplets);
 }
 
 void
@@ -71,12 +73,40 @@ void
 FilterEngine::rcfInsert(ChipletId peer, ProcessId pid, Vpn vpn)
 {
     rcfFor(peer).insert(keyOf(pid, vpn));
+    if constexpr (invariants_enabled)
+        rcf_shadow_[peer].insert(keyOf(pid, vpn));
 }
 
 void
 FilterEngine::rcfErase(ChipletId peer, ProcessId pid, Vpn vpn)
 {
     rcfFor(peer).erase(keyOf(pid, vpn));
+    if constexpr (invariants_enabled)
+        rcf_shadow_[peer].erase(keyOf(pid, vpn));
+}
+
+void
+FilterEngine::auditRcfMembership() const
+{
+    if constexpr (invariants_enabled) {
+        for (std::uint32_t p = 0; p < chiplets_; ++p) {
+            if (p == owner_)
+                continue;
+            const CuckooFilter &rcf = rcfs_[p];
+            // Once an insert dropped a victim fingerprint the filter
+            // is legitimately lossy; the no-false-negative guarantee
+            // (and so this audit) only binds before that point.
+            if (rcf.lossyInserts() > 0)
+                continue;
+            for (std::uint64_t key : rcf_shadow_[p]) {
+                barre_assert(rcf.contains(key),
+                             "chiplet %u: RCF for peer %u lost key "
+                             "%llx (false negative outside the lossy "
+                             "regime)",
+                             owner_, p, (unsigned long long)key);
+            }
+        }
+    }
 }
 
 std::optional<ChipletId>
@@ -101,6 +131,10 @@ FilterEngine::reset()
     lcf_.clear();
     for (auto &f : rcfs_)
         f.clear();
+    if constexpr (invariants_enabled) {
+        for (auto &shadow : rcf_shadow_)
+            shadow.clear();
+    }
 }
 
 std::uint64_t

@@ -18,10 +18,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "filters/cuckoo_filter.hh"
 #include "mem/types.hh"
+#include "sim/invariant.hh"
 #include "sim/stats.hh"
 
 namespace barre
@@ -76,6 +78,30 @@ class FilterEngine
     std::optional<ChipletId> predictSharer(ProcessId pid, Vpn vpn) const;
     /// @}
 
+    /**
+     * Debug invariant (BARRE_CHECK_INVARIANTS builds only): every key
+     * this engine was told a peer holds — applied rcfInsert()s minus
+     * applied rcfErase()s — must still test positive in that peer's
+     * RCF. Cuckoo filters guarantee no false negatives *until* an
+     * insert overflows and drops a victim fingerprint; a peer whose
+     * RCF reports lossy inserts is exempt, which bounds the audit's
+     * false-negative window to exactly the by-design lossy regime.
+     * Panics (throws) on violation; no-op in normal builds.
+     */
+    void auditRcfMembership() const;
+
+    /**
+     * Test hook: wipe one slot of peer @p peer's RCF behind the shadow
+     * bookkeeping's back so invariant tests can assert
+     * auditRcfMembership() fires.
+     */
+    void
+    debugCorruptRcfSlot(ChipletId peer, std::uint32_t bucket,
+                        std::uint32_t way)
+    {
+        rcfFor(peer).debugCorruptSlot(bucket, way);
+    }
+
     /** TLB-shootdown reset: clear the LCF and every RCF (paper §VI). */
     void reset();
 
@@ -96,6 +122,12 @@ class FilterEngine
     CuckooFilter lcf_;
     /** Indexed by peer id; the slot for owner_ is unused but present. */
     std::vector<CuckooFilter> rcfs_;
+    /**
+     * Expected RCF membership per peer (applied inserts minus applied
+     * erases); populated only when invariants_enabled. std::set keeps
+     * audit iteration order deterministic.
+     */
+    std::vector<std::set<std::uint64_t>> rcf_shadow_;
 
     mutable Counter lcf_hits_;
     mutable Counter lcf_lookups_;

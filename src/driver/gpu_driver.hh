@@ -51,6 +51,8 @@ struct DriverParams
      * coalescing-group units when Barre is on.
      */
     bool demand_paging = false;
+
+    bool operator==(const DriverParams &) const = default;
 };
 
 /** Handle returned by gpuMalloc. */

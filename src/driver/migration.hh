@@ -16,13 +16,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "driver/gpu_driver.hh"
 #include "mem/types.hh"
 #include "noc/interconnect.hh"
+#include "sim/inline_fn.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -45,6 +45,8 @@ struct MigrationParams
      * cycles before it may migrate again (bounds ping-pong storms).
      */
     Cycles cooldown = 10000;
+
+    bool operator==(const MigrationParams &) const = default;
 };
 
 class AcudMigrator
@@ -52,7 +54,7 @@ class AcudMigrator
   public:
     /** Shoot down stale translations for (pid, vpns). */
     using InvalidateHook =
-        std::function<void(ProcessId, const std::vector<Vpn> &)>;
+        InlineFn<void(ProcessId, const std::vector<Vpn> &)>;
 
     AcudMigrator(GpuDriver &driver, const MigrationParams &params)
         : driver_(driver), params_(params)

@@ -30,6 +30,8 @@ struct CuckooFilterParams
     std::uint32_t fingerprint_bits = 9;
     std::uint32_t max_kicks = 128;     ///< relocation budget on insert
     std::uint64_t salt = 0;            ///< per-instance hash salt
+
+    bool operator==(const CuckooFilterParams &) const = default;
 };
 
 class CuckooFilter

@@ -46,6 +46,8 @@ struct ChipletParams
     Cycles retry_interval = 20;
     std::uint32_t remote_req_bytes = 16;
     std::uint32_t remote_resp_bytes = 64;
+
+    bool operator==(const ChipletParams &) const = default;
 };
 
 class Chiplet : public SimObject
@@ -66,7 +68,7 @@ class Chiplet : public SimObject
      * authoritative page table.
      */
     using TranslationValidator =
-        std::function<void(ProcessId, Vpn, Pfn, bool calculated)>;
+        InlineFn<void(ProcessId, Vpn, Pfn, bool calculated)>;
     void setValidator(TranslationValidator v) { validator_ = std::move(v); }
     void setMigrator(AcudMigrator *m) { migrator_ = m; }
     /** Share one L2 TLB across chiplets (the Fig 5/6 hypothetical). */

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "gpu/chiplet.hh"
@@ -38,6 +37,8 @@ struct CuParams
     std::uint32_t mlp = 4;
     /** Cycles between an access completing and the slot's next issue. */
     Cycles issue_gap = 4;
+
+    bool operator==(const CuParams &) const = default;
 };
 
 class Cu : public SimObject
@@ -58,7 +59,7 @@ class Cu : public SimObject
 
     /** Begin issuing; @p on_done fires when the stream drains. */
     void
-    start(std::function<void()> on_done)
+    start(EventQueue::Callback on_done)
     {
         on_done_ = std::move(on_done);
         if (stream_.empty()) {
@@ -100,7 +101,7 @@ class Cu : public SimObject
     std::size_t next_ = 0;
     std::uint64_t issued_ = 0;
     std::uint32_t active_slots_ = 0;
-    std::function<void()> on_done_;
+    EventQueue::Callback on_done_;
 };
 
 } // namespace barre

@@ -143,7 +143,7 @@ FBarreService::translate(ProcessId pid, Vpn vpn, ChipletId src,
             ++remote_probes_;
             ChipletId p = *peer;
             auto at_peer = [this, pid, vpn, src, p,
-                            done]() mutable {
+                            done = std::move(done)]() mutable {
                 Cycles peer_lat = 0;
                 auto resp = tryCalcAt(p, pid, vpn, true, peer_lat);
                 if (resp) {
@@ -216,6 +216,11 @@ FBarreService::sendFilterUpdates(ChipletId from, ChipletId to, bool add,
             else
                 engines_[to]->rcfErase(from, pid, vpn);
         }
+        // Applied updates are the only writers of RCF state, so right
+        // after a batch is the natural point to check the filters
+        // still back every membership fact the owner was told.
+        BARRE_AUDIT_EVERY(rcf_audit_tick_, kAuditPeriod,
+                          engines_[to]->auditRcfMembership());
     };
     if (params_.oracle_sharing) {
         after(params_.oracle_latency, std::move(apply));

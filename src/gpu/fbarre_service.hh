@@ -51,6 +51,8 @@ struct FBarreParams
     /** Candidate window width (the configured merge limit). */
     std::uint32_t merge_width = 1;
     std::uint32_t pec_buffer_entries = 5;
+
+    bool operator==(const FBarreParams &) const = default;
 };
 
 class FBarreService : public SimObject, public TranslationService
@@ -145,6 +147,7 @@ class FBarreService : public SimObject, public TranslationService
     Counter fallbacks_;
     Counter filter_updates_;
     std::uint64_t audit_tick_ = 0; ///< BARRE_AUDIT_EVERY site counter
+    std::uint64_t rcf_audit_tick_ = 0; ///< RCF-membership audit counter
 };
 
 } // namespace barre

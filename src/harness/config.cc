@@ -23,6 +23,13 @@ to_string(TranslationMode m)
     barre_panic("unknown mode");
 }
 
+SystemConfigHandle
+freezeConfig(SystemConfig cfg)
+{
+    cfg.normalize();
+    return std::make_shared<const SystemConfig>(std::move(cfg));
+}
+
 void
 SystemConfig::normalize()
 {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "baselines/least.hh"
@@ -72,6 +73,15 @@ struct SystemConfig
      */
     bool validate_translations = false;
 
+    /**
+     * Debug/diff knob: run the EventQueue without its calendar front
+     * (pure-heap mode). The schedule is identical either way; the flag
+     * exists so tests can prove it.
+     */
+    bool heap_only_queue = false;
+
+    bool operator==(const SystemConfig &) const = default;
+
     /// @name Named configurations used throughout the evaluation
     /// @{
     static SystemConfig baselineAts();
@@ -85,6 +95,17 @@ struct SystemConfig
     /** Apply mode-implied parameter couplings; called by the System. */
     void normalize();
 };
+
+/**
+ * An immutable, shareable configuration. One frozen handle can back any
+ * number of concurrently running Systems (runMany builds thousands of
+ * cells from a few named configs); const-ness makes the sharing safe by
+ * construction.
+ */
+using SystemConfigHandle = std::shared_ptr<const SystemConfig>;
+
+/** Normalize @p cfg and freeze it into an immutable shared handle. */
+SystemConfigHandle freezeConfig(SystemConfig cfg);
 
 } // namespace barre
 

@@ -58,6 +58,12 @@ saveCostCache(const char *path,
 RunMetrics
 runApp(const SystemConfig &cfg, const AppParams &app)
 {
+    return runApp(freezeConfig(cfg), app);
+}
+
+RunMetrics
+runApp(const SystemConfigHandle &cfg, const AppParams &app)
+{
     System sys(cfg);
     auto allocs = sys.allocate(app, /*pid=*/1);
     sys.loadWorkload(app, allocs);
@@ -185,12 +191,14 @@ runMany(const std::vector<NamedConfig> &cfgs,
     sims.reserve(n);
     hints.reserve(n);
     for (const auto &nc : cfgs) {
+        // One frozen handle per column; all of its cells share it.
+        SystemConfigHandle frozen = freezeConfig(nc.cfg);
         for (const auto &app : apps) {
             std::size_t i = sims.size();
             bool timed = cache_path != nullptr;
-            sims.push_back([&nc, &app, &walls, i, timed] {
+            sims.push_back([frozen, &nc, &app, &walls, i, timed] {
                 auto t0 = std::chrono::steady_clock::now();
-                RunMetrics m = runApp(nc.cfg, app);
+                RunMetrics m = runApp(frozen, app);
                 m.config = nc.name;
                 if (timed)
                     walls[i] = std::chrono::duration<double>(

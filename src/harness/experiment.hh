@@ -26,6 +26,13 @@ namespace barre
 /** Build a system, run one app, return its metrics. */
 RunMetrics runApp(const SystemConfig &cfg, const AppParams &app);
 
+/**
+ * Same, from a frozen config handle. runMany() uses this to build every
+ * cell of a column from one shared immutable SystemConfig instead of a
+ * per-cell copy.
+ */
+RunMetrics runApp(const SystemConfigHandle &cfg, const AppParams &app);
+
 /** Multi-programmed run: each app gets its own process id. */
 RunMetrics runApps(const SystemConfig &cfg,
                    const std::vector<AppParams> &apps);

@@ -19,10 +19,13 @@ geomean(const std::vector<double> &xs)
     return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
-System::System(SystemConfig cfg) : cfg_(std::move(cfg))
-{
-    cfg_.normalize();
+System::System(SystemConfig cfg) : System(freezeConfig(std::move(cfg)))
+{}
 
+System::System(SystemConfigHandle cfg)
+    : cfg_handle_(std::move(cfg)), cfg_(*cfg_handle_),
+      eq_(cfg_.heap_only_queue ? QueueMode::heap_only : QueueMode::ladder)
+{
     std::uint64_t frames =
         cfg_.mem_bytes_per_chiplet >> pageShift(cfg_.page_size);
     map_ = std::make_unique<MemoryMap>(cfg_.chiplets, frames);

@@ -22,6 +22,12 @@ namespace barre
 class System
 {
   public:
+    /**
+     * Build from a frozen config handle. Many Systems may share one
+     * handle (runMany builds one per named config, not per cell).
+     */
+    explicit System(SystemConfigHandle cfg);
+    /** Convenience: normalizes and freezes @p cfg internally. */
     explicit System(SystemConfig cfg);
     ~System();
 
@@ -68,7 +74,9 @@ class System
     void buildService();
     ChipletId homeOf(ProcessId pid, Vpn vpn) const;
 
-    SystemConfig cfg_;
+    SystemConfigHandle cfg_handle_;
+    /** Alias for *cfg_handle_; keeps member access terse. */
+    const SystemConfig &cfg_;
     EventQueue eq_;
     std::unique_ptr<MemoryMap> map_;
     std::unique_ptr<Interconnect> noc_;

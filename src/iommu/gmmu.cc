@@ -25,10 +25,9 @@ GmmuSystem::attachPageTable(PageTable &pt)
 const PageTable *
 GmmuSystem::tableFor(ProcessId pid) const
 {
-    auto it = page_tables_.find(pid);
-    barre_assert(it != page_tables_.end(),
-                 "no page table for process %u", pid);
-    return it->second;
+    PageTable *const *pt = page_tables_.find(pid);
+    barre_assert(pt != nullptr, "no page table for process %u", pid);
+    return *pt;
 }
 
 void
@@ -77,23 +76,26 @@ GmmuSystem::tryDispatch(ChipletId home)
             ++remote_walks_;
         else
             ++local_walks_;
-        node.in_flight.emplace_back(req.pid, req.vpn);
-        after(params_.walk_latency, [this, home,
-                                     req = std::move(req)]() {
-            completeWalk(home, req);
-            Node &n = nodes_[home];
-            auto it = std::find(n.in_flight.begin(), n.in_flight.end(),
-                                std::make_pair(req.pid, req.vpn));
-            barre_assert(it != n.in_flight.end(), "lost GMMU walk");
-            n.in_flight.erase(it);
-            --n.busy;
-            tryDispatch(home);
-        });
+        const ProcessId pid = req.pid;
+        const Vpn vpn = req.vpn;
+        node.in_flight.emplace_back(pid, vpn);
+        after(params_.walk_latency,
+              [this, home, pid, vpn, req = std::move(req)]() mutable {
+                  completeWalk(home, std::move(req));
+                  Node &n = nodes_[home];
+                  auto it = std::find(n.in_flight.begin(),
+                                      n.in_flight.end(),
+                                      std::make_pair(pid, vpn));
+                  barre_assert(it != n.in_flight.end(), "lost GMMU walk");
+                  n.in_flight.erase(it);
+                  --n.busy;
+                  tryDispatch(home);
+              });
     }
 }
 
 void
-GmmuSystem::completeWalk(ChipletId home, const Request &req)
+GmmuSystem::completeWalk(ChipletId home, Request req)
 {
     auto pte = tableFor(req.pid)->walk(req.vpn);
     barre_assert(pte.has_value(), "GMMU page fault for vpn 0x%llx",
@@ -147,12 +149,14 @@ GmmuSystem::completeWalk(ChipletId home, const Request &req)
             if (served) {
                 extra += params_.pec_calc_latency;
                 ++coalesced_;
-                const Request pending = std::move(*it);
+                Request pending = std::move(*it);
                 it = node.queue.erase(it);
                 ++served_count;
-                after(extra, [this, home, pending, out]() {
-                    deliver(home, pending, out);
-                });
+                after(extra,
+                      [this, home, pending = std::move(pending),
+                       out = std::move(out)]() mutable {
+                          deliver(home, pending, std::move(out));
+                      });
                 continue;
             }
         }
@@ -167,18 +171,16 @@ GmmuSystem::completeWalk(ChipletId home, const Request &req)
 }
 
 void
-GmmuSystem::deliver(ChipletId home, const Request &req, AtsResponse resp)
+GmmuSystem::deliver(ChipletId home, Request &req, AtsResponse resp)
 {
     if (home == req.requester) {
         // Local response: a couple of cycles of GMMU egress.
-        after(2, [respond = req.respond, resp = std::move(resp)]() {
-            respond(resp);
-        });
+        after(2, [respond = std::move(req.respond),
+                  resp = std::move(resp)]() { respond(resp); });
     } else {
         noc_.send(home, req.requester, params_.response_bytes,
-                  [respond = req.respond, resp = std::move(resp)]() {
-                      respond(resp);
-                  });
+                  [respond = std::move(req.respond),
+                   resp = std::move(resp)]() { respond(resp); });
     }
 }
 

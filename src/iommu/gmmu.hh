@@ -18,8 +18,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/pec.hh"
@@ -27,6 +25,8 @@
 #include "mem/memory_map.hh"
 #include "mem/page_table.hh"
 #include "noc/interconnect.hh"
+#include "sim/flat_map.hh"
+#include "sim/inline_fn.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -43,6 +43,8 @@ struct GmmuParams
     std::uint32_t pec_buffer_entries = 5;
     std::uint32_t request_bytes = 16;
     std::uint32_t response_bytes = 32;
+
+    bool operator==(const GmmuParams &) const = default;
 };
 
 class GmmuSystem : public SimObject
@@ -50,7 +52,7 @@ class GmmuSystem : public SimObject
   public:
     using ResponseHandler = Iommu::ResponseHandler;
     /** Maps a VPN to the chiplet holding its page-table leaf. */
-    using HomeFn = std::function<ChipletId(ProcessId, Vpn)>;
+    using HomeFn = InlineFn<ChipletId(ProcessId, Vpn)>;
 
     GmmuSystem(EventQueue &eq, std::string name, const GmmuParams &params,
                std::uint32_t chiplets, Interconnect &noc,
@@ -98,15 +100,16 @@ class GmmuSystem : public SimObject
 
     void enqueueAt(ChipletId home, Request req);
     void tryDispatch(ChipletId home);
-    void completeWalk(ChipletId home, const Request &req);
-    void deliver(ChipletId home, const Request &req, AtsResponse resp);
+    void completeWalk(ChipletId home, Request req);
+    /** Consumes req.respond; the request's ids stay readable. */
+    void deliver(ChipletId home, Request &req, AtsResponse resp);
     const PageTable *tableFor(ProcessId pid) const;
 
     GmmuParams params_;
     Interconnect &noc_;
     const MemoryMap &map_;
     HomeFn home_of_;
-    std::unordered_map<ProcessId, PageTable *> page_tables_;
+    FlatMap<ProcessId, PageTable *> page_tables_;
     PecBuffer pec_buffer_;
     std::vector<Node> nodes_;
 

@@ -68,10 +68,9 @@ Iommu::attachPageTable(PageTable &pt)
 const PageTable *
 Iommu::tableFor(ProcessId pid) const
 {
-    auto it = page_tables_.find(pid);
-    barre_assert(it != page_tables_.end(),
-                 "no page table for process %u", pid);
-    return it->second;
+    PageTable *const *pt = page_tables_.find(pid);
+    barre_assert(pt != nullptr, "no page table for process %u", pid);
+    return *pt;
 }
 
 void
@@ -193,20 +192,23 @@ Iommu::startWalk(Request req)
 {
     ++busy_ptws_;
     ++walks_;
-    in_flight_.emplace_back(req.pid, req.vpn);
-    after(walkLatency(req.pid, req.vpn), [this, req = std::move(req)]() {
-        completeWalk(req);
-        auto it = std::find(in_flight_.begin(), in_flight_.end(),
-                            std::make_pair(req.pid, req.vpn));
-        barre_assert(it != in_flight_.end(), "lost in-flight walk");
-        in_flight_.erase(it);
-        --busy_ptws_;
-        tryDispatch();
-    });
+    const ProcessId pid = req.pid;
+    const Vpn vpn = req.vpn;
+    in_flight_.emplace_back(pid, vpn);
+    after(walkLatency(pid, vpn),
+          [this, pid, vpn, req = std::move(req)]() mutable {
+              completeWalk(std::move(req));
+              auto it = std::find(in_flight_.begin(), in_flight_.end(),
+                                  std::make_pair(pid, vpn));
+              barre_assert(it != in_flight_.end(), "lost in-flight walk");
+              in_flight_.erase(it);
+              --busy_ptws_;
+              tryDispatch();
+          });
 }
 
 void
-Iommu::completeWalk(const Request &req)
+Iommu::completeWalk(Request req)
 {
     auto pte = tableFor(req.pid)->walk(req.vpn);
     if (!pte) {
@@ -214,17 +216,18 @@ Iommu::completeWalk(const Request &req)
             // Demand paging: park the request, service the fault, and
             // retry the (now-warm) walk completion once.
             ++page_faults_;
-            after(params_.fault_latency, [this, req]() {
-                fault_handler_(req.pid, req.vpn);
-                if (tableFor(req.pid)->walk(req.vpn)) {
-                    completeWalk(req);
-                } else {
-                    AtsResponse miss;
-                    miss.pid = req.pid;
-                    miss.vpn = req.vpn;
-                    respondTo(req, miss, 0);
-                }
-            });
+            after(params_.fault_latency,
+                  [this, req = std::move(req)]() mutable {
+                      fault_handler_(req.pid, req.vpn);
+                      if (tableFor(req.pid)->walk(req.vpn)) {
+                          completeWalk(std::move(req));
+                      } else {
+                          AtsResponse miss;
+                          miss.pid = req.pid;
+                          miss.vpn = req.vpn;
+                          respondTo(req, miss, 0);
+                      }
+                  });
             return;
         }
         // Unmapped VPN (e.g. a prefetch past the end of a buffer):
@@ -377,13 +380,13 @@ Iommu::multicastGroup(const Request &req, const AtsResponse &resp,
 }
 
 void
-Iommu::respondTo(const Request &req, AtsResponse resp, Cycles extra)
+Iommu::respondTo(Request &req, AtsResponse resp, Cycles extra)
 {
     std::uint32_t bytes = resp.has_pec ? params_.ats_response_coal_bytes
                                        : params_.ats_response_bytes;
     Tick arrival = req.arrival;
-    auto deliver = [this, respond = req.respond, resp = std::move(resp),
-                    arrival]() {
+    auto deliver = [this, respond = std::move(req.respond),
+                    resp = std::move(resp), arrival]() {
         processing_time_.sample(static_cast<double>(curTick() - arrival));
         respond(resp);
     };

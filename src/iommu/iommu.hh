@@ -20,15 +20,15 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/pec.hh"
 #include "mem/memory_map.hh"
 #include "mem/page_table.hh"
 #include "noc/pcie.hh"
+#include "sim/flat_map.hh"
+#include "sim/inline_fn.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "tlb/tlb.hh"
@@ -87,6 +87,8 @@ struct IommuParams
     std::uint32_t ats_response_bytes = 16;
     /** Response carrying coal info + the 118-bit PEC entry (§V-A3). */
     std::uint32_t ats_response_coal_bytes = 32;
+
+    bool operator==(const IommuParams &) const = default;
 };
 
 /** What an ATS response delivers back to the requesting chiplet. */
@@ -106,7 +108,7 @@ struct AtsResponse
 class Iommu : public SimObject
 {
   public:
-    using ResponseHandler = std::function<void(const AtsResponse &)>;
+    using ResponseHandler = InlineFn<void(const AtsResponse &)>;
 
     Iommu(EventQueue &eq, std::string name, const IommuParams &params,
           Pcie &pcie, const MemoryMap &map);
@@ -118,16 +120,14 @@ class Iommu : public SimObject
     PecBuffer &pecBuffer() { return pec_buffer_; }
 
     /** Observe the VPN of every arriving request (Fig 5 gap study). */
-    void setVpnProbe(std::function<void(Vpn)> probe)
-    {
-        vpn_probe_ = std::move(probe);
-    }
+    using VpnProbe = InlineFn<void(Vpn)>;
+    void setVpnProbe(VpnProbe probe) { vpn_probe_ = std::move(probe); }
 
     /**
      * Sink for unsolicited (multicast) translations pushed to a
      * chiplet; wired by the system when IommuParams::multicast is on.
      */
-    using FillSink = std::function<void(ChipletId, const AtsResponse &)>;
+    using FillSink = InlineFn<void(ChipletId, const AtsResponse &)>;
     void setFillSink(FillSink sink) { fill_sink_ = std::move(sink); }
 
     std::uint64_t multicastPushes() const { return multicasts_.value(); }
@@ -139,7 +139,7 @@ class Iommu : public SimObject
      * faulting page (and, under Barre, its group). The walk retries
      * after fault_latency.
      */
-    using FaultHandler = std::function<void(ProcessId, Vpn)>;
+    using FaultHandler = InlineFn<void(ProcessId, Vpn)>;
     void setFaultHandler(FaultHandler h) { fault_handler_ = std::move(h); }
     std::uint64_t pageFaults() const { return page_faults_.value(); }
 
@@ -186,8 +186,9 @@ class Iommu : public SimObject
     void tryDispatch();
     bool coalescibleWithInFlight(const Request &req) const;
     void startWalk(Request req);
-    void completeWalk(const Request &req);
-    void respondTo(const Request &req, AtsResponse resp, Cycles extra);
+    void completeWalk(Request req);
+    /** Consumes req.respond; the request's ids stay readable. */
+    void respondTo(Request &req, AtsResponse resp, Cycles extra);
     const PageTable *tableFor(ProcessId pid) const;
     /** Walk latency for (pid, vpn) under the configured walk model. */
     Cycles walkLatency(ProcessId pid, Vpn vpn);
@@ -197,7 +198,7 @@ class Iommu : public SimObject
     IommuParams params_;
     Pcie &pcie_;
     const MemoryMap *memory_map_;
-    std::unordered_map<ProcessId, PageTable *> page_tables_;
+    FlatMap<ProcessId, PageTable *> page_tables_;
     PecBuffer pec_buffer_;
     std::unique_ptr<Tlb> tlb_;
     /** Page-walk cache over upper-level radix prefixes (timed walks). */
@@ -211,7 +212,7 @@ class Iommu : public SimObject
     std::vector<std::pair<ProcessId, Vpn>> in_flight_;
     std::uint32_t busy_ptws_ = 0;
 
-    std::function<void(Vpn)> vpn_probe_;
+    VpnProbe vpn_probe_;
     Counter ats_requests_;
     Counter walks_;
     Counter coalesced_;

@@ -25,6 +25,8 @@ struct DramParams
     double bytes_per_cycle = 1024.0;
     /** Access granularity (one cache line). */
     std::uint32_t line_bytes = 64;
+
+    bool operator==(const DramParams &) const = default;
 };
 
 class Dram : public SimObject

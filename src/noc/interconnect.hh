@@ -24,6 +24,8 @@ struct InterconnectParams
     /** Per-chiplet egress bandwidth: 768 GB/s at 1 GHz = 768 B/cycle. */
     double bytes_per_cycle = 768.0;
     Cycles latency = 32;
+
+    bool operator==(const InterconnectParams &) const = default;
 };
 
 class Interconnect : public SimObject

@@ -21,6 +21,8 @@ struct LinkParams
 {
     double bytes_per_cycle = 64.0;
     Cycles latency = 32;
+
+    bool operator==(const LinkParams &) const = default;
 };
 
 class Link : public SimObject

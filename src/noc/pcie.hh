@@ -21,6 +21,8 @@ struct PcieParams
     /** 32 GB/s at 1 GHz core clock = 32 B/cycle per direction. */
     double bytes_per_cycle = 32.0;
     Cycles latency = 150;
+
+    bool operator==(const PcieParams &) const = default;
 };
 
 class Pcie : public SimObject

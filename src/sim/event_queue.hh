@@ -1,32 +1,64 @@
 /**
  * @file
- * A simple deterministic discrete-event queue.
+ * A deterministic discrete-event queue with a hierarchical front.
  *
- * Events are closures scheduled at an absolute Tick. Events scheduled for
- * the same tick fire in scheduling order (a monotone sequence number breaks
- * ties), which keeps simulations reproducible across runs and platforms.
+ * Events are closures scheduled at an absolute Tick. Events scheduled
+ * for the same tick fire in scheduling order (a monotone sequence
+ * number breaks ties), which keeps simulations reproducible across
+ * runs and platforms.
  *
- * Internally the queue is a hand-rolled 4-ary min-heap (shallower than a
- * binary heap, and sift operations move entries instead of copying the
- * std::function payloads) plus a FIFO fast lane for events scheduled at
- * the current tick — the common scheduleAfter(0) hand-off pattern skips
- * the heap entirely. Firing order is the total order (when, seq) in both
- * lanes, so the fast lane is invisible to simulation results.
+ * The queue is two-level. A *ladder* of per-tick FIFO buckets covers
+ * the sliding near-future window (now, now + kWindow): scheduling into
+ * the window is an O(1) push into bucket `when & (kWindow-1)`, and
+ * almost all simulator traffic — TLB probe hand-offs, IOMMU walk-queue
+ * hops, link hops — lands there. A hand-rolled 4-ary min-heap remains
+ * as the overflow backstop for far-future events (DRAM/PCIe completions
+ * under congestion, coarse timeouts). A FIFO fast lane holds events
+ * scheduled *at* the current tick; when time advances to a bucket's
+ * tick, that bucket is swapped into the lane wholesale, recycling the
+ * lane's storage, so bucket vectors are allocated once and reused.
+ *
+ * Determinism: firing order is the exact total order (when, seq) no
+ * matter which structure holds an event. The key property is that for
+ * any tick T, routing of new events at T moves monotonically from heap
+ * (T outside the window) to bucket (T inside) to lane (T == now) as
+ * now advances — so every heap entry at T carries a smaller seq than
+ * every bucket entry at T, and the existing lane-vs-heap tie-break
+ * (fireNowOrTiedHeapTop) restores the global order after a bucket is
+ * promoted into the lane. auditInvariants() checks this boundary.
+ *
+ * Event payloads are InlineFn (sim/inline_fn.hh): move-only callables
+ * with a 48-byte inline buffer, so the common 2–3-pointer capture
+ * schedules without any heap allocation.
  */
 
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_fn.hh"
 #include "sim/invariant.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace barre
 {
+
+/**
+ * Queue implementation selector. `heap_only` disables the ladder front
+ * (every future event goes through the 4-ary heap); it exists so tests
+ * and benches can prove the ladder is performance-only — firing order
+ * and RunMetrics are bitwise identical between the two modes.
+ */
+enum class QueueMode
+{
+    ladder,
+    heap_only,
+};
 
 /**
  * Central event queue; one per simulated system.
@@ -41,23 +73,34 @@ namespace barre
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFn<void()>;
 
-    EventQueue() { heap_.reserve(kReserve); }
+    explicit EventQueue(QueueMode mode = QueueMode::ladder) : mode_(mode)
+    {
+        heap_.reserve(kReserve);
+    }
+
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
+    /** Implementation mode chosen at construction. */
+    QueueMode mode() const { return mode_; }
+
     /** Number of events not yet fired. */
     std::size_t
     pending() const
     {
-        return heap_.size() + (now_lane_.size() - now_head_);
+        return heap_.size() + bucket_count_ + (now_lane_.size() - now_head_);
     }
 
-    bool empty() const { return heap_.empty() && nowLaneEmpty(); }
+    bool
+    empty() const
+    {
+        return heap_.empty() && bucket_count_ == 0 && nowLaneEmpty();
+    }
 
     /** Total events fired over the queue's lifetime. */
     std::uint64_t fired() const { return fired_total_; }
@@ -74,6 +117,8 @@ class EventQueue
                      (unsigned long long)when, (unsigned long long)now_);
         if (when == now_)
             pushNowLane(std::move(cb));
+        else if (mode_ == QueueMode::ladder && when - now_ < kWindow)
+            pushBucket(when, std::move(cb));
         else
             heapPush(Entry{when, seq_++, std::move(cb)});
     }
@@ -82,14 +127,17 @@ class EventQueue
      * Schedule @p cb to fire @p delay cycles from now.
      *
      * Fast path: a relative delay can never land in the past, so the
-     * range assert is skipped, and zero-delay events go to the FIFO
-     * fast lane instead of the heap.
+     * range assert is skipped; zero-delay events go to the FIFO fast
+     * lane and in-window delays to their ladder bucket, skipping the
+     * heap entirely.
      */
     void
     scheduleAfter(Cycles delay, Callback cb)
     {
         if (delay == 0)
             pushNowLane(std::move(cb));
+        else if (mode_ == QueueMode::ladder && delay < kWindow)
+            pushBucket(now_ + delay, std::move(cb));
         else
             heapPush(Entry{now_ + delay, seq_++, std::move(cb)});
     }
@@ -103,15 +151,20 @@ class EventQueue
     {
         std::uint64_t fired = 0;
         while (fired < limit) {
-            if (!nowLaneEmpty()) {
-                fireNowOrTiedHeapTop();
-            } else if (!heap_.empty()) {
+            if (nowLaneEmpty()) {
+                Tick next;
+                const Next from = peekNext(next);
+                if (from == Next::none)
+                    break;
+                now_ = next;
+                if (from == Next::bucket) {
+                    promoteBucket(next);
+                    continue; // promotion fires nothing by itself
+                }
                 Entry e = heapPop();
-                barre_assert(e.when >= now_, "event queue went backwards");
-                now_ = e.when;
                 e.cb();
             } else {
-                break;
+                fireNowOrTiedHeapTop();
             }
             ++fired;
             BARRE_AUDIT_EVERY(audit_tick_, kAuditPeriod,
@@ -131,12 +184,20 @@ class EventQueue
     {
         std::uint64_t fired = 0;
         for (;;) {
-            if (!nowLaneEmpty() && now_ <= until) {
-                fireNowOrTiedHeapTop();
-            } else if (!heap_.empty() && heap_.front().when <= until) {
+            if (nowLaneEmpty()) {
+                Tick next;
+                Next from = peekNext(next);
+                if (from == Next::none || next > until)
+                    break;
+                now_ = next;
+                if (from == Next::bucket) {
+                    promoteBucket(next);
+                    continue;
+                }
                 Entry e = heapPop();
-                now_ = e.when;
                 e.cb();
+            } else if (now_ <= until) {
+                fireNowOrTiedHeapTop();
             } else {
                 break;
             }
@@ -153,9 +214,13 @@ class EventQueue
     /**
      * Deep audit of the queue's structural invariants (see
      * sim/invariant.hh): the 4-ary heap property on (when, seq), no
-     * heap entry in the past, and the fast lane holding only
-     * current-tick entries in FIFO (strictly increasing seq) order.
-     * Panics (throws) on violation. O(pending).
+     * entry in the past, the fast lane holding only current-tick
+     * entries in FIFO (strictly increasing seq) order, every ladder
+     * bucket holding exactly one in-window tick in FIFO order with a
+     * consistent occupancy bitmap, and the bucket↔heap boundary — any
+     * heap entry sharing a tick with a bucket must predate (smaller
+     * seq than) everything in that bucket, or the promotion tie-break
+     * would misorder them. Panics (throws) on violation. O(pending).
      */
     void
     auditInvariants() const
@@ -186,6 +251,18 @@ class EventQueue
                          now_lane_[i - 1].seq < now_lane_[i].seq,
                          "fast lane is not FIFO at entry %zu", i);
         }
+        auditLadder();
+    }
+
+    /**
+     * Test hook: flip one slot's occupancy bit behind the bucket
+     * storage's back, desynchronizing the bitmap on purpose so
+     * invariant tests can assert auditInvariants() fires.
+     */
+    void
+    debugCorruptLadderBitmap(std::size_t slot)
+    {
+        bucket_bits_[slot >> 6] ^= std::uint64_t{1} << (slot & 63);
     }
 
   private:
@@ -196,8 +273,19 @@ class EventQueue
         Callback cb;
     };
 
+    enum class Next
+    {
+        none,
+        heap,
+        bucket,
+    };
+
     static constexpr std::size_t kReserve = 1024;
     static constexpr std::uint64_t kAuditPeriod = 4096;
+    /** Ladder window length in ticks; must stay a power of two. */
+    static constexpr Tick kWindow = 256;
+    static constexpr Tick kSlotMask = kWindow - 1;
+    static constexpr std::size_t kBitmapWords = kWindow / 64;
 
     static bool
     before(Tick wa, std::uint64_t sa, Tick wb, std::uint64_t sb)
@@ -216,6 +304,91 @@ class EventQueue
     pushNowLane(Callback cb)
     {
         now_lane_.push_back(Entry{now_, seq_++, std::move(cb)});
+    }
+
+    /**
+     * Append to the ladder bucket for @p when.
+     * @pre now_ < when && when - now_ < kWindow (so the slot is free of
+     * any other tick: the window spans less than one full rotation, and
+     * slot now_ & kSlotMask — the only aliasing candidate — is never
+     * occupied because tick now_ routes to the lane and tick
+     * now_ + kWindow is outside the window).
+     */
+    void
+    pushBucket(Tick when, Callback cb)
+    {
+        const std::size_t slot = when & kSlotMask;
+        std::vector<Entry> &b = buckets_[slot];
+        if (b.empty())
+            bucket_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+        b.push_back(Entry{when, seq_++, std::move(cb)});
+        ++bucket_count_;
+    }
+
+    /**
+     * Earliest tick present in the ladder, if any. Scanning slots in
+     * circular order starting just past now_ visits window ticks in
+     * increasing order, so the first occupied slot is the minimum; the
+     * occupancy bitmap turns the scan into a handful of word tests.
+     */
+    Next
+    nextBucketTick(Tick &out) const
+    {
+        if (bucket_count_ == 0)
+            return Next::none;
+        const std::size_t start = (now_ + 1) & kSlotMask;
+        std::size_t off = 0;
+        while (off < kWindow) {
+            const std::size_t slot = (start + off) & kSlotMask;
+            const std::uint64_t word = bucket_bits_[slot >> 6];
+            const std::uint64_t bits = word >> (slot & 63);
+            if (bits != 0) {
+                const std::size_t hit = slot + std::countr_zero(bits);
+                out = buckets_[hit].front().when;
+                return Next::bucket;
+            }
+            off += 64 - (slot & 63);
+        }
+        barre_panic("ladder count %zu but no occupied bucket",
+                    bucket_count_);
+    }
+
+    /** Earliest pending tick and which structure holds it. */
+    Next
+    peekNext(Tick &out) const
+    {
+        Tick bucket_tick;
+        const Next from_bucket = nextBucketTick(bucket_tick);
+        if (heap_.empty()) {
+            out = bucket_tick;
+            return from_bucket;
+        }
+        if (from_bucket == Next::none ||
+            heap_.front().when < bucket_tick) {
+            out = heap_.front().when;
+            return Next::heap;
+        }
+        // Tie: promote the bucket; heap entries at the same tick have
+        // smaller seqs and win inside fireNowOrTiedHeapTop.
+        out = bucket_tick;
+        return Next::bucket;
+    }
+
+    /**
+     * Swap the bucket for tick @p when (== now_) into the empty fast
+     * lane. The vectors trade storage, so the lane's capacity from the
+     * previous tick becomes the bucket's scratch space — steady-state
+     * operation allocates nothing.
+     */
+    void
+    promoteBucket(Tick when)
+    {
+        const std::size_t slot = when & kSlotMask;
+        now_lane_.swap(buckets_[slot]);
+        now_head_ = 0;
+        bucket_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+        bucket_count_ -= now_lane_.size();
+        buckets_[slot].clear();
     }
 
     /**
@@ -287,13 +460,86 @@ class EventQueue
         return out;
     }
 
+    /** Ladder-specific half of auditInvariants(). */
+    void
+    auditLadder() const
+    {
+        std::size_t counted = 0;
+        for (std::size_t slot = 0; slot < kWindow; ++slot) {
+            const std::vector<Entry> &b = buckets_[slot];
+            const bool bit = (bucket_bits_[slot >> 6] >>
+                              (slot & 63)) & 1;
+            barre_assert(bit == !b.empty(),
+                         "ladder bitmap disagrees with bucket %zu", slot);
+            if (b.empty())
+                continue;
+            barre_assert(mode_ == QueueMode::ladder,
+                         "heap-only queue has an occupied bucket");
+            counted += b.size();
+            const Tick when = b.front().when;
+            barre_assert((when & kSlotMask) == slot,
+                         "bucket %zu holds tick %llu, wrong slot", slot,
+                         (unsigned long long)when);
+            barre_assert(when > now_ && when - now_ < kWindow,
+                         "bucket %zu tick %llu outside window (now "
+                         "%llu)",
+                         slot, (unsigned long long)when,
+                         (unsigned long long)now_);
+            for (std::size_t i = 0; i < b.size(); ++i) {
+                barre_assert(b[i].when == when,
+                             "bucket %zu mixes ticks %llu and %llu",
+                             slot, (unsigned long long)when,
+                             (unsigned long long)b[i].when);
+                barre_assert(i == 0 || b[i - 1].seq < b[i].seq,
+                             "bucket %zu is not FIFO at entry %zu",
+                             slot, i);
+            }
+        }
+        barre_assert(counted == bucket_count_,
+                     "ladder count %zu != sum of buckets %zu",
+                     bucket_count_, counted);
+        // Bucket↔heap boundary: heap entries must predate any bucket
+        // entries at the same tick (routing to a tick's bucket starts
+        // strictly after routing to the heap stops).
+        for (const Entry &e : heap_) {
+            if (e.when <= now_ || e.when - now_ >= kWindow)
+                continue;
+            const std::vector<Entry> &b = buckets_[e.when & kSlotMask];
+            if (b.empty() || b.front().when != e.when)
+                continue;
+            barre_assert(e.seq < b.front().seq,
+                         "heap entry at tick %llu (seq %llu) scheduled "
+                         "after bucket entry (seq %llu)",
+                         (unsigned long long)e.when,
+                         (unsigned long long)e.seq,
+                         (unsigned long long)b.front().seq);
+        }
+    }
+
     std::vector<Entry> heap_;     ///< 4-ary min-heap on (when, seq)
     std::vector<Entry> now_lane_; ///< FIFO of events at tick now_
     std::size_t now_head_ = 0;    ///< first unfired fast-lane entry
+    /** Per-tick FIFO buckets for the (now, now + kWindow) window. */
+    std::array<std::vector<Entry>, kWindow> buckets_;
+    /** One bit per bucket: occupied? Drives the next-tick scan. */
+    std::array<std::uint64_t, kBitmapWords> bucket_bits_{};
+    std::size_t bucket_count_ = 0; ///< entries across all buckets
+    QueueMode mode_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t fired_total_ = 0;
     std::uint64_t audit_tick_ = 0; ///< BARRE_AUDIT_EVERY site counter
 };
+
+/**
+ * The whole point of InlineFn here: per-event scheduling must not touch
+ * the allocator for ordinary captures. Guard against regressing back
+ * to a heap-allocating payload type.
+ */
+static_assert(
+    EventQueue::Callback::fitsInline<decltype([p = (void *)nullptr,
+                                               q = (void *)nullptr,
+                                               t = Tick{0}] {})>(),
+    "EventQueue::Callback must store small captures inline");
 
 } // namespace barre

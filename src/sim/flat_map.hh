@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Open-addressing hash map for the translation hot path.
+ *
+ * The per-lookup maps on the simulated translation path (IOMMU
+ * page-table lookup, MSHR tag matching) were std::unordered_map:
+ * node-based, one cache miss per bucket hop, and a heap allocation per
+ * insert. FlatMap stores key/value slots contiguously with linear
+ * probing, a byte-per-slot occupancy array (no sentinel key, so key 0
+ * stays a legal key), power-of-two capacity, and backward-shift
+ * deletion (no tombstones, so probe chains never rot). The hash is a
+ * strong 64-bit mix computed once per operation — tryEmplace() replaces
+ * the find-then-insert double probe the unordered_map call sites did.
+ *
+ * Deliberately minimal: integral keys, default-constructible
+ * move-assignable values, no iterators (use forEach; iteration order
+ * is a deterministic function of the inserted keys, never of pointer
+ * values, so it is stable across runs and platforms).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+template <typename K, typename V>
+class FlatMap
+{
+    static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
+                  "FlatMap keys must hash as integers (pointer keys "
+                  "would make layout depend on allocation addresses)");
+    static_assert(std::is_default_constructible_v<V> &&
+                      std::is_move_assignable_v<V>,
+                  "FlatMap values are stored in-slot");
+
+  public:
+    FlatMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Splitmix64 finalizer: full-avalanche mix of the raw key bits. */
+    static std::uint64_t
+    hashOf(K key)
+    {
+        std::uint64_t x = static_cast<std::uint64_t>(key);
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    /** Pointer to the mapped value, or nullptr when absent. */
+    V *
+    find(K key)
+    {
+        if (size_ == 0)
+            return nullptr;
+        std::size_t i = hashOf(key) & mask_;
+        while (used_[i]) {
+            if (slots_[i].key == key)
+                return &slots_[i].val;
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    const V *
+    find(K key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    bool contains(K key) const { return find(key) != nullptr; }
+
+    /**
+     * Find or default-construct the entry for @p key with a single
+     * probe sequence (one hash computation).
+     * @return the value slot and whether it was just inserted.
+     */
+    std::pair<V *, bool>
+    tryEmplace(K key)
+    {
+        if (slots_.empty() || size_ + 1 > (capacity() * 3) / 4)
+            grow();
+        std::size_t i = hashOf(key) & mask_;
+        while (used_[i]) {
+            if (slots_[i].key == key)
+                return {&slots_[i].val, false};
+            i = (i + 1) & mask_;
+        }
+        used_[i] = 1;
+        slots_[i].key = key;
+        ++size_;
+        return {&slots_[i].val, true};
+    }
+
+    V &operator[](K key) { return *tryEmplace(key).first; }
+
+    void
+    insert(K key, V val)
+    {
+        *tryEmplace(key).first = std::move(val);
+    }
+
+    /**
+     * Remove @p key, if present, via backward shift: trailing cluster
+     * members whose probe path crossed the hole slide into it, so the
+     * table needs no tombstones.
+     * @return true when the key was present.
+     */
+    bool
+    erase(K key)
+    {
+        if (size_ == 0)
+            return false;
+        std::size_t i = hashOf(key) & mask_;
+        while (used_[i]) {
+            if (slots_[i].key == key) {
+                eraseSlot(i);
+                return true;
+            }
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    /** Detach and return the mapped value, erasing the entry. */
+    V
+    take(K key)
+    {
+        V *v = find(key);
+        barre_assert(v != nullptr, "FlatMap::take on an absent key");
+        V out = std::move(*v);
+        erase(key);
+        return out;
+    }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        used_.clear();
+        size_ = 0;
+        mask_ = 0;
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t want = 16;
+        while ((want * 3) / 4 < n)
+            want <<= 1;
+        if (want > capacity())
+            rehash(want);
+    }
+
+    /**
+     * Visit every entry as fn(key, value&). Order depends only on the
+     * key set (hash layout), not on allocation addresses.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (used_[i])
+                fn(slots_[i].key, slots_[i].val);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (used_[i])
+                fn(slots_[i].key, slots_[i].val);
+    }
+
+  private:
+    struct Slot
+    {
+        K key{};
+        V val{};
+    };
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    void
+    grow()
+    {
+        rehash(slots_.empty() ? 16 : capacity() * 2);
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        std::vector<std::uint8_t> old_used = std::move(used_);
+        slots_.clear();
+        slots_.resize(new_cap);
+        used_.assign(new_cap, 0);
+        mask_ = new_cap - 1;
+        for (std::size_t i = 0; i < old.size(); ++i) {
+            if (!old_used[i])
+                continue;
+            std::size_t j = hashOf(old[i].key) & mask_;
+            while (used_[j])
+                j = (j + 1) & mask_;
+            used_[j] = 1;
+            slots_[j] = std::move(old[i]);
+        }
+    }
+
+    void
+    eraseSlot(std::size_t hole)
+    {
+        --size_;
+        std::size_t j = hole;
+        for (;;) {
+            j = (j + 1) & mask_;
+            if (!used_[j])
+                break;
+            const std::size_t home = hashOf(slots_[j].key) & mask_;
+            // Slide j into the hole iff its probe path passes through
+            // the hole (cyclic distance home->j covers hole->j).
+            if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+                slots_[hole] = std::move(slots_[j]);
+                hole = j;
+            }
+        }
+        used_[hole] = 0;
+        slots_[hole] = Slot{};
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint8_t> used_;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;
+};
+
+} // namespace barre

@@ -11,11 +11,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/types.hh"
+#include "sim/flat_map.hh"
+#include "sim/inline_fn.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -29,7 +29,7 @@ template <typename Result>
 class Mshr
 {
   public:
-    using Callback = std::function<void(const Result &)>;
+    using Callback = InlineFn<void(const Result &)>;
     using Key = std::uint64_t;
 
     explicit Mshr(std::uint32_t capacity) : capacity_(capacity)
@@ -54,9 +54,8 @@ class Mshr
     Outcome
     allocate(Key key, Callback cb)
     {
-        auto it = entries_.find(key);
-        if (it != entries_.end()) {
-            it->second.push_back(std::move(cb));
+        if (std::vector<Callback> *waiters = entries_.find(key)) {
+            waiters->push_back(std::move(cb));
             ++secondary_;
             return Outcome::secondary;
         }
@@ -76,11 +75,10 @@ class Mshr
     void
     complete(Key key, const Result &result)
     {
-        auto it = entries_.find(key);
-        barre_assert(it != entries_.end(), "completing unknown MSHR entry");
+        barre_assert(entries_.contains(key),
+                     "completing unknown MSHR entry");
         // Detach first: callbacks may allocate the same key again.
-        std::vector<Callback> waiters = std::move(it->second);
-        entries_.erase(it);
+        std::vector<Callback> waiters = entries_.take(key);
         for (auto &cb : waiters)
             cb(result);
     }
@@ -96,7 +94,7 @@ class Mshr
 
   private:
     std::uint32_t capacity_;
-    std::unordered_map<Key, std::vector<Callback>> entries_;
+    FlatMap<Key, std::vector<Callback>> entries_;
     Counter primary_;
     Counter secondary_;
     Counter rejected_;

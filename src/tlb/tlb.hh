@@ -15,12 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "mem/pte.hh"
 #include "mem/types.hh"
+#include "sim/inline_fn.hh"
 #include "sim/stats.hh"
 
 namespace barre
@@ -32,6 +32,8 @@ struct TlbParams
     std::uint32_t ways = 16;
     Cycles lookup_latency = 10;
     std::uint32_t mshrs = 16;
+
+    bool operator==(const TlbParams &) const = default;
 };
 
 struct TlbEntry
@@ -47,9 +49,9 @@ class Tlb
 {
   public:
     /** (evicted entry) -> void; fired when a valid entry is replaced. */
-    using EvictListener = std::function<void(const TlbEntry &)>;
+    using EvictListener = InlineFn<void(const TlbEntry &)>;
     /** (inserted entry) -> void. */
-    using InsertListener = std::function<void(const TlbEntry &)>;
+    using InsertListener = InlineFn<void(const TlbEntry &)>;
 
     explicit Tlb(const TlbParams &p);
 

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Frozen shared configuration handles: one immutable SystemConfig can
+ * back many Systems, and equality over SystemConfig is deep.
+ */
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+#include "workloads/suite.hh"
+
+using namespace barre;
+
+namespace
+{
+
+TEST(SharedConfig, FreezeNormalizes)
+{
+    SystemConfig cfg = SystemConfig::barreCfg();
+    SystemConfigHandle h = freezeConfig(cfg);
+    // normalize() couples mode-implied fields; barre mode must have
+    // switched the IOMMU's PEC logic on in the frozen copy.
+    EXPECT_TRUE(h->iommu.barre);
+    EXPECT_EQ(h->chiplet.cus, h->cus_per_chiplet);
+}
+
+TEST(SharedConfig, HandleIsImmutable)
+{
+    SystemConfigHandle h = freezeConfig(SystemConfig{});
+    static_assert(std::is_const_v<std::remove_reference_t<decltype(*h)>>,
+                  "a frozen config must be const-qualified — cells "
+                  "sharing it could otherwise race on mutation");
+    SUCCEED();
+}
+
+TEST(SharedConfig, ManySystemsShareOneHandle)
+{
+    SystemConfig cfg;
+    cfg.workload_scale = 0.02;
+    SystemConfigHandle h = freezeConfig(cfg);
+    EXPECT_EQ(h.use_count(), 1);
+    {
+        System a(h);
+        System b(h);
+        EXPECT_EQ(h.use_count(), 3);
+        // Both see the very same object, not equal copies.
+        EXPECT_EQ(&a.config(), h.get());
+        EXPECT_EQ(&b.config(), h.get());
+    }
+    EXPECT_EQ(h.use_count(), 1);
+}
+
+TEST(SharedConfig, DeepEqualityCoversNestedParams)
+{
+    SystemConfig a = SystemConfig::fbarreCfg();
+    SystemConfig b = SystemConfig::fbarreCfg();
+    EXPECT_TRUE(a == b);
+
+    b.chiplet.l2_tlb.entries += 1; // deep: nested param of a param
+    EXPECT_FALSE(a == b);
+    b = a;
+    b.heap_only_queue = true;
+    EXPECT_FALSE(a == b);
+    b = a;
+    EXPECT_TRUE(a == b);
+}
+
+TEST(SharedConfig, HandleRunMatchesValueRun)
+{
+    SystemConfig cfg;
+    cfg.mode = TranslationMode::barre;
+    cfg.workload_scale = 0.04;
+    const AppParams &app = appByName("cov");
+    RunMetrics by_value = runApp(cfg, app);
+    RunMetrics by_handle = runApp(freezeConfig(cfg), app);
+    EXPECT_TRUE(by_value == by_handle);
+}
+
+TEST(SharedConfig, RunManyCellsAgreeWithPerCellCopies)
+{
+    // runMany now freezes one handle per column; its results must be
+    // indistinguishable from running each cell with its own copy.
+    SystemConfig cfg;
+    cfg.mode = TranslationMode::barre;
+    cfg.workload_scale = 0.02;
+    std::vector<NamedConfig> cols = {{"barre", cfg}};
+    std::vector<AppParams> apps = {appByName("cov"), appByName("gups")};
+    for (auto &app : apps)
+        app.ctas = std::max<std::uint32_t>(1, app.ctas / 8);
+
+    std::vector<RunMetrics> grid = runMany(cols, apps, 2);
+    ASSERT_EQ(grid.size(), 2u);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        RunMetrics solo = runApp(cfg, apps[i]);
+        solo.config = "barre";
+        EXPECT_TRUE(grid[i] == solo) << apps[i].name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * FlatMap: the open-addressing map backing the IOMMU page-table lookup
+ * and the MSHR tag store. Exercised against std::unordered_map as a
+ * reference model under randomized insert/erase churn.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/flat_map.hh"
+#include "sim/rng.hh"
+
+namespace barre
+{
+namespace
+{
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<std::uint32_t, int> m;
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(7), nullptr);
+    EXPECT_FALSE(m.contains(7));
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<std::uint32_t, int> m;
+    m.insert(1, 10);
+    m.insert(2, 20);
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(1), nullptr);
+    EXPECT_EQ(*m.find(1), 10);
+    EXPECT_EQ(*m.find(2), 20);
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_FALSE(m.erase(1));
+    EXPECT_EQ(m.find(1), nullptr);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, SubscriptInsertsAndUpdates)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[5] = 50;
+    EXPECT_EQ(m[5], 50);
+    m[5] = 51;
+    EXPECT_EQ(m[5], 51);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, TryEmplaceReportsExisting)
+{
+    FlatMap<std::uint32_t, int> m;
+    auto [v1, fresh1] = m.tryEmplace(3);
+    EXPECT_TRUE(fresh1);
+    *v1 = 33;
+    auto [v2, fresh2] = m.tryEmplace(3);
+    EXPECT_FALSE(fresh2);
+    EXPECT_EQ(*v2, 33);
+    EXPECT_EQ(v1, v2);
+}
+
+TEST(FlatMap, TakeDetachesMoveOnlyValues)
+{
+    FlatMap<std::uint32_t, std::unique_ptr<int>> m;
+    *m.tryEmplace(9).first = std::make_unique<int>(90);
+    std::unique_ptr<int> out = m.take(9);
+    ASSERT_TRUE(out);
+    EXPECT_EQ(*out, 90);
+    EXPECT_FALSE(m.contains(9));
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FlatMap, GrowsPastInitialCapacity)
+{
+    FlatMap<std::uint32_t, std::uint32_t> m;
+    constexpr std::uint32_t n = 10000;
+    for (std::uint32_t i = 0; i < n; ++i)
+        m.insert(i, i * 3);
+    EXPECT_EQ(m.size(), n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        ASSERT_NE(m.find(i), nullptr) << i;
+        EXPECT_EQ(*m.find(i), i * 3);
+    }
+    EXPECT_EQ(m.find(n), nullptr);
+}
+
+TEST(FlatMap, BackwardShiftEraseKeepsProbeChainsIntact)
+{
+    // Insert colliding clusters and erase from the middle; lookups for
+    // the survivors must not be cut off by the hole.
+    FlatMap<std::uint64_t, int> m;
+    m.reserve(64);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 0; k < 48; ++k) {
+        keys.push_back(k * 1024 + 7);
+        m.insert(keys.back(), static_cast<int>(k));
+    }
+    for (std::size_t i = 0; i < keys.size(); i += 3)
+        EXPECT_TRUE(m.erase(keys[i]));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i % 3 == 0) {
+            EXPECT_EQ(m.find(keys[i]), nullptr);
+        } else {
+            ASSERT_NE(m.find(keys[i]), nullptr) << keys[i];
+            EXPECT_EQ(*m.find(keys[i]), static_cast<int>(i));
+        }
+    }
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntryOnce)
+{
+    FlatMap<std::uint32_t, std::uint32_t> m;
+    for (std::uint32_t i = 0; i < 100; ++i)
+        m.insert(i, 1);
+    std::uint64_t sum = 0, visits = 0;
+    m.forEach([&](std::uint32_t k, std::uint32_t v) {
+        sum += k;
+        visits += v;
+    });
+    EXPECT_EQ(visits, 100u);
+    EXPECT_EQ(sum, 99u * 100u / 2);
+}
+
+TEST(FlatMap, ClearEmptiesButStaysUsable)
+{
+    FlatMap<std::uint32_t, int> m;
+    for (std::uint32_t i = 0; i < 10; ++i)
+        m.insert(i, 1);
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(3), nullptr);
+    m.insert(3, 30);
+    EXPECT_EQ(*m.find(3), 30);
+}
+
+TEST(FlatMap, RandomizedChurnMatchesUnorderedMap)
+{
+    FlatMap<std::uint64_t, std::uint64_t> fm;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(2024);
+    constexpr int ops = 200000;
+    for (int op = 0; op < ops; ++op) {
+        std::uint64_t key = rng.below(512); // small space → collisions
+        switch (rng.below(4)) {
+          case 0:
+          case 1: {
+            std::uint64_t val = rng.next();
+            fm[key] = val;
+            ref[key] = val;
+            break;
+          }
+          case 2:
+            EXPECT_EQ(fm.erase(key), ref.erase(key) > 0);
+            break;
+          default: {
+            auto it = ref.find(key);
+            std::uint64_t *v = fm.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(v, nullptr);
+            } else {
+                ASSERT_NE(v, nullptr);
+                EXPECT_EQ(*v, it->second);
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(fm.size(), ref.size());
+    }
+    std::uint64_t visited = 0;
+    fm.forEach([&](std::uint64_t k, std::uint64_t v) {
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(v, it->second);
+        ++visited;
+    });
+    EXPECT_EQ(visited, ref.size());
+}
+
+} // namespace
+} // namespace barre

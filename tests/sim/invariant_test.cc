@@ -13,6 +13,7 @@
 
 #include <stdexcept>
 
+#include "core/filter_engine.hh"
 #include "driver/gpu_driver.hh"
 #include "filters/cuckoo_filter.hh"
 #include "sim/event_queue.hh"
@@ -175,6 +176,105 @@ TEST(PecAudit, UncoalescedPageAuditsTrivially)
     EXPECT_NO_THROW(pec::auditGroup(a.layout, pt, a.start_vpn, map));
     EXPECT_NO_THROW(
         pec::auditGroup(a.layout, pt, a.start_vpn + 100, map)); // unmapped
+}
+
+TEST(RcfAudit, HealthyRemoteFiltersPass)
+{
+    FilterEngine eng(0, 4, smallFilter());
+    for (Vpn v = 1; v <= 20; ++v) {
+        eng.rcfInsert(1, 1, v * 3);
+        eng.rcfInsert(2, 1, v * 5);
+    }
+    for (Vpn v = 1; v <= 5; ++v)
+        eng.rcfErase(1, 1, v * 3);
+    EXPECT_NO_THROW(eng.auditRcfMembership());
+}
+
+TEST(RcfAudit, CorruptedRemoteFilterFires)
+{
+    if (!invariants_enabled)
+        GTEST_SKIP() << "RCF shadow needs BARRE_CHECK_INVARIANTS";
+    FilterEngine eng(0, 4, smallFilter());
+    for (Vpn v = 1; v <= 24; ++v)
+        eng.rcfInsert(2, 1, v * 0x1f3);
+    EXPECT_NO_THROW(eng.auditRcfMembership());
+    // Wipe slots behind the shadow's back until a tracked membership
+    // fact goes missing; the audit must notice.
+    bool fired = false;
+    for (std::uint32_t b = 0; b < smallFilter().rows && !fired; ++b) {
+        for (std::uint32_t w = 0; w < smallFilter().ways; ++w)
+            eng.debugCorruptRcfSlot(2, b, w);
+        try {
+            eng.auditRcfMembership();
+        } catch (const std::logic_error &) {
+            fired = true;
+        }
+    }
+    EXPECT_TRUE(fired);
+}
+
+TEST(RcfAudit, ErasedKeysAreNotDemanded)
+{
+    if (!invariants_enabled)
+        GTEST_SKIP() << "RCF shadow needs BARRE_CHECK_INVARIANTS";
+    FilterEngine eng(0, 2, smallFilter());
+    eng.rcfInsert(1, 1, 0x42);
+    eng.rcfErase(1, 1, 0x42);
+    // The filter legitimately forgot the key; the shadow must have
+    // forgotten it too, or the audit would demand a ghost entry.
+    EXPECT_NO_THROW(eng.auditRcfMembership());
+    eng.reset();
+    EXPECT_NO_THROW(eng.auditRcfMembership());
+}
+
+TEST(EventQueueAudit, LadderBucketsPassUnderMixedDelays)
+{
+    EventQueue eq;
+    int fired = 0;
+    // Mix of now-lane (0), window (< 256) and heap (>= 256) delays,
+    // rescheduling from inside events so the window keeps sliding.
+    for (int i = 0; i < 200; ++i) {
+        eq.scheduleAfter(static_cast<Cycles>((i * 13) % 400), [&] {
+            ++fired;
+            eq.auditInvariants();
+            if (fired % 5 == 0)
+                eq.scheduleAfter((fired * 7) % 300, [&] { ++fired; });
+        });
+    }
+    eq.auditInvariants();
+    eq.run();
+    eq.auditInvariants();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueueAudit, HeapOnlyModeNeverPopulatesBuckets)
+{
+    EventQueue eq(QueueMode::heap_only);
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        eq.scheduleAfter(static_cast<Cycles>(i % 200), [&] {
+            ++fired;
+            // The audit asserts heap-only queues own no bucket entries.
+            eq.auditInvariants();
+        });
+    eq.run();
+    EXPECT_EQ(fired, 100);
+}
+
+TEST(EventQueueAudit, CorruptedLadderBitmapFires)
+{
+    EventQueue eq;
+    eq.scheduleAfter(10, [] {});
+    EXPECT_NO_THROW(eq.auditInvariants());
+    // Clear the occupied slot's bit: bitmap now disagrees with the
+    // bucket holding the tick-10 event.
+    eq.debugCorruptLadderBitmap(10);
+    EXPECT_THROW(eq.auditInvariants(), std::logic_error);
+    eq.debugCorruptLadderBitmap(10); // restore
+    EXPECT_NO_THROW(eq.auditInvariants());
+    // Set a bit over an empty bucket: the opposite disagreement.
+    eq.debugCorruptLadderBitmap(99);
+    EXPECT_THROW(eq.auditInvariants(), std::logic_error);
 }
 
 TEST(EventQueueAudit, OrderedHeapAndFastLanePass)

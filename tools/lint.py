@@ -17,6 +17,11 @@ correctness story depends on:
                    stays line-atomic under the parallel runner.
   naked-new        no naked new/delete in src/; ownership goes through
                    std::unique_ptr/containers.
+  event-path-fn    no std::function in simulated-hardware code (src/
+                   minus harness/ and workloads/): event callbacks are
+                   sim/inline_fn.hh InlineFn so the per-event schedule
+                   path never heap-allocates. std::function remains
+                   fine in the host-side runner/pool infrastructure.
 
 A line may opt out of one rule with a trailing `lint-allow:<rule>`
 comment.  `--format-check` additionally runs clang-format in dry-run
@@ -180,6 +185,29 @@ class Linter:
                                 "naked delete in sim code; use "
                                 "std::unique_ptr/containers")
 
+    def check_event_path_function(self):
+        fn_re = re.compile(r"\bstd\s*::\s*function\s*<")
+        include_re = re.compile(r"#\s*include\s*<functional>")
+        # Host-side infrastructure (the parallel runner, workload
+        # generation) is not on the simulated event path.
+        exempt = ("src/harness/", "src/workloads/")
+        for path in self.files(["src/**/*.hh", "src/**/*.cc"]):
+            rel = path.relative_to(self.root).as_posix()
+            if rel.startswith(exempt):
+                continue
+            raw_lines = path.read_text().splitlines()
+            text = strip_comments_and_strings("\n".join(raw_lines))
+            for lineno, line in enumerate(text.splitlines(), 1):
+                raw = raw_lines[lineno - 1]
+                if "event-path-fn" in allowed_rules(raw):
+                    continue
+                if fn_re.search(line) or include_re.search(line):
+                    self.report(
+                        path, lineno, "event-path-fn",
+                        "std::function on the event path; use "
+                        "sim/inline_fn.hh InlineFn so scheduling "
+                        "stays allocation-free")
+
     # -- clang-format ----------------------------------------------------
 
     def check_format(self):
@@ -206,6 +234,7 @@ class Linter:
         self.check_unordered_iteration()
         self.check_iostream()
         self.check_naked_new()
+        self.check_event_path_function()
         if format_check:
             self.check_format()
         return self.violations

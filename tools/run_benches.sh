@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Build Release and run the runner self-benchmark; writes BENCH_runner.json
-# at the repo root. Used to track the perf trajectory PR over PR.
+# Build Release and run the self-benchmarks (parallel runner + event
+# queue); writes BENCH_runner.json at the repo root. Used to track the
+# perf trajectory PR over PR.
 #
 #   tools/run_benches.sh                 # all cores
 #   BARRE_JOBS=8 tools/run_benches.sh    # fixed worker count
@@ -14,8 +15,11 @@ root=$(cd "$(dirname "$0")/.." && pwd)
 build=${BUILD_DIR:-"$root/build-release"}
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build" -j "$(nproc)" --target bench_runner_speedup
+cmake --build "$build" -j "$(nproc)" --target bench_runner_speedup \
+    bench_event_queue
 
 "$build/bench/bench_runner_speedup" "$root/BENCH_runner.json"
+# Splices its "event_queue" member into the same JSON.
+"$build/bench/bench_event_queue" "$root/BENCH_runner.json"
 echo "---"
 cat "$root/BENCH_runner.json"
