@@ -6,15 +6,20 @@
  *
  * Paper shape: private L2 TLBs produce many more large, irregular gaps
  * (scattered spikes), defeating stride prefetchers.
+ *
+ * Cells need a per-run IOMMU probe (setVpnProbe), so this bench builds
+ * its Systems directly and fans the cells out over a ThreadPool — each
+ * cell samples into its own histogram slot, keeping the results
+ * deterministic and independent of the worker count.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <cinttypes>
-#include <cmath>
-#include <map>
+#include <array>
+#include <cstdio>
+#include <vector>
 
 #include "bench/common.hh"
+#include "harness/pool.hh"
+#include "harness/system.hh"
 
 using namespace barre;
 using namespace barre::bench;
@@ -49,7 +54,7 @@ runWithHist(SystemConfig cfg, const AppParams &app, double scale)
 {
     cfg.workload_scale *= scale;
     GapHist hist;
-    System sys(cfg);
+    System sys(std::move(cfg));
     sys.iommu().setVpnProbe([&](Vpn v) { hist.sample(v); });
     auto allocs = sys.allocate(app, 1);
     sys.loadWorkload(app, allocs);
@@ -57,53 +62,42 @@ runWithHist(SystemConfig cfg, const AppParams &app, double scale)
     return hist;
 }
 
-std::map<std::string, std::array<GapHist, 2>> g_hists;
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    (void)argc;
+    (void)argv;
     double scale = envScale();
     std::vector<AppParams> apps{appByName("cov"), appByName("atax"),
                                 appByName("matr"), appByName("spmv")};
-    for (const auto &app : apps) {
-        benchmark::RegisterBenchmark(
-            ("private/" + app.name).c_str(),
-            [app, scale](benchmark::State &state) {
-                for (auto _ : state) {
-                    g_hists[app.name][0] = runWithHist(
-                        SystemConfig::baselineAts(), app, scale);
-                }
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-        benchmark::RegisterBenchmark(
-            ("shared/" + app.name).c_str(),
-            [app, scale](benchmark::State &state) {
-                for (auto _ : state) {
-                    SystemConfig cfg = SystemConfig::baselineAts();
-                    cfg.shared_l2_tlb = true;
-                    g_hists[app.name][1] = runWithHist(cfg, app, scale);
-                }
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-    }
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+
+    // Cell layout: app-major, [private, shared] per app.
+    std::vector<std::array<GapHist, 2>> hists(apps.size());
+    ThreadPool pool;
+    pool.parallelFor(apps.size() * 2, [&](std::size_t i) {
+        const std::size_t a = i / 2;
+        if (i % 2 == 0) {
+            hists[a][0] = runWithHist(SystemConfig::baselineAts(),
+                                      apps[a], scale);
+        } else {
+            SystemConfig cfg = SystemConfig::baselineAts();
+            cfg.shared_l2_tlb = true;
+            hists[a][1] = runWithHist(cfg, apps[a], scale);
+        }
+    });
 
     TextTable table({"app", "tlb", "gap=1", "2-7", "8-63", "64-511",
                      "512+"});
-    for (const auto &app : apps) {
-        const auto &pair = g_hists[app.name];
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const auto &pair = hists[a];
         const char *labels[2] = {"private", "shared"};
         for (int i = 0; i < 2; ++i) {
             double total = 0;
             for (auto b : pair[i].bins)
                 total += static_cast<double>(b);
-            std::vector<std::string> row{app.name, labels[i]};
+            std::vector<std::string> row{apps[a].name, labels[i]};
             for (auto b : pair[i].bins)
                 row.push_back(fmt(total ? 100.0 * b / total : 0, 1) +
                               "%");

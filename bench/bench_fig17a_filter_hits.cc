@@ -18,11 +18,10 @@ main(int argc, char **argv)
     ResultStore store;
     std::vector<NamedConfig> configs{{"F-Barre",
                                       SystemConfig::fbarreCfg(2)}};
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     TextTable table({"app", "remote probes", "remote hit %",
                      "LCF positives", "LCF true-positive %"});

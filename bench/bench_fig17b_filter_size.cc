@@ -19,11 +19,10 @@ main(int argc, char **argv)
         cfg.fbarre.filter.rows = rows;
         configs.push_back({std::to_string(rows) + "-row", cfg});
     }
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     store.printSpeedupTable("Fig 17b: filter size sensitivity",
                             "256-row", {"512-row", "1024-row"}, apps);

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Self-benchmark for partitioned (conservative-PDES) simulation: one
+ * full F-Barre run executed three ways —
+ *
+ *   - legacy:       sim_domains=0, the serial global event queue;
+ *   - tagged 1-dom: sim_domains=1, the tagged engine on one thread
+ *                   (the identity reference for partitioned runs);
+ *   - partitioned:  sim_domains=chiplets+1 with min(jobs, domains)
+ *                   worker threads advancing the domains in lock-step
+ *                   NoC-lookahead epochs.
+ *
+ * The tagged serial and partitioned runs must be bitwise identical
+ * (csv metrics row and per-tag firing digests); the bench exits
+ * non-zero otherwise. Wall times, simulated events/s, and the two
+ * speedup ratios (vs tagged serial, vs legacy) are printed and spliced
+ * into the perf-trajectory JSON as a "pdes_speedup" member:
+ *
+ *   build/bench/bench_pdes_speedup [out.json]  # BENCH_runner.json
+ *   build/bench/bench_pdes_speedup --smoke     # small, no file writes
+ *
+ * $BARRE_SCALE scales the workload; $BARRE_JOBS caps the worker count.
+ * Speedup is only expected when the host grants the process >= 2
+ * cores — host_cores is recorded so trajectory diffs can tell "code
+ * got slower" from "CI got smaller".
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "harness/csv.hh"
+#include "harness/pool.hh"
+#include "harness/system.hh"
+#include "workloads/suite.hh"
+
+using namespace barre;
+using namespace barre::bench;
+
+namespace
+{
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct RunOut
+{
+    double wall = 0;
+    std::uint64_t events = 0;
+    std::string csv;
+    std::vector<std::uint64_t> digests;
+
+    double
+    eps() const
+    {
+        return wall > 0 ? static_cast<double>(events) / wall : 0.0;
+    }
+};
+
+RunOut
+runOne(std::uint32_t domains, std::uint32_t threads, double scale)
+{
+    SystemConfig cfg = SystemConfig::fbarreCfg(2);
+    cfg.workload_scale = scale;
+    cfg.sim_domains = domains;
+    cfg.sim_threads = threads;
+
+    System sys(cfg);
+    const AppParams &app = appByName("cov");
+    auto allocs = sys.allocate(app, /*pid=*/1);
+    sys.loadWorkload(app, allocs);
+
+    RunOut out;
+    RunMetrics m;
+    out.wall = wallSeconds([&] { m = sys.run(); });
+    m.app = app.name;
+    out.events = m.sim_events;
+    out.csv = csvRow(m);
+    if (const TaggedEngine *eng = sys.eventQueue().taggedEngine())
+        out.digests = eng->fireDigests();
+    return out;
+}
+
+/** Splice "pdes_speedup": {...} into @p path (see bench_event_queue). */
+bool
+mergeJson(const std::string &path, const std::string &member)
+{
+    std::string existing;
+    if (std::FILE *in = std::fopen(path.c_str(), "r")) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, in)) > 0)
+            existing.append(buf, n);
+        std::fclose(in);
+    }
+    std::string out;
+    const std::size_t brace = existing.rfind('}');
+    if (brace != std::string::npos) {
+        out = existing.substr(0, brace);
+        while (!out.empty() &&
+               (out.back() == '\n' || out.back() == ' '))
+            out.pop_back();
+        const std::size_t prev = out.rfind(",\n  \"pdes_speedup\":");
+        if (prev != std::string::npos)
+            out.erase(prev);
+        out += ",\n  \"pdes_speedup\": " + member + "\n}\n";
+    } else {
+        out = "{\n  \"pdes_speedup\": " + member + "\n}\n";
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_runner.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else
+            out_path = argv[i];
+    }
+
+    const double scale = smoke ? 0.02 : envScale(0.4);
+    const unsigned cores = std::thread::hardware_concurrency();
+    const std::uint32_t chiplets = SystemConfig::fbarreCfg(2).chiplets;
+    const std::uint32_t domains = chiplets + 1;
+    const std::uint32_t threads = std::min<std::uint32_t>(
+        ThreadPool::defaultWorkers(), domains);
+
+    std::fprintf(stderr,
+                 "pdes speedup bench: scale %.3g, %u domains, "
+                 "%u threads, %u host cores%s\n",
+                 scale, domains, threads, cores,
+                 smoke ? " (smoke)" : "");
+
+    const RunOut legacy = runOne(0, 0, scale);
+    const RunOut serial = runOne(1, 1, scale);
+    const RunOut part = runOne(domains, threads, scale);
+
+    const bool identical =
+        serial.csv == part.csv && serial.digests == part.digests;
+    if (!identical)
+        std::fprintf(stderr, "ERROR: partitioned run differs from the "
+                             "tagged serial reference!\n");
+
+    const double vs_serial =
+        part.wall > 0 ? serial.wall / part.wall : 0.0;
+    const double vs_legacy =
+        part.wall > 0 ? legacy.wall / part.wall : 0.0;
+
+    std::printf("legacy serial  %.3fs  %.3g events/s\n"
+                "tagged serial  %.3fs  %.3g events/s\n"
+                "partitioned    %.3fs  %.3g events/s "
+                "(%u domains, %u threads)\n"
+                "speedup        %.2fx vs tagged serial, "
+                "%.2fx vs legacy\n"
+                "identity       %s\n",
+                legacy.wall, legacy.eps(), serial.wall, serial.eps(),
+                part.wall, part.eps(), domains, threads, vs_serial,
+                vs_legacy, identical ? "bitwise" : "BROKEN");
+
+    if (!smoke) {
+        char member[640];
+        std::snprintf(member, sizeof member,
+                      "{\n"
+                      "    \"host_cores\": %u,\n"
+                      "    \"domains\": %u,\n"
+                      "    \"threads\": %u,\n"
+                      "    \"workload_scale\": %g,\n"
+                      "    \"legacy_wall_s\": %.6f,\n"
+                      "    \"tagged_serial_wall_s\": %.6f,\n"
+                      "    \"partitioned_wall_s\": %.6f,\n"
+                      "    \"legacy_events_per_s\": %.0f,\n"
+                      "    \"tagged_serial_events_per_s\": %.0f,\n"
+                      "    \"partitioned_events_per_s\": %.0f,\n"
+                      "    \"speedup_vs_tagged_serial\": %.3f,\n"
+                      "    \"speedup_vs_legacy\": %.3f,\n"
+                      "    \"identical_results\": %s\n"
+                      "  }",
+                      cores, domains, threads, scale, legacy.wall,
+                      serial.wall, part.wall, legacy.eps(),
+                      serial.eps(), part.eps(), vs_serial, vs_legacy,
+                      identical ? "true" : "false");
+        if (!mergeJson(out_path, member))
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        else
+            std::printf("wrote %s\n", out_path.c_str());
+    }
+    return identical ? 0 : 1;
+}

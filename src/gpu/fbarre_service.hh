@@ -27,6 +27,7 @@
 #include "core/pec.hh"
 #include "gpu/translation_service.hh"
 #include "noc/interconnect.hh"
+#include "sim/domain.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -65,6 +66,19 @@ class FBarreService : public SimObject, public TranslationService
 
     /** Wire each chiplet's L2 TLB for peeking. */
     void attachL2Tlb(ChipletId chiplet, Tlb *tlb);
+
+    /** Partitioned mode: shard the cross-context stats per tag. */
+    void
+    shardStats(std::size_t tags)
+    {
+        local_hits_.shard(tags);
+        lcf_positives_.shard(tags);
+        lcf_true_.shard(tags);
+        remote_probes_.shard(tags);
+        remote_hits_.shard(tags);
+        fallbacks_.shard(tags);
+        filter_updates_.shard(tags);
+    }
 
     void translate(ProcessId pid, Vpn vpn, ChipletId src,
                    Iommu::ResponseHandler done) override;
@@ -139,13 +153,16 @@ class FBarreService : public SimObject, public TranslationService
     std::vector<std::unique_ptr<PecBuffer>> pec_buffers_;
     std::vector<Tlb *> l2_tlbs_;
 
-    Counter local_hits_;
-    Counter lcf_positives_;
-    Counter lcf_true_;
-    Counter remote_probes_;
-    Counter remote_hits_;
-    Counter fallbacks_;
-    Counter filter_updates_;
+    // One service instance is bumped from every chiplet's sequencing
+    // context, so these shard per tag in partitioned mode (TagCounter
+    // degenerates to a plain counter in legacy/serial runs).
+    TagCounter local_hits_;
+    TagCounter lcf_positives_;
+    TagCounter lcf_true_;
+    TagCounter remote_probes_;
+    TagCounter remote_hits_;
+    TagCounter fallbacks_;
+    TagCounter filter_updates_;
     std::uint64_t audit_tick_ = 0; ///< BARRE_AUDIT_EVERY site counter
     std::uint64_t rcf_audit_tick_ = 0; ///< RCF-membership audit counter
 };

@@ -80,6 +80,27 @@ struct SystemConfig
      */
     bool heap_only_queue = false;
 
+    /**
+     * Conservative-PDES partitioning: number of event domains to split
+     * the simulation into. 0 (default) keeps the legacy serial queue;
+     * 1 runs the tagged engine on one domain (serial, but with the
+     * partition-independent event ordering — the reference the
+     * multi-domain runs are proven bitwise-identical to); >= 2 gives
+     * the host its own domain and round-robins chiplets over the rest.
+     * Clamped to chiplets + 1. Configurations whose components reach
+     * across chiplet boundaries synchronously (valkyrie/least modes,
+     * the shared L2 TLB, migration, demand paging, oracle sharing)
+     * fall back to the serial queue with a warning.
+     */
+    std::uint32_t sim_domains = 0;
+
+    /**
+     * Worker threads advancing the domains (0 = ThreadPool::
+     * defaultWorkers()); clamped to the domain count. The thread count
+     * never affects results, only wall time.
+     */
+    std::uint32_t sim_threads = 0;
+
     bool operator==(const SystemConfig &) const = default;
 
     /// @name Named configurations used throughout the evaluation

@@ -1,0 +1,190 @@
+#include "harness/domain_scheduler.hh"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "harness/pool.hh"
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+namespace
+{
+
+/**
+ * A sense-counting barrier for the epoch loops: bounded spin first
+ * (epochs are short — microseconds — so parked threads would spend
+ * their life in futex calls), then yield so oversubscribed hosts
+ * (including single-core CI runners) keep making progress.
+ */
+class EpochBarrier
+{
+  public:
+    explicit EpochBarrier(unsigned n) : n_(n) {}
+
+    void
+    wait()
+    {
+        const std::uint64_t gen = gen_.load(std::memory_order_acquire);
+        if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+            // Reset before releasing the generation: every waiter of
+            // the next round first observes the new generation, which
+            // orders this store before their arrival.
+            count_.store(0, std::memory_order_relaxed);
+            gen_.fetch_add(1, std::memory_order_release);
+            return;
+        }
+        unsigned spins = 0;
+        while (gen_.load(std::memory_order_acquire) == gen) {
+            if (++spins > 256)
+                std::this_thread::yield();
+        }
+    }
+
+  private:
+    const unsigned n_;
+    std::atomic<unsigned> count_{0};
+    std::atomic<std::uint64_t> gen_{0};
+};
+
+Tick
+clampAdd(Tick a, Tick b)
+{
+    return a > max_tick - b ? max_tick : a + b;
+}
+
+/**
+ * One process-wide pinned worker pool shared by all partitioned runs.
+ * The mutex is held for a run's whole duration; a second concurrent
+ * partitioned run (e.g. cells inside runMany) falls back to
+ * single-threaded epochs, which produce identical results by
+ * construction.
+ */
+std::mutex g_pool_mu;
+
+std::unique_ptr<ThreadPool> &
+schedulerPool()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+/** Epoch loop on the calling thread only (still epoch-structured, so
+ *  the staging/drain machinery behaves exactly as in parallel mode). */
+void
+serialEpochs(TaggedEngine &eng, Tick lookahead)
+{
+    const std::uint32_t domains = eng.domains();
+    if (domains == 1) {
+        // One domain stages nothing; a single unbounded epoch drains
+        // the run without barrier overhead.
+        eng.beginEpoch(max_tick);
+        eng.runEpoch(0, max_tick);
+        return;
+    }
+    for (;;) {
+        const Tick next = eng.nextEventTick();
+        if (next == max_tick)
+            break;
+        const Tick horizon = clampAdd(next, lookahead);
+        eng.beginEpoch(horizon);
+        for (std::uint32_t d = 0; d < domains; ++d)
+            eng.runEpoch(d, horizon);
+        eng.drainStaged();
+    }
+}
+
+void
+parallelEpochs(TaggedEngine &eng, Tick lookahead, ThreadPool &pool,
+               unsigned workers)
+{
+    struct Shared
+    {
+        TaggedEngine &eng;
+        Tick lookahead;
+        std::uint32_t domains;
+        unsigned workers;
+        EpochBarrier barrier;
+        Tick horizon = 0;
+        bool done = false;
+    };
+
+    const Tick first = eng.nextEventTick();
+    if (first == max_tick)
+        return;
+    Shared sh{eng, lookahead, eng.domains(), workers,
+              EpochBarrier(workers)};
+    sh.horizon = clampAdd(first, lookahead);
+    eng.beginEpoch(sh.horizon);
+
+    pool.runPinned(workers, [&sh](std::size_t w) {
+        for (;;) {
+            // Phase A: fire this worker's domains below the horizon.
+            // Domain assignment is static (d ≡ w mod workers), so all
+            // per-domain and per-tag state stays single-writer.
+            for (std::uint32_t d = std::uint32_t(w); d < sh.domains;
+                 d += sh.workers) {
+                sh.eng.runEpoch(d, sh.horizon);
+            }
+            sh.barrier.wait(); // everyone finished the epoch
+            if (w == 0) {
+                sh.eng.drainStaged();
+                const Tick next = sh.eng.nextEventTick();
+                if (next == max_tick) {
+                    sh.done = true;
+                } else {
+                    sh.horizon = clampAdd(next, sh.lookahead);
+                    sh.eng.beginEpoch(sh.horizon);
+                }
+            }
+            sh.barrier.wait(); // horizon / done published
+            if (sh.done)
+                return;
+        }
+    });
+}
+
+} // namespace
+
+std::uint64_t
+DomainScheduler::run(EventQueue &eq, Tick lookahead, unsigned threads)
+{
+    TaggedEngine *eng = eq.taggedEngine();
+    barre_assert(eng != nullptr,
+                 "DomainScheduler::run on an untagged queue");
+    barre_assert(lookahead >= 1, "epoch lookahead must be >= 1");
+    const std::uint64_t fired_before = eng->fired();
+    const std::uint32_t domains = eng->domains();
+
+    unsigned want = threads != 0 ? threads : ThreadPool::defaultWorkers();
+    if (want > domains)
+        want = domains;
+    if (want < 1)
+        want = 1;
+
+    eng->setRunning(true);
+    if (want == 1) {
+        serialEpochs(*eng, lookahead);
+    } else {
+        std::unique_lock<std::mutex> lk(g_pool_mu, std::try_to_lock);
+        if (!lk.owns_lock()) {
+            // Another partitioned run holds the worker pool; results
+            // don't depend on the thread count, so run single-threaded
+            // rather than oversubscribing.
+            serialEpochs(*eng, lookahead);
+        } else {
+            std::unique_ptr<ThreadPool> &pool = schedulerPool();
+            if (!pool || pool->workers() < want)
+                pool = std::make_unique<ThreadPool>(want);
+            parallelEpochs(*eng, lookahead, *pool, want);
+        }
+    }
+    eng->setRunning(false);
+    barre_assert(eng->empty(), "partitioned run left staged events");
+    return eng->fired() - fired_before;
+}
+
+} // namespace barre

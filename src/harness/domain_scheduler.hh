@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Lock-step epoch driver for a partitioned (tagged) EventQueue.
+ *
+ * Domains advance in epochs [S, S + lookahead): every domain fires its
+ * events below the horizon in parallel, then one thread drains the
+ * cross-domain staging buffers and picks the next epoch start — the
+ * earliest pending tick anywhere, so idle stretches are skipped in one
+ * hop instead of crawled over horizon by horizon. The conservative
+ * lookahead (min over cross-domain links of 1 serialization cycle +
+ * latency) guarantees drained arrivals always land at or beyond the
+ * horizon, so no domain ever receives an event in its past.
+ *
+ * Worker threads come from a process-wide pinned ThreadPool shared by
+ * all partitioned runs (one run at a time; concurrent callers — e.g. a
+ * partitioned cell inside runMany — fall back to single-threaded epoch
+ * execution, which by construction produces identical results).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+
+namespace barre
+{
+
+class DomainScheduler
+{
+  public:
+    /**
+     * Run @p eq 's tagged engine to completion.
+     *
+     * @param eq        an EventQueue with enableTags() applied.
+     * @param lookahead epoch length in ticks (>= 1); must not exceed
+     *                  any cross-domain link's minimum delivery delay.
+     * @param threads   worker threads to use (clamped to the domain
+     *                  count; 0 = ThreadPool::defaultWorkers()).
+     * @return events fired during this run.
+     */
+    static std::uint64_t run(EventQueue &eq, Tick lookahead,
+                             unsigned threads);
+};
+
+} // namespace barre

@@ -72,7 +72,7 @@ ThreadPool::popOwn(std::size_t self, std::size_t &out)
     std::lock_guard<std::mutex> lk(wq.m);
     if (wq.q.empty())
         return false;
-    if (fifo_) {
+    if (fifo_.load(std::memory_order_relaxed)) {
         // Priority-ordered batch: always take the highest-priority
         // (earliest-dealt) task still waiting.
         out = wq.q.front();
@@ -87,10 +87,18 @@ ThreadPool::popOwn(std::size_t self, std::size_t &out)
 bool
 ThreadPool::stealFrom(std::size_t self, std::size_t &out)
 {
+    if (pinned_.load(std::memory_order_relaxed))
+        return false;
     const std::size_t n = queues_.size();
     for (std::size_t off = 1; off < n; ++off) {
         WorkerQueue &wq = *queues_[(self + off) % n];
         std::lock_guard<std::mutex> lk(wq.m);
+        // Re-check under the victim's lock: a worker still draining
+        // the previous batch may race the flag write above, but a
+        // task pushed for a pinned batch is only visible together
+        // with pinned_ = true (both precede the push's unlock).
+        if (pinned_.load(std::memory_order_relaxed))
+            return false;
         if (wq.q.empty())
             continue;
         out = wq.q.front();
@@ -154,9 +162,19 @@ ThreadPool::parallelForOrdered(const std::vector<std::size_t> &order,
 }
 
 void
+ThreadPool::runPinned(std::size_t k,
+                      const std::function<void(std::size_t)> &fn)
+{
+    barre_assert(k <= concurrency_,
+                 "runPinned(%zu) on a %u-worker pool", k, concurrency_);
+    runBatch(k, nullptr, fn, /*pinned=*/true);
+}
+
+void
 ThreadPool::runBatch(std::size_t n,
                      const std::vector<std::size_t> *order,
-                     const std::function<void(std::size_t)> &fn)
+                     const std::function<void(std::size_t)> &fn,
+                     bool pinned)
 {
     if (n == 0)
         return;
@@ -166,10 +184,13 @@ ThreadPool::runBatch(std::size_t n,
         barre_assert(fn_ == nullptr, "parallelFor is not reentrant");
         fn_ = &fn;
         fifo_ = order != nullptr;
+        pinned_ = pinned;
         remaining_ = n;
         first_error_ = nullptr;
-        // Deal tasks round-robin; an ordered batch deals in priority
-        // order so FIFO pops start the most expensive work first.
+        // Deal tasks round-robin (a pinned batch has n <= workers, so
+        // task i lands on worker i's queue); an ordered batch deals in
+        // priority order so FIFO pops start the most expensive work
+        // first.
         for (std::size_t i = 0; i < n; ++i) {
             std::size_t task = order ? (*order)[i] : i;
             WorkerQueue &wq = *queues_[i % queues_.size()];
@@ -189,6 +210,7 @@ ThreadPool::runBatch(std::size_t n,
         std::unique_lock<std::mutex> lk(state_m_);
         done_.wait(lk, [&] { return remaining_ == 0; });
         fn_ = nullptr;
+        pinned_ = false;
         err = first_error_;
         first_error_ = nullptr;
     }

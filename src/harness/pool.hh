@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -72,6 +73,17 @@ class ThreadPool
                             const std::function<void(std::size_t)> &fn);
 
     /**
+     * Run fn(i) for every i in [0, k) with task i pinned to worker i:
+     * exactly one task per worker and no stealing. For cooperating
+     * tasks that block on a shared barrier (the epoch scheduler's
+     * per-domain loops) — under work stealing one worker could end up
+     * owning two such loops and deadlock the barrier. The calling
+     * thread runs task 0. @pre k <= workers().
+     */
+    void runPinned(std::size_t k,
+                   const std::function<void(std::size_t)> &fn);
+
+    /**
      * Worker count policy: $BARRE_JOBS if set (>= 1), else
      * std::thread::hardware_concurrency(), else 1.
      */
@@ -99,7 +111,8 @@ class ThreadPool
 
     void workerLoop(std::size_t self);
     void runBatch(std::size_t n, const std::vector<std::size_t> *order,
-                  const std::function<void(std::size_t)> &fn);
+                  const std::function<void(std::size_t)> &fn,
+                  bool pinned = false);
     bool runOneTask(std::size_t self);
     bool popOwn(std::size_t self, std::size_t &out);
     bool stealFrom(std::size_t self, std::size_t &out);
@@ -112,7 +125,12 @@ class ThreadPool
     std::condition_variable wake_;   ///< workers wait for a batch
     std::condition_variable done_;   ///< parallelFor waits for completion
     const std::function<void(std::size_t)> *fn_ = nullptr;
-    bool fifo_ = false;         ///< this batch drains in priority order
+    // Per-batch mode flags. Written under state_m_ but also read by
+    // workers still draining the previous batch, so they are atomics;
+    // the authoritative read happens under the task queue's mutex,
+    // whose acquire makes the pre-push store visible.
+    std::atomic<bool> fifo_{false};   ///< batch drains in priority order
+    std::atomic<bool> pinned_{false}; ///< batch forbids work stealing
     std::size_t remaining_ = 0; ///< tasks not yet finished in this batch
     std::uint64_t batch_ = 0;   ///< bumped per parallelFor, wakes workers
     bool stopping_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "harness/domain_scheduler.hh"
 #include "sim/logging.hh"
 
 namespace barre
@@ -123,6 +124,8 @@ System::System(SystemConfigHandle cfg)
                 *chiplets_[c], u, cfg_.cu));
         }
     }
+
+    setupPartition();
 }
 
 System::~System() = default;
@@ -172,6 +175,74 @@ System::buildService()
 
     for (auto &c : chiplets_)
         c->setService(active_service_);
+}
+
+const char *
+System::partitionBlocker(const SystemConfig &cfg)
+{
+    // Anything that reaches across a chiplet (or chiplet/host) boundary
+    // synchronously — without going through a latency-bearing link —
+    // would be racy and non-deterministic under partitioned execution.
+    if (cfg.mode == TranslationMode::valkyrie)
+        return "valkyrie's synchronous inter-chiplet L1 probing";
+    if (cfg.mode == TranslationMode::least)
+        return "least's synchronous inter-chiplet L2 sharing";
+    if (cfg.shared_l2_tlb)
+        return "the package-shared L2 TLB";
+    if (cfg.migration.enabled)
+        return "migration's synchronous cross-chiplet shootdowns";
+    if (cfg.driver.demand_paging)
+        return "demand paging's driver page-table mutation";
+    if (cfg.mode == TranslationMode::fbarre && cfg.fbarre.oracle_sharing)
+        return "the F-Barre oracle-sharing model";
+    return nullptr;
+}
+
+void
+System::setupPartition()
+{
+    if (cfg_.sim_domains == 0)
+        return;
+    if (const char *why = partitionBlocker(cfg_)) {
+        barre_warn("sim_domains=%u ignored: %s crosses domain "
+                   "boundaries synchronously; using the legacy serial "
+                   "queue",
+                   cfg_.sim_domains, why);
+        return;
+    }
+
+    const std::size_t tags = std::size_t(cfg_.chiplets) + 1;
+    const std::uint32_t domains =
+        std::min(cfg_.sim_domains, cfg_.chiplets + 1);
+    std::vector<std::uint32_t> tag_domain(tags, 0);
+    if (domains >= 2) {
+        // The host tag always gets domain 0 to itself so the PCIe
+        // upstream link's arbitration is either fully inline (one
+        // domain) or fully staged — never a mix.
+        for (std::uint32_t c = 0; c < cfg_.chiplets; ++c)
+            tag_domain[chipletTag(c)] = 1 + c % (domains - 1);
+    }
+
+    // Conservative lookahead: minimum over all links that can carry a
+    // cross-domain message of (1 serialization cycle + latency). PCIe
+    // crosses whenever the host is split off; the NoC only crosses once
+    // chiplets land in at least two distinct domains.
+    Tick lookahead = max_tick;
+    if (domains >= 2)
+        lookahead = std::min<Tick>(lookahead, 1 + cfg_.pcie.latency);
+    if (domains >= 3 && cfg_.chiplets >= 2)
+        lookahead = std::min<Tick>(lookahead, 1 + cfg_.noc.latency);
+    if (lookahead == max_tick)
+        lookahead = 1; // one domain: the single epoch is unbounded
+
+    pdes_.on = true;
+    pdes_.domains = domains;
+    pdes_.lookahead = lookahead;
+    eq_.enableTags(std::move(tag_domain), domains);
+    if (fbarre_)
+        fbarre_->shardStats(tags);
+    if (gmmu_)
+        gmmu_->shardStats(tags);
 }
 
 ChipletId
@@ -326,18 +397,47 @@ System::run()
             if (cu->streamLength() > 0)
                 ++cus_with_work_;
 
-    for (auto &per_chip : cus_) {
-        for (auto &cu : per_chip) {
-            if (cu->streamLength() == 0)
-                continue;
-            cu->start([this]() {
-                if (++cus_done_ == cus_with_work_)
-                    finish_tick_ = eq_.now();
-            });
+    std::uint64_t fired = 0;
+    if (pdes_.on) {
+        // Partitioned run: start each chiplet's CUs inside that
+        // chiplet's tag context, track completion per tag (each cell
+        // is single-writer), and drive the epochs. The global finish
+        // tick is the latest per-tag finish — the same tick at which
+        // the serial run's last CU completes.
+        tag_done_.assign(cfg_.chiplets + 1, TagDone{});
+        for (std::uint32_t c = 0; c < cfg_.chiplets; ++c) {
+            const SeqTag t = chipletTag(c);
+            EventQueue::TagScope scope(eq_, t);
+            for (auto &cu : cus_[c]) {
+                if (cu->streamLength() == 0)
+                    continue;
+                ++tag_done_[t].with_work;
+                cu->start([this, t]() {
+                    TagDone &td = tag_done_[t];
+                    if (++td.done == td.with_work)
+                        td.finish = eq_.now();
+                });
+            }
         }
+        fired = DomainScheduler::run(eq_, pdes_.lookahead,
+                                     cfg_.sim_threads);
+        for (const TagDone &td : tag_done_) {
+            cus_done_ += td.done;
+            finish_tick_ = std::max(finish_tick_, td.finish);
+        }
+    } else {
+        for (auto &per_chip : cus_) {
+            for (auto &cu : per_chip) {
+                if (cu->streamLength() == 0)
+                    continue;
+                cu->start([this]() {
+                    if (++cus_done_ == cus_with_work_)
+                        finish_tick_ = eq_.now();
+                });
+            }
+        }
+        fired = eq_.run();
     }
-
-    std::uint64_t fired = eq_.run();
     barre_assert(cus_done_ == cus_with_work_,
                  "simulation drained with %u/%u CUs unfinished",
                  cus_with_work_ - cus_done_, cus_with_work_);

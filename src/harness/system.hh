@@ -72,6 +72,10 @@ class System
 
   private:
     void buildService();
+    /** Why @p cfg cannot be partitioned, or nullptr if it can. */
+    static const char *partitionBlocker(const SystemConfig &cfg);
+    /** Apply cfg_.sim_domains: tag/domain map, lookahead, enableTags. */
+    void setupPartition();
     ChipletId homeOf(ProcessId pid, Vpn vpn) const;
 
     SystemConfigHandle cfg_handle_;
@@ -109,6 +113,29 @@ class System
     std::uint32_t cus_done_ = 0;
     Tick finish_tick_ = 0;
     bool ran_ = false;
+
+    /** The conservative-PDES partition plan (empty when sim_domains is
+     *  0 or the configuration fell back to the legacy serial queue). */
+    struct Pdes
+    {
+        bool on = false;
+        std::uint32_t domains = 1;
+        Tick lookahead = 1;
+    };
+    Pdes pdes_;
+
+    /**
+     * Per-tag CU completion tracking for partitioned runs. Each cell is
+     * only touched from its own tag's execution context (one worker at
+     * a time), so cache-line alignment is all the isolation needed.
+     */
+    struct alignas(64) TagDone
+    {
+        std::uint32_t with_work = 0;
+        std::uint32_t done = 0;
+        Tick finish = 0;
+    };
+    std::vector<TagDone> tag_done_;
 };
 
 } // namespace barre

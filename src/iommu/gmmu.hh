@@ -25,6 +25,7 @@
 #include "mem/memory_map.hh"
 #include "mem/page_table.hh"
 #include "noc/interconnect.hh"
+#include "sim/domain.hh"
 #include "sim/flat_map.hh"
 #include "sim/inline_fn.hh"
 #include "sim/sim_object.hh"
@@ -60,6 +61,17 @@ class GmmuSystem : public SimObject
 
     void attachPageTable(PageTable &pt);
     PecBuffer &pecBuffer() { return pec_buffer_; }
+
+    /** Partitioned mode: shard the cross-context stats per tag. */
+    void
+    shardStats(std::size_t tags)
+    {
+        local_reqs_.shard(tags);
+        remote_reqs_.shard(tags);
+        local_walks_.shard(tags);
+        remote_walks_.shard(tags);
+        coalesced_.shard(tags);
+    }
 
     /**
      * Translate (pid, vpn) on behalf of @p requester; @p on_response
@@ -113,11 +125,13 @@ class GmmuSystem : public SimObject
     PecBuffer pec_buffer_;
     std::vector<Node> nodes_;
 
-    Counter local_reqs_;
-    Counter remote_reqs_;
-    Counter local_walks_;
-    Counter remote_walks_;
-    Counter coalesced_;
+    // Bumped from whichever chiplet context requests/serves a walk, so
+    // these shard per tag in partitioned mode.
+    TagCounter local_reqs_;
+    TagCounter remote_reqs_;
+    TagCounter local_walks_;
+    TagCounter remote_walks_;
+    TagCounter coalesced_;
 };
 
 } // namespace barre

@@ -371,7 +371,8 @@ Iommu::multicastGroup(const Request &req, const AtsResponse &resp,
         extra += params_.pec_calc_latency;
         ++multicasts_;
         after(extra, [this, target, push = std::move(push)]() mutable {
-            pcie_.toDevice(params_.ats_response_coal_bytes,
+            pcie_.toDevice(chipletTag(target),
+                           params_.ats_response_coal_bytes,
                            [this, target, push = std::move(push)]() {
                                fill_sink_(target, push);
                            });
@@ -385,16 +386,39 @@ Iommu::respondTo(Request &req, AtsResponse resp, Cycles extra)
     std::uint32_t bytes = resp.has_pec ? params_.ats_response_coal_bytes
                                        : params_.ats_response_bytes;
     Tick arrival = req.arrival;
+    const SeqTag dst = chipletTag(req.src);
+    if (eventQueue().tagged()) {
+        // Partitioned mode: the delivery callback executes in the
+        // target chiplet's sequencing context, where host-side stats
+        // must not be touched. The downstream link is host-owned, so
+        // its arrival tick is already exact at send time — sample the
+        // identical value here, in deterministic host order.
+        auto send = [this, bytes, dst, arrival,
+                     respond = std::move(req.respond),
+                     resp = std::move(resp)]() mutable {
+            Tick at = pcie_.toDevice(
+                dst, bytes,
+                [respond = std::move(respond),
+                 resp = std::move(resp)]() { respond(resp); });
+            processing_time_.sample(static_cast<double>(at - arrival));
+        };
+        if (extra == 0)
+            send();
+        else
+            after(extra, std::move(send));
+        return;
+    }
     auto deliver = [this, respond = std::move(req.respond),
                     resp = std::move(resp), arrival]() {
         processing_time_.sample(static_cast<double>(curTick() - arrival));
         respond(resp);
     };
     if (extra == 0) {
-        pcie_.toDevice(bytes, std::move(deliver));
+        pcie_.toDevice(dst, bytes, std::move(deliver));
     } else {
-        after(extra, [this, bytes, deliver = std::move(deliver)]() mutable {
-            pcie_.toDevice(bytes, std::move(deliver));
+        after(extra, [this, dst, bytes,
+                      deliver = std::move(deliver)]() mutable {
+            pcie_.toDevice(dst, bytes, std::move(deliver));
         });
     }
 }

@@ -46,10 +46,9 @@ class Dram : public SimObject
         ++accesses_;
         // Serialization: the channel frees up line_bytes/bw after the
         // previous access started draining.
-        double serialize =
-            static_cast<double>(params_.line_bytes) / params_.bytes_per_cycle;
         Tick start = std::max(curTick(), channel_free_);
-        channel_free_ = start + static_cast<Tick>(serialize + 0.999999);
+        channel_free_ = start + serializationCycles(params_.line_bytes,
+                                                   params_.bytes_per_cycle);
         Tick finish = start + params_.latency;
         eventQueue().schedule(finish, std::move(done));
         return finish;

@@ -27,11 +27,11 @@ PageTable::findLeafNode(Vpn vpn) const
 {
     const Node *node = root_.get();
     for (int level = levels - 1; level > 0 && node; --level) {
-        ++node_accesses_;
+        node_accesses_.fetch_add(1, std::memory_order_relaxed);
         node = node->children[indexAt(vpn, level)].get();
     }
     if (node)
-        ++node_accesses_;
+        node_accesses_.fetch_add(1, std::memory_order_relaxed);
     return node;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -57,7 +58,11 @@ class PageTable
     std::uint64_t mappedPages() const { return mapped_; }
 
     /** Radix nodes touched by all walks so far (4 per successful walk). */
-    std::uint64_t nodeAccesses() const { return node_accesses_; }
+    std::uint64_t
+    nodeAccesses() const
+    {
+        return node_accesses_.load(std::memory_order_relaxed);
+    }
 
     /** Total radix nodes allocated (tree footprint). */
     std::uint64_t nodeCount() const { return node_count_; }
@@ -87,7 +92,10 @@ class PageTable
     ProcessId pid_;
     NodePtr root_;
     std::uint64_t mapped_ = 0;
-    mutable std::uint64_t node_accesses_ = 0;
+    // Atomic: partitioned-sim domains walk a shared page table
+    // concurrently (reads are safe; this touch counter is the only
+    // mutation). Increments commute, so the total stays deterministic.
+    mutable std::atomic<std::uint64_t> node_accesses_{0};
     std::uint64_t node_count_ = 0;
 };
 

@@ -43,7 +43,11 @@ class Interconnect : public SimObject
     }
 
     /**
-     * Send @p bytes from @p src to @p dst; @p deliver fires at arrival.
+     * Send @p bytes from @p src to @p dst; @p deliver fires at arrival
+     * in chiplet @p dst 's sequencing context. The egress link is owned
+     * by @p src (no other sender contends for it), so arbitration is
+     * inline; partitioned mode stages the delivery across the domain
+     * boundary when src and dst live in different domains.
      */
     Tick
     send(ChipletId src, ChipletId dst, std::uint64_t bytes,
@@ -52,7 +56,8 @@ class Interconnect : public SimObject
         barre_assert(src < egress_.size() && dst < egress_.size(),
                      "chiplet id out of range");
         barre_assert(src != dst, "self-send over the interconnect");
-        return egress_[src]->send(bytes, std::move(deliver));
+        return egress_[src]->sendTo(chipletTag(dst), bytes,
+                                    std::move(deliver));
     }
 
     std::uint64_t

@@ -25,7 +25,7 @@ struct LinkParams
     bool operator==(const LinkParams &) const = default;
 };
 
-class Link : public SimObject
+class Link : public SimObject, public ArbHook
 {
   public:
     Link(EventQueue &eq, std::string name, const LinkParams &p)
@@ -33,23 +33,67 @@ class Link : public SimObject
     {}
 
     /**
-     * Send @p bytes; @p deliver fires on arrival at the far end.
+     * Send @p bytes; @p deliver fires on arrival at the far end, in
+     * the sender's own sequencing context (partitioned mode) or simply
+     * at the computed tick (legacy mode).
      * @return the delivery tick.
      */
     Tick
     send(std::uint64_t bytes, EventQueue::Callback deliver)
     {
+        Tick arrive = arbitrate(curTick(), bytes);
+        eventQueue().schedule(arrive, std::move(deliver));
+        return arrive;
+    }
+
+    /**
+     * Send @p bytes to the component sequenced as tag @p dst. The link
+     * is owned by the sender (only the sending tag contends for the
+     * wire), so arbitration resolves inline; in partitioned mode the
+     * delivery executes as @p dst and is staged across the domain
+     * boundary when needed. Legacy mode behaves exactly like send().
+     * @return the delivery tick.
+     */
+    Tick
+    sendTo(SeqTag dst, std::uint64_t bytes, EventQueue::Callback deliver)
+    {
+        Tick arrive = arbitrate(curTick(), bytes);
+        eventQueue().scheduleCross(dst, arrive, std::move(deliver));
+        return arrive;
+    }
+
+    /**
+     * Send @p bytes over a wire *shared* by senders from multiple
+     * sequencing tags and owned by tag @p owner (the PCIe upstream).
+     * Wire arbitration must then happen in deterministic global order,
+     * which partitioned multi-domain mode can only establish at the
+     * epoch barrier — so the send may be staged.
+     * @return the delivery tick, or 0 when staged.
+     */
+    Tick
+    sendShared(SeqTag owner, std::uint64_t bytes,
+               EventQueue::Callback deliver)
+    {
+        return eventQueue().stageArb(owner, *this, bytes,
+                                     std::move(deliver));
+    }
+
+    /**
+     * ArbHook: occupy the wire for a message of @p bytes sent at
+     * @p send_tick and return its delivery tick. This is the single
+     * code path for wire state and link stats, whether invoked inline
+     * (serial / owner-side sends) or replayed at an epoch barrier.
+     */
+    Tick
+    arbitrate(Tick send_tick, std::uint64_t bytes) override
+    {
         ++messages_;
         bytes_sent_ += bytes;
-        double ser_f = static_cast<double>(bytes) / params_.bytes_per_cycle;
-        auto ser = static_cast<Tick>(ser_f + 0.999999);
-        if (ser == 0)
-            ser = 1;
-        Tick start = std::max(curTick(), wire_free_);
+        Tick ser = serializationCycles(bytes, params_.bytes_per_cycle);
+        Tick start = std::max(send_tick, wire_free_);
         wire_free_ = start + ser;
         Tick arrive = wire_free_ + params_.latency;
-        queue_delay_.sample(static_cast<double>(start - curTick()));
-        eventQueue().schedule(arrive, std::move(deliver));
+        queue_delay_.sample(static_cast<double>(start - send_tick));
         return arrive;
     }
 

@@ -36,18 +36,29 @@ class Pcie : public SimObject
                       LinkParams{p.bytes_per_cycle, p.latency})
     {}
 
-    /** GPU -> IOMMU direction (ATS requests). */
+    /**
+     * GPU -> IOMMU direction (ATS requests). The upstream wire is
+     * shared by every chiplet but delivers into the host, so in
+     * partitioned mode arbitration is replayed in global key order at
+     * the epoch barrier (see Link::sendShared).
+     * @return the delivery tick, or 0 when staged.
+     */
     Tick
     toHost(std::uint64_t bytes, EventQueue::Callback deliver)
     {
-        return upstream_.send(bytes, std::move(deliver));
+        return upstream_.sendShared(kHostTag, bytes, std::move(deliver));
     }
 
-    /** IOMMU -> GPU direction (ATS responses). */
+    /**
+     * IOMMU -> GPU direction (ATS responses), delivered to the chiplet
+     * sequenced as @p dst. Only the host sends downstream, so
+     * arbitration happens inline at send time.
+     * @return the delivery tick.
+     */
     Tick
-    toDevice(std::uint64_t bytes, EventQueue::Callback deliver)
+    toDevice(SeqTag dst, std::uint64_t bytes, EventQueue::Callback deliver)
     {
-        return downstream_.send(bytes, std::move(deliver));
+        return downstream_.sendTo(dst, bytes, std::move(deliver));
     }
 
     const Link &upstream() const { return upstream_; }

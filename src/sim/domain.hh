@@ -1,0 +1,578 @@
+/**
+ * @file
+ * Conservative-PDES core: sequencing tags, per-domain event heaps, and
+ * the epoch staging machinery behind EventQueue's partitioned mode.
+ *
+ * The simulated system is split into *tags* — the finest units that are
+ * never divided across threads (the host/IOMMU side is tag 0, chiplet c
+ * is tag 1+c) — and tags are grouped into *domains*, each advanced by
+ * one worker in lock-step epochs of `lookahead` ticks. The lookahead is
+ * the minimum over all cross-domain links of (1 serialization cycle +
+ * propagation latency), so a message sent at tick t inside an epoch
+ * [S, S+L) arrives at t + 1 + latency >= S + L: cross-domain arrivals
+ * always land at or beyond the epoch horizon and can be staged until
+ * the barrier without any domain ever seeing an event "from the past".
+ *
+ * Determinism does not come from drain order but from the firing key.
+ * Every event carries a composite key (when, birth, key) where `when`
+ * is its tick, `birth` the sending domain's clock when it was
+ * scheduled, and `key` packs (origin tag << 48 | per-tag counter). Each
+ * tag's counter is only ever advanced from that tag's own execution
+ * context, so key allocation is race-free and — by induction over each
+ * tag's event stream — independent of how tags are grouped into
+ * domains. Firing in lexicographic (when, birth, key) order therefore
+ * yields the same per-tag event interleaving for 1, 2, 4, or 8
+ * domains, on 1 or N threads. fireDigests() condenses that order into
+ * one hash chain per tag so tests can assert bitwise identity cheaply.
+ *
+ * Shared cross-domain resources (the PCIe upstream link arbitrating
+ * wire occupancy among all chiplets) cannot be resolved at send time in
+ * parallel mode: the sender only knows *when* it sent, not who else
+ * did. Those sends are staged as arbitration ops keyed by
+ * (send tick, sending event's birth, sending event's key, per-event op
+ * index) and replayed through an ArbHook in key order at the epoch
+ * barrier — exactly the order in which a serial run would have hit the
+ * shared resource, so wire state and queue-delay stats match bitwise.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/inline_fn.hh"
+#include "sim/invariant.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace barre
+{
+
+/**
+ * Sequencing tag: the finest never-split unit of simulated state. Tag 0
+ * is the host (IOMMU, driver, PCIe root); chiplet c is tag 1 + c.
+ */
+using SeqTag = std::uint16_t;
+
+constexpr SeqTag kHostTag = 0;
+
+constexpr SeqTag
+chipletTag(ChipletId c)
+{
+    return static_cast<SeqTag>(c + 1);
+}
+
+class TaggedEngine;
+
+/**
+ * Per-thread execution context: which engine/domain/tag the code on
+ * this thread is currently simulating, plus the identity of the event
+ * being executed (its birth tick and composite key) so that staged
+ * arbitration ops can be keyed by their originating event.
+ */
+struct ExecCtx
+{
+    TaggedEngine *engine = nullptr;
+    std::uint32_t domain = 0;
+    SeqTag tag = 0;
+    Tick ev_birth = 0;
+    std::uint64_t ev_key = 0;
+    std::uint32_t op_ctr = 0; ///< arbitration ops issued by this event
+};
+
+namespace detail
+{
+inline thread_local ExecCtx tls_exec;
+} // namespace detail
+
+/** Tag currently executing on this thread (kHostTag outside any). */
+inline SeqTag
+currentExecTag()
+{
+    return detail::tls_exec.tag;
+}
+
+/**
+ * A Counter whose increments land in a per-tag shard, so one logical
+ * statistic owned by a host-side component (IOMMU, F-Barre service,
+ * GMMU) can be bumped from any chiplet's execution context without a
+ * data race. In legacy/serial mode there is a single shard and the
+ * behaviour is identical to Counter. value() sums the shards; call it
+ * only outside the parallel run (System teardown / metrics harvest).
+ */
+class TagCounter
+{
+  public:
+    TagCounter() : slots_(1) {}
+
+    /** Size one shard per tag; called once by the System at build. */
+    void
+    shard(std::size_t tags)
+    {
+        slots_.assign(tags ? tags : 1, Slot{});
+    }
+
+    TagCounter &
+    operator++()
+    {
+        slot().v += 1;
+        return *this;
+    }
+
+    TagCounter &
+    operator+=(std::uint64_t n)
+    {
+        slot().v += n;
+        return *this;
+    }
+
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t sum = 0;
+        for (const Slot &s : slots_)
+            sum += s.v;
+        return sum;
+    }
+
+    void
+    reset()
+    {
+        for (Slot &s : slots_)
+            s.v = 0;
+    }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::uint64_t v = 0;
+    };
+
+    Slot &
+    slot()
+    {
+        const SeqTag t = currentExecTag();
+        barre_assert(t < slots_.size(),
+                     "TagCounter bumped from tag %u but only %zu "
+                     "shard(s); missing a shard() call at system build",
+                     unsigned(t), slots_.size());
+        return slots_[t];
+    }
+
+    std::vector<Slot> slots_;
+};
+
+/**
+ * A shared resource that must arbitrate cross-domain sends in global
+ * key order (e.g. a Link's wire occupancy). arbitrate() observes the
+ * send tick, updates the resource's internal state exactly as an
+ * inline send would, and returns the delivery tick.
+ */
+class ArbHook
+{
+  public:
+    virtual Tick arbitrate(Tick send_tick, std::uint64_t bytes) = 0;
+
+  protected:
+    ~ArbHook() = default;
+};
+
+/**
+ * The partitioned-mode engine owned by an EventQueue: one 4-ary event
+ * heap per domain ordered by the composite key, per-tag key counters
+ * and firing digests, and per-source-domain staging buffers drained at
+ * each epoch barrier by the DomainScheduler.
+ *
+ * Threading contract: during an epoch, domain d is advanced by exactly
+ * one worker (runEpoch), and a tag lives in exactly one domain, so all
+ * per-domain and per-tag state is single-writer. Between epochs,
+ * drainStaged()/beginEpoch() run on one thread while the others wait
+ * at a barrier; the barrier's release/acquire ordering publishes every
+ * mutation, so no member here needs to be atomic.
+ */
+class TaggedEngine
+{
+  public:
+    using Callback = InlineFn<void()>;
+
+    /**
+     * @param tag_domain  domain index for each tag; size = tag count.
+     * @param domains     number of domains (>= 1).
+     */
+    TaggedEngine(std::vector<std::uint32_t> tag_domain,
+                 std::uint32_t domains)
+        : tag_domain_(std::move(tag_domain)),
+          domains_(domains),
+          ctr_(tag_domain_.size()),
+          digest_(tag_domain_.size()),
+          stage_ev_(domains),
+          stage_arb_(domains)
+    {
+        barre_assert(domains >= 1, "need at least one domain");
+        for (std::uint32_t d : tag_domain_)
+            barre_assert(d < domains,
+                         "tag mapped to domain %u of %u", d, domains);
+    }
+
+    TaggedEngine(const TaggedEngine &) = delete;
+    TaggedEngine &operator=(const TaggedEngine &) = delete;
+
+    std::uint32_t domains() const { return std::uint32_t(domains_.size()); }
+    std::size_t tagCount() const { return tag_domain_.size(); }
+    bool multiDomain() const { return domains_.size() > 1; }
+    std::uint32_t tagDomain(SeqTag t) const { return tag_domain_[t]; }
+
+    /**
+     * Current time. Inside an execution context this is the executing
+     * domain's clock; outside (setup done, run finished) it is the
+     * global maximum — the tick of the last event fired anywhere,
+     * matching what a serial queue's now() reports after run().
+     */
+    Tick
+    now() const
+    {
+        const ExecCtx &ctx = detail::tls_exec;
+        if (ctx.engine == this)
+            return domains_[ctx.domain].now;
+        Tick t = 0;
+        for (const Domain &d : domains_)
+            t = std::max(t, d.now);
+        return t;
+    }
+
+    std::uint64_t
+    fired() const
+    {
+        std::uint64_t n = 0;
+        for (const Domain &d : domains_)
+            n += d.fired;
+        return n;
+    }
+
+    std::size_t
+    pending() const
+    {
+        std::size_t n = 0;
+        for (const Domain &d : domains_)
+            n += d.heap.size();
+        for (const auto &v : stage_ev_)
+            n += v.size();
+        for (const auto &v : stage_arb_)
+            n += v.size();
+        return n;
+    }
+
+    bool empty() const { return pending() == 0; }
+
+    /** Schedule @p cb on the current tag at absolute tick @p when. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        ExecCtx &ctx = detail::tls_exec;
+        barre_assert(ctx.engine == this,
+                     "tagged schedule outside any execution context");
+        Domain &dom = domains_[ctx.domain];
+        barre_assert(when >= dom.now,
+                     "scheduling into the past (%llu < %llu)",
+                     (unsigned long long)when,
+                     (unsigned long long)dom.now);
+        heapPush(dom, Entry{when, dom.now, allocKey(ctx.tag), ctx.tag,
+                            std::move(cb)});
+    }
+
+    /** Schedule @p cb on the current tag @p delay cycles from now. */
+    void
+    scheduleAfter(Cycles delay, Callback cb)
+    {
+        ExecCtx &ctx = detail::tls_exec;
+        barre_assert(ctx.engine == this,
+                     "tagged schedule outside any execution context");
+        Domain &dom = domains_[ctx.domain];
+        heapPush(dom, Entry{dom.now + delay, dom.now,
+                            allocKey(ctx.tag), ctx.tag, std::move(cb)});
+    }
+
+    /**
+     * Schedule @p cb to execute as tag @p dst at tick @p when. The
+     * delivery key is allocated from the *sending* tag's counter (the
+     * caller's context), keeping allocation race-free and partition-
+     * independent. Same-domain and non-running sends insert directly;
+     * cross-domain sends during a run are staged until the barrier.
+     */
+    void
+    scheduleCross(SeqTag dst, Tick when, Callback cb)
+    {
+        ExecCtx &ctx = detail::tls_exec;
+        barre_assert(ctx.engine == this,
+                     "tagged schedule outside any execution context");
+        const std::uint32_t dd = tag_domain_[dst];
+        Entry e{when, domains_[ctx.domain].now, allocKey(ctx.tag), dst,
+                std::move(cb)};
+        if (!running_ || dd == ctx.domain) {
+            barre_assert(when >= domains_[dd].now,
+                         "cross schedule into the past");
+            heapPush(domains_[dd], std::move(e));
+            return;
+        }
+        // Conservative lookahead must guarantee every cross-domain
+        // arrival clears the current epoch horizon; a violation means
+        // a message beat its link's minimum latency.
+        BARRE_AUDIT(barre_assert(
+            when >= horizon_,
+            "cross-domain event for tag %u at tick %llu inside the "
+            "epoch horizon %llu: lookahead is unsound",
+            unsigned(dst), (unsigned long long)when,
+            (unsigned long long)horizon_));
+        stage_ev_[ctx.domain].push_back(
+            StagedEv{std::move(e), dd});
+    }
+
+    /**
+     * Send through a shared resource owned by tag @p owner. Serial (or
+     * single-domain) operation resolves the arbitration inline and
+     * returns the delivery tick; parallel operation stages the op for
+     * key-ordered replay at the barrier and returns 0 (the arrival is
+     * unknowable until every same-epoch competitor is visible).
+     */
+    Tick
+    stageArb(SeqTag owner, ArbHook &hook, std::uint64_t bytes,
+             Callback deliver)
+    {
+        ExecCtx &ctx = detail::tls_exec;
+        barre_assert(ctx.engine == this,
+                     "tagged stageArb outside any execution context");
+        const Tick sent = domains_[ctx.domain].now;
+        if (!running_ || !multiDomain()) {
+            const Tick arrive = hook.arbitrate(sent, bytes);
+            heapPush(domains_[tag_domain_[owner]],
+                     Entry{arrive, sent, allocKey(ctx.tag), owner,
+                           std::move(deliver)});
+            return arrive;
+        }
+        StagedArb op;
+        op.sent = sent;
+        op.ev_birth = ctx.ev_birth;
+        op.ev_key = ctx.ev_key;
+        op.op_idx = ctx.op_ctr++;
+        op.key = allocKey(ctx.tag);
+        op.owner = owner;
+        op.bytes = bytes;
+        op.hook = &hook;
+        op.deliver = std::move(deliver);
+        stage_arb_[ctx.domain].push_back(std::move(op));
+        return 0;
+    }
+
+    // -- epoch driving (DomainScheduler / tests) ----------------------
+
+    /** Mark the start/end of parallel epoch execution. */
+    void setRunning(bool r) { running_ = r; }
+    bool running() const { return running_; }
+
+    /** Publish the next epoch's horizon (exclusive upper tick). */
+    void beginEpoch(Tick horizon) { horizon_ = horizon; }
+    Tick horizon() const { return horizon_; }
+
+    /**
+     * Fire every event of domain @p d with tick < @p horizon. The
+     * domain's clock advances only to fired events' ticks (never to
+     * the horizon itself), so after the run now() lands exactly on the
+     * last fired tick, as in serial mode.
+     * @return events fired.
+     */
+    std::uint64_t
+    runEpoch(std::uint32_t d, Tick horizon)
+    {
+        Domain &dom = domains_[d];
+        ExecCtx &ctx = detail::tls_exec;
+        ExecCtx saved = ctx;
+        ctx.engine = this;
+        ctx.domain = d;
+        std::uint64_t fired = 0;
+        while (!dom.heap.empty() && dom.heap.front().when < horizon) {
+            Entry e = heapPop(dom);
+            dom.now = e.when;
+            ctx.tag = e.tag;
+            ctx.ev_birth = e.birth;
+            ctx.ev_key = e.key;
+            ctx.op_ctr = 0;
+            digestFire(e);
+            e.cb();
+            ++fired;
+            BARRE_AUDIT_EVERY(dom.audit_tick, kAuditPeriod,
+                              auditDomain(d));
+        }
+        ctx = saved;
+        dom.fired += fired;
+        return fired;
+    }
+
+    /**
+     * Barrier-phase replay: sort all staged arbitration ops into
+     * global key order, resolve each through its hook, and move every
+     * staged event into its destination domain's heap. Runs on one
+     * thread while all workers wait.
+     */
+    void drainStaged();
+
+    /** Earliest pending tick across all domains (max_tick if none). */
+    Tick
+    nextEventTick() const
+    {
+        Tick t = max_tick;
+        for (const Domain &d : domains_)
+            if (!d.heap.empty())
+                t = std::min(t, d.heap.front().when);
+        return t;
+    }
+
+    /**
+     * One FNV-style hash chain per tag over the (when, birth, key) of
+     * every event fired as that tag — a compact witness of the firing
+     * order. Two runs (any domain count, any thread count) simulate
+     * identically iff these match.
+     */
+    std::vector<std::uint64_t>
+    fireDigests() const
+    {
+        std::vector<std::uint64_t> out;
+        out.reserve(digest_.size());
+        for (const PaddedU64 &d : digest_)
+            out.push_back(d.v);
+        return out;
+    }
+
+    /** Structural audit of one domain's heap (invariant builds). */
+    void auditDomain(std::uint32_t d) const;
+
+    /**
+     * RAII bracket establishing an execution context for tag @p tag —
+     * used by the System for setup-time scheduling (CU starts) that
+     * happens outside any fired event.
+     */
+    class TagScope
+    {
+      public:
+        TagScope(TaggedEngine *eng, SeqTag tag)
+            : saved_(detail::tls_exec)
+        {
+            if (!eng)
+                return;
+            ExecCtx &ctx = detail::tls_exec;
+            ctx.engine = eng;
+            ctx.domain = eng->tag_domain_[tag];
+            ctx.tag = tag;
+            ctx.ev_birth = eng->domains_[ctx.domain].now;
+            ctx.ev_key = std::uint64_t(tag) << 48;
+            ctx.op_ctr = 0;
+        }
+
+        ~TagScope() { detail::tls_exec = saved_; }
+
+        TagScope(const TagScope &) = delete;
+        TagScope &operator=(const TagScope &) = delete;
+
+      private:
+        ExecCtx saved_;
+    };
+
+  private:
+    /** One pending event: fires in (when, birth, key) order. */
+    struct Entry
+    {
+        Tick when;
+        Tick birth;        ///< sender domain's clock at schedule time
+        std::uint64_t key; ///< origin tag << 48 | per-tag counter
+        SeqTag tag;        ///< tag whose state the callback mutates
+        Callback cb;
+    };
+
+    struct StagedEv
+    {
+        Entry e;
+        std::uint32_t dst_domain;
+    };
+
+    /** A shared-resource send awaiting key-ordered arbitration. */
+    struct StagedArb
+    {
+        Tick sent;             ///< sender clock at send time
+        Tick ev_birth;         ///< sending event's birth
+        std::uint64_t ev_key;  ///< sending event's key
+        std::uint32_t op_idx;  ///< nth op issued by that event
+        std::uint64_t key;     ///< pre-allocated delivery key
+        SeqTag owner;          ///< tag owning the shared resource
+        std::uint64_t bytes;
+        ArbHook *hook;
+        Callback deliver;
+    };
+
+    struct alignas(64) Domain
+    {
+        std::vector<Entry> heap; ///< 4-ary min-heap on (when,birth,key)
+        Tick now = 0;
+        std::uint64_t fired = 0;
+        std::uint64_t audit_tick = 0;
+    };
+
+    struct alignas(64) PaddedU64
+    {
+        std::uint64_t v = 0;
+    };
+
+    static constexpr std::uint64_t kAuditPeriod = 4096;
+
+    static bool
+    entryBefore(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.birth != b.birth)
+            return a.birth < b.birth;
+        return a.key < b.key;
+    }
+
+    /** Next composite key for events originated by tag @p t. */
+    std::uint64_t
+    allocKey(SeqTag t)
+    {
+        return (std::uint64_t(t) << 48) | ++ctr_[t].v;
+    }
+
+    void
+    digestFire(const Entry &e)
+    {
+        std::uint64_t h = digest_[e.tag].v;
+        h = mix(h, e.when);
+        h = mix(h, e.birth);
+        h = mix(h, e.key);
+        digest_[e.tag].v = h;
+    }
+
+    static std::uint64_t
+    mix(std::uint64_t h, std::uint64_t v)
+    {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        return h;
+    }
+
+    static void heapPush(Domain &dom, Entry e);
+    static Entry heapPop(Domain &dom);
+
+    std::vector<std::uint32_t> tag_domain_;
+    std::vector<Domain> domains_;
+    std::vector<PaddedU64> ctr_;    ///< per-tag key counters
+    std::vector<PaddedU64> digest_; ///< per-tag firing hash chains
+    /** Staged cross-domain deliveries, indexed by *source* domain. */
+    std::vector<std::vector<StagedEv>> stage_ev_;
+    /** Staged shared-resource sends, indexed by source domain. */
+    std::vector<std::vector<StagedArb>> stage_arb_;
+    /** Drain-time sort buffer; reused so steady state allocates 0. */
+    std::vector<StagedArb> scratch_arb_;
+    bool running_ = false;
+    Tick horizon_ = 0;
+};
+
+} // namespace barre

@@ -37,9 +37,11 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "sim/domain.hh"
 #include "sim/inline_fn.hh"
 #include "sim/invariant.hh"
 #include "sim/logging.hh"
@@ -84,7 +86,7 @@ class EventQueue
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
-    Tick now() const { return now_; }
+    Tick now() const { return tagged_ ? tagged_->now() : now_; }
 
     /** Implementation mode chosen at construction. */
     QueueMode mode() const { return mode_; }
@@ -93,17 +95,98 @@ class EventQueue
     std::size_t
     pending() const
     {
+        if (tagged_)
+            return tagged_->pending();
         return heap_.size() + bucket_count_ + (now_lane_.size() - now_head_);
     }
 
     bool
     empty() const
     {
+        if (tagged_)
+            return tagged_->empty();
         return heap_.empty() && bucket_count_ == 0 && nowLaneEmpty();
     }
 
     /** Total events fired over the queue's lifetime. */
-    std::uint64_t fired() const { return fired_total_; }
+    std::uint64_t
+    fired() const
+    {
+        return tagged_ ? tagged_->fired() : fired_total_;
+    }
+
+    // -- partitioned (conservative-PDES) mode -------------------------
+
+    /**
+     * Switch this queue into partitioned mode: events carry sequencing
+     * tags grouped into domains and fire in composite-key order (see
+     * sim/domain.hh). Must be called before anything is scheduled.
+     * run()/runUntil() become unavailable; the harness DomainScheduler
+     * drives the epochs instead.
+     */
+    void
+    enableTags(std::vector<std::uint32_t> tag_domain,
+               std::uint32_t domains)
+    {
+        barre_assert(!tagged_ && now_ == 0 && fired_total_ == 0 &&
+                         empty(),
+                     "enableTags on a queue that has been used");
+        tagged_ = std::make_unique<TaggedEngine>(std::move(tag_domain),
+                                                 domains);
+    }
+
+    bool tagged() const { return tagged_ != nullptr; }
+
+    /** The partitioned-mode engine, or nullptr in legacy mode. */
+    TaggedEngine *taggedEngine() { return tagged_.get(); }
+    const TaggedEngine *taggedEngine() const { return tagged_.get(); }
+
+    /**
+     * Schedule @p cb to execute as tag @p dst at tick @p when (legacy
+     * mode: an ordinary schedule — there is only one sequence).
+     */
+    void
+    scheduleCross(SeqTag dst, Tick when, Callback cb)
+    {
+        if (tagged_) {
+            tagged_->scheduleCross(dst, when, std::move(cb));
+            return;
+        }
+        schedule(when, std::move(cb));
+    }
+
+    /**
+     * Send through a shared resource owned by tag @p owner: resolve
+     * @p hook 's arbitration in deterministic global order and deliver
+     * @p cb at the resulting tick. Legacy mode arbitrates inline.
+     * @return the delivery tick, or 0 when staged for the epoch
+     *         barrier (partitioned multi-domain mode).
+     */
+    Tick
+    stageArb(SeqTag owner, ArbHook &hook, std::uint64_t bytes,
+             Callback cb)
+    {
+        if (tagged_)
+            return tagged_->stageArb(owner, hook, bytes, std::move(cb));
+        const Tick when = hook.arbitrate(now_, bytes);
+        schedule(when, std::move(cb));
+        return when;
+    }
+
+    /**
+     * RAII execution-context bracket for setup-time scheduling on
+     * behalf of tag @p tag; a no-op in legacy mode.
+     */
+    class TagScope
+    {
+      public:
+        TagScope(EventQueue &eq, SeqTag tag)
+            : scope_(eq.tagged_.get(), tag)
+        {}
+
+      private:
+        TaggedEngine::TagScope scope_;
+    };
 
     /**
      * Schedule @p cb to fire at absolute tick @p when.
@@ -112,6 +195,10 @@ class EventQueue
     void
     schedule(Tick when, Callback cb)
     {
+        if (tagged_) {
+            tagged_->schedule(when, std::move(cb));
+            return;
+        }
         barre_assert(when >= now_,
                      "scheduling into the past (%llu < %llu)",
                      (unsigned long long)when, (unsigned long long)now_);
@@ -134,6 +221,10 @@ class EventQueue
     void
     scheduleAfter(Cycles delay, Callback cb)
     {
+        if (tagged_) {
+            tagged_->scheduleAfter(delay, std::move(cb));
+            return;
+        }
         if (delay == 0)
             pushNowLane(std::move(cb));
         else if (mode_ == QueueMode::ladder && delay < kWindow)
@@ -149,6 +240,9 @@ class EventQueue
     std::uint64_t
     run(std::uint64_t limit = ~std::uint64_t{0})
     {
+        barre_assert(!tagged_,
+                     "run() on a partitioned queue; use the harness "
+                     "DomainScheduler");
         std::uint64_t fired = 0;
         while (fired < limit) {
             if (nowLaneEmpty()) {
@@ -182,6 +276,9 @@ class EventQueue
     std::uint64_t
     runUntil(Tick until)
     {
+        barre_assert(!tagged_,
+                     "runUntil() on a partitioned queue; use the "
+                     "harness DomainScheduler");
         std::uint64_t fired = 0;
         for (;;) {
             if (nowLaneEmpty()) {
@@ -529,6 +626,8 @@ class EventQueue
     std::uint64_t seq_ = 0;
     std::uint64_t fired_total_ = 0;
     std::uint64_t audit_tick_ = 0; ///< BARRE_AUDIT_EVERY site counter
+    /** Partitioned-mode engine; nullptr = legacy serial queue. */
+    std::unique_ptr<TaggedEngine> tagged_;
 };
 
 /**

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -34,6 +35,30 @@ using ProcessId = std::uint32_t;
 
 /** Sentinel chiplet id meaning "no chiplet / host". */
 constexpr ChipletId invalid_chiplet = ~ChipletId{0};
+
+/**
+ * Cycles needed to serialize @p bytes onto a wire moving
+ * @p bytes_per_cycle, i.e. ceil(bytes / bytes_per_cycle), minimum 1.
+ *
+ * Integral rates (every configured link) use exact integer arithmetic;
+ * fractional rates fall back to std::ceil. Either way the result is an
+ * exact ceiling — unlike the old `+ 0.999999` hack, which under-rounds
+ * fractions below 1e-6 and loses integer precision past 2^53 bytes.
+ */
+inline Tick
+serializationCycles(std::uint64_t bytes, double bytes_per_cycle)
+{
+    if (bytes == 0)
+        return 1;
+    const auto ibpc = static_cast<std::uint64_t>(bytes_per_cycle);
+    Tick ser;
+    if (ibpc > 0 && static_cast<double>(ibpc) == bytes_per_cycle)
+        ser = (bytes + ibpc - 1) / ibpc;
+    else
+        ser = static_cast<Tick>(
+            std::ceil(static_cast<double>(bytes) / bytes_per_cycle));
+    return ser == 0 ? 1 : ser;
+}
 
 } // namespace barre
 

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * End-to-end bitwise-identity proof for partitioned simulation: a full
+ * F-Barre run produces byte-identical metrics (csvRow), stats dumps,
+ * and per-tag firing digests for sim_domains in {1, 2, 4, 8} and
+ * thread counts in {1, 8}. Also covers the PDES-compatible feature
+ * set (GMMU platform, multicast, validation) and the documented
+ * fallback: non-partitionable configurations run the legacy serial
+ * queue and match sim_domains=0 exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/csv.hh"
+#include "harness/system.hh"
+#include "workloads/suite.hh"
+
+using namespace barre;
+
+namespace
+{
+
+struct RunOut
+{
+    std::string csv;
+    std::string stats;
+    std::vector<std::uint64_t> digests;
+    bool tagged = false;
+};
+
+RunOut
+runCfg(SystemConfig cfg, const char *app_name = "cov")
+{
+    System sys(std::move(cfg));
+    const AppParams &app = appByName(app_name);
+    auto allocs = sys.allocate(app, /*pid=*/1);
+    sys.loadWorkload(app, allocs);
+    RunMetrics m = sys.run();
+    m.app = app.name;
+
+    RunOut out;
+    out.csv = csvRow(m);
+    std::ostringstream os;
+    sys.dumpStats(os);
+    out.stats = os.str();
+    if (TaggedEngine *eng = sys.eventQueue().taggedEngine()) {
+        out.tagged = true;
+        out.digests = eng->fireDigests();
+    }
+    return out;
+}
+
+SystemConfig
+fbarreSmall()
+{
+    SystemConfig cfg;
+    cfg.mode = TranslationMode::fbarre;
+    cfg.driver.merge_limit = 2;
+    cfg.iommu.coal_aware_sched = true;
+    cfg.workload_scale = 0.04;
+    return cfg;
+}
+
+void
+expectIdentical(const RunOut &a, const RunOut &b, const char *what)
+{
+    EXPECT_EQ(a.csv, b.csv) << what;
+    EXPECT_EQ(a.stats, b.stats) << what;
+    EXPECT_TRUE(a.digests == b.digests) << what;
+}
+
+TEST(PdesDeterminism, FBarreRunIsIdenticalAcrossDomainsAndThreads)
+{
+    SystemConfig base = fbarreSmall();
+    base.sim_domains = 1;
+    base.sim_threads = 1;
+    const RunOut ref = runCfg(base);
+    ASSERT_TRUE(ref.tagged);
+
+    for (std::uint32_t domains : {2u, 4u, 8u}) {
+        for (std::uint32_t threads : {1u, 8u}) {
+            SystemConfig cfg = fbarreSmall();
+            cfg.sim_domains = domains;
+            cfg.sim_threads = threads;
+            const RunOut got = runCfg(cfg);
+            EXPECT_TRUE(got.tagged);
+            expectIdentical(
+                ref, got,
+                ("domains=" + std::to_string(domains) +
+                 " threads=" + std::to_string(threads))
+                    .c_str());
+        }
+    }
+}
+
+TEST(PdesDeterminism, GmmuPlatformIsIdenticalAcrossDomains)
+{
+    SystemConfig base;
+    base.use_gmmu = true;
+    base.mode = TranslationMode::barre;
+    base.workload_scale = 0.04;
+    base.sim_domains = 1;
+    base.sim_threads = 1;
+    const RunOut ref = runCfg(base);
+    ASSERT_TRUE(ref.tagged);
+
+    SystemConfig cfg = base;
+    cfg.sim_domains = 4;
+    cfg.sim_threads = 8;
+    expectIdentical(ref, runCfg(cfg), "gmmu domains=4");
+}
+
+TEST(PdesDeterminism, MulticastAndValidationRunPartitioned)
+{
+    SystemConfig base = fbarreSmall();
+    base.iommu.multicast = true;
+    base.validate_translations = true;
+    base.sim_domains = 1;
+    base.sim_threads = 1;
+    const RunOut ref = runCfg(base);
+    ASSERT_TRUE(ref.tagged);
+
+    SystemConfig cfg = base;
+    cfg.sim_domains = 4;
+    cfg.sim_threads = 8;
+    const RunOut got = runCfg(cfg);
+    EXPECT_TRUE(got.tagged);
+    expectIdentical(ref, got, "multicast+validate domains=4");
+}
+
+TEST(PdesDeterminism, NonPartitionableConfigFallsBackToLegacy)
+{
+    SystemConfig legacy;
+    legacy.mode = TranslationMode::baseline;
+    legacy.shared_l2_tlb = true;
+    legacy.workload_scale = 0.02;
+    legacy.sim_domains = 0;
+    const RunOut ref = runCfg(legacy);
+    EXPECT_FALSE(ref.tagged);
+
+    SystemConfig cfg = legacy;
+    cfg.sim_domains = 4; // must warn and fall back, not partition
+    const RunOut got = runCfg(cfg);
+    EXPECT_FALSE(got.tagged);
+    EXPECT_EQ(ref.csv, got.csv);
+    EXPECT_EQ(ref.stats, got.stats);
+}
+
+} // namespace

@@ -170,3 +170,30 @@ TEST(ThreadPool, OrderedBatchPropagatesExceptions)
                                          }),
                  std::runtime_error);
 }
+
+TEST(ThreadPool, PinnedBatchRunsEachTaskOnItsOwnWorker)
+{
+    // Tasks that rendezvous at a barrier deadlock if one worker ever
+    // owns two of them; runPinned guarantees a 1:1 task/worker map
+    // (no stealing), so this must complete.
+    ThreadPool pool(3);
+    std::atomic<unsigned> arrived{0};
+    pool.runPinned(3, [&](std::size_t) {
+        ++arrived;
+        while (arrived.load() < 3)
+            std::this_thread::yield();
+    });
+    EXPECT_EQ(arrived.load(), 3u);
+}
+
+TEST(ThreadPool, PinnedBatchMayUseFewerTasksThanWorkers)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(2, 0);
+    pool.runPinned(2, [&](std::size_t i) { hits[i] = 1; });
+    EXPECT_EQ(hits[0] + hits[1], 2);
+    // The pool still steals in ordinary batches afterwards.
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(64, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 64u);
+}

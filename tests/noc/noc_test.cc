@@ -104,10 +104,63 @@ TEST(Pcie, DirectionsAreIndependent)
     Pcie pcie(eq, "pcie", p);
     Tick up = 0, down = 0;
     pcie.toHost(32, [&] { up = eq.now(); });
-    pcie.toDevice(32, [&] { down = eq.now(); });
+    pcie.toDevice(chipletTag(0), 32, [&] { down = eq.now(); });
     eq.run();
     EXPECT_EQ(up, 151u);
     EXPECT_EQ(down, 151u); // no cross-direction contention
     EXPECT_EQ(pcie.upstream().bytesSent(), 32u);
     EXPECT_EQ(pcie.downstream().bytesSent(), 32u);
+}
+
+TEST(Link, SerializationCyclesIsAnExactCeiling)
+{
+    // Boundary byte sizes around whole multiples of the rate: the old
+    // `+ 0.999999` hack happened to match at these, and must keep
+    // matching after the exact-integer rewrite.
+    EXPECT_EQ(serializationCycles(0, 64.0), 1u);   // min 1 cycle
+    EXPECT_EQ(serializationCycles(1, 64.0), 1u);
+    EXPECT_EQ(serializationCycles(63, 64.0), 1u);
+    EXPECT_EQ(serializationCycles(64, 64.0), 1u);
+    EXPECT_EQ(serializationCycles(65, 64.0), 2u);
+    EXPECT_EQ(serializationCycles(128, 64.0), 2u);
+    EXPECT_EQ(serializationCycles(129, 64.0), 3u);
+    EXPECT_EQ(serializationCycles(1, 768.0), 1u);
+    EXPECT_EQ(serializationCycles(768, 768.0), 1u);
+    EXPECT_EQ(serializationCycles(769, 768.0), 2u);
+}
+
+TEST(Link, SerializationCyclesExactForHugeTransfers)
+{
+    // Past 2^53 bytes a double can no longer represent the count, so
+    // the old float ceil under- or over-rounds; the integer path must
+    // stay exact.
+    const std::uint64_t huge = (std::uint64_t{1} << 53) + 1;
+    EXPECT_EQ(serializationCycles(huge, 1.0), huge);
+    EXPECT_EQ(serializationCycles(huge * 2, 2.0), huge);
+    const std::uint64_t odd = (std::uint64_t{1} << 60) + 3;
+    EXPECT_EQ(serializationCycles(odd, 64.0), odd / 64 + 1);
+}
+
+TEST(Link, SerializationCyclesFractionalRateFallsBackToCeil)
+{
+    EXPECT_EQ(serializationCycles(1, 0.5), 2u);
+    EXPECT_EQ(serializationCycles(3, 1.5), 2u);
+    EXPECT_EQ(serializationCycles(4, 1.5), 3u);
+}
+
+TEST(Link, SendMatchesSerializationCyclesAtBoundaries)
+{
+    // End-to-end: the wire occupancy Link::send charges must be the
+    // exact ceiling at the byte sizes straddling a rate multiple.
+    for (std::uint64_t bytes : {63u, 64u, 65u, 127u, 128u, 129u}) {
+        EventQueue eq;
+        Link link(eq, "l", LinkParams{64.0, 0});
+        Tick first = 0, second = 0;
+        link.send(bytes, [&] { first = eq.now(); });
+        link.send(64, [&] { second = eq.now(); });
+        eq.run();
+        const Tick ser = serializationCycles(bytes, 64.0);
+        EXPECT_EQ(first, ser) << "bytes=" << bytes;
+        EXPECT_EQ(second, ser + 1) << "bytes=" << bytes;
+    }
 }

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Differential proof of the conservative-PDES core (sim/domain.hh): the
+ * same tagged schedule fires in the same order — per-tag ticks, per-tag
+ * rng streams, firing digests — no matter how tags are grouped into
+ * domains or how many threads advance them. Plus the staged-arbitration
+ * replay (shared-link wire state matches serial bitwise) and the
+ * horizon audit (a cross-domain event inside the epoch horizon fires
+ * the invariant instead of corrupting the run).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/domain_scheduler.hh"
+#include "sim/domain.hh"
+#include "sim/event_queue.hh"
+#include "sim/invariant.hh"
+#include "sim/rng.hh"
+
+using namespace barre;
+
+namespace
+{
+
+constexpr std::size_t kTags = 5; // host + 4 chiplets
+constexpr Tick kLinkDelay = 33;  // >= lookahead: crossings stay legal
+
+/** Per-tag firing record; each is only written from its own tag's
+ *  execution context, so parallel runs need no synchronization. */
+struct TagRec
+{
+    std::vector<Tick> ticks;
+    std::vector<std::uint64_t> ids;
+};
+
+/**
+ * A self-perpetuating random tagged workload. Every fired event records
+ * its tick and a draw from its tag's private rng, then spawns a mix of
+ * same-tag and cross-tag successors. Decisions are made with per-tag
+ * rng streams: they stay in lockstep across partitionings exactly iff
+ * the per-tag firing order is partition-independent — any ordering
+ * divergence desynchronizes the streams and cascades into a mismatch.
+ */
+struct DiffDriver
+{
+    EventQueue eq;
+    std::vector<Rng> rngs;
+    std::vector<TagRec> rec;
+    std::vector<std::uint64_t> budget;
+
+    DiffDriver(const std::vector<std::uint32_t> &tag_domain,
+               std::uint32_t domains, std::uint64_t per_tag)
+        : eq(QueueMode::ladder), rec(kTags), budget(kTags, per_tag)
+    {
+        for (std::size_t t = 0; t < kTags; ++t)
+            rngs.emplace_back(0xb0ba + t);
+        eq.enableTags(tag_domain, domains);
+    }
+
+    void
+    fire(SeqTag t)
+    {
+        rec[t].ticks.push_back(eq.now());
+        rec[t].ids.push_back(rngs[t].next());
+        const std::uint64_t children = 1 + rngs[t].below(2);
+        for (std::uint64_t k = 0; k < children; ++k) {
+            if (budget[t] == 0)
+                return;
+            --budget[t];
+            if (rngs[t].below(4) == 0) {
+                const SeqTag dst =
+                    static_cast<SeqTag>(rngs[t].below(kTags));
+                eq.scheduleCross(dst,
+                                 eq.now() + kLinkDelay +
+                                     rngs[t].below(64),
+                                 [this, dst]() { fire(dst); });
+            } else {
+                eq.scheduleAfter(rngs[t].below(128),
+                                 [this, t]() { fire(t); });
+            }
+        }
+    }
+
+    std::uint64_t
+    run(unsigned threads)
+    {
+        for (std::size_t t = 0; t < kTags; ++t) {
+            EventQueue::TagScope scope(eq, static_cast<SeqTag>(t));
+            for (int i = 0; i < 4; ++i) {
+                const SeqTag tag = static_cast<SeqTag>(t);
+                eq.schedule(t * 7 + i, [this, tag]() { fire(tag); });
+            }
+        }
+        return DomainScheduler::run(eq, kLinkDelay, threads);
+    }
+};
+
+void
+expectIdentical(const DiffDriver &a, const DiffDriver &b)
+{
+    EXPECT_EQ(a.eq.fired(), b.eq.fired());
+    EXPECT_EQ(a.eq.now(), b.eq.now());
+    EXPECT_TRUE(a.eq.taggedEngine()->fireDigests() ==
+                b.eq.taggedEngine()->fireDigests());
+    for (std::size_t t = 0; t < kTags; ++t) {
+        ASSERT_EQ(a.rec[t].ticks.size(), b.rec[t].ticks.size())
+            << "tag " << t;
+        for (std::size_t i = 0; i < a.rec[t].ticks.size(); ++i) {
+            ASSERT_EQ(a.rec[t].ticks[i], b.rec[t].ticks[i])
+                << "tag " << t << " firing #" << i;
+            ASSERT_EQ(a.rec[t].ids[i], b.rec[t].ids[i])
+                << "tag " << t << " firing #" << i;
+        }
+    }
+}
+
+const std::vector<std::uint32_t> kOneDomain{0, 0, 0, 0, 0};
+const std::vector<std::uint32_t> kTwoDomains{0, 1, 1, 1, 1};
+const std::vector<std::uint32_t> kFourDomains{0, 1, 2, 3, 1};
+const std::vector<std::uint32_t> kFiveDomains{0, 1, 2, 3, 4};
+
+TEST(DomainQueueDiff, FiringOrderIsPartitionIndependent)
+{
+    constexpr std::uint64_t per_tag = 4000;
+    DiffDriver ref(kOneDomain, 1, per_tag);
+    ref.run(1);
+    ASSERT_GT(ref.eq.fired(), per_tag);
+
+    DiffDriver two(kTwoDomains, 2, per_tag);
+    two.run(1);
+    expectIdentical(ref, two);
+
+    DiffDriver four(kFourDomains, 4, per_tag);
+    four.run(1);
+    expectIdentical(ref, four);
+
+    DiffDriver five(kFiveDomains, 5, per_tag);
+    five.run(1);
+    expectIdentical(ref, five);
+}
+
+TEST(DomainQueueDiff, FiringOrderIsThreadCountIndependent)
+{
+    constexpr std::uint64_t per_tag = 4000;
+    DiffDriver serial(kFiveDomains, 5, per_tag);
+    serial.run(1);
+    DiffDriver threaded(kFiveDomains, 5, per_tag);
+    threaded.run(5);
+    expectIdentical(serial, threaded);
+}
+
+/** A contended shared wire: arbitration must replay in the exact order
+ *  a serial run would have hit it, whatever the partitioning. */
+struct FakeWire : ArbHook
+{
+    Tick free = 0;
+    Tick
+    arbitrate(Tick sent, std::uint64_t bytes) override
+    {
+        const Tick start = std::max(sent, free);
+        free = start + bytes;
+        return free + 40; // latency 40 >= lookahead 33
+    }
+};
+
+struct ArbDriver
+{
+    EventQueue eq;
+    FakeWire wire;
+    std::vector<Rng> rngs;
+    TagRec arrivals; // host-side record: single-writer (tag 0)
+
+    ArbDriver(const std::vector<std::uint32_t> &tag_domain,
+              std::uint32_t domains)
+        : eq(QueueMode::ladder)
+    {
+        for (std::size_t t = 0; t < 3; ++t)
+            rngs.emplace_back(0xcafe + t);
+        eq.enableTags(tag_domain, domains);
+    }
+
+    void
+    sendBurst(SeqTag t, int remaining)
+    {
+        const std::uint64_t bytes = 1 + rngs[t].below(32);
+        eq.stageArb(kHostTag, wire, bytes, [this, t, bytes]() {
+            arrivals.ticks.push_back(eq.now());
+            arrivals.ids.push_back((std::uint64_t(t) << 32) | bytes);
+        });
+        if (remaining > 0) {
+            eq.scheduleAfter(rngs[t].below(16), [this, t, remaining]() {
+                sendBurst(t, remaining - 1);
+            });
+        }
+    }
+
+    void
+    run(unsigned threads)
+    {
+        for (SeqTag t = 1; t <= 2; ++t) {
+            EventQueue::TagScope scope(eq, t);
+            eq.schedule(t, [this, t]() { sendBurst(t, 400); });
+        }
+        DomainScheduler::run(eq, 33, threads);
+    }
+};
+
+TEST(DomainQueueDiff, SharedArbitrationReplaysInSerialOrder)
+{
+    ArbDriver serial({0, 0, 0}, 1);
+    serial.run(1);
+    ASSERT_EQ(serial.arrivals.ticks.size(), 802u);
+
+    ArbDriver split({0, 1, 2}, 3);
+    split.run(3);
+    EXPECT_EQ(serial.wire.free, split.wire.free);
+    ASSERT_EQ(serial.arrivals.ticks.size(), split.arrivals.ticks.size());
+    for (std::size_t i = 0; i < serial.arrivals.ticks.size(); ++i) {
+        ASSERT_EQ(serial.arrivals.ticks[i], split.arrivals.ticks[i])
+            << "arrival #" << i;
+        ASSERT_EQ(serial.arrivals.ids[i], split.arrivals.ids[i])
+            << "arrival #" << i;
+    }
+    EXPECT_TRUE(serial.eq.taggedEngine()->fireDigests() ==
+                split.eq.taggedEngine()->fireDigests());
+}
+
+TEST(DomainQueueAudit, CrossDomainEventInsideHorizonFires)
+{
+    if (!invariants_enabled)
+        GTEST_SKIP() << "horizon audit needs BARRE_CHECK_INVARIANTS";
+    EventQueue eq(QueueMode::ladder);
+    eq.enableTags({0, 1}, 2);
+    TaggedEngine *eng = eq.taggedEngine();
+    eng->setRunning(true);
+    eng->beginEpoch(100);
+    EventQueue::TagScope scope(eq, kHostTag);
+    // Tick 50 is inside the epoch [0, 100): a real link could never
+    // deliver this early, so the lookahead audit must refuse it.
+    EXPECT_THROW(eq.scheduleCross(1, 50, []() {}), std::logic_error);
+    // At the horizon is legal (arrivals land at or beyond it).
+    eq.scheduleCross(1, 100, []() {});
+    eng->setRunning(false);
+}
+
+TEST(DomainQueueAudit, TaggedScheduleOutsideAnyContextFires)
+{
+    EventQueue eq(QueueMode::ladder);
+    eq.enableTags({0, 1}, 2);
+    EXPECT_THROW(eq.schedule(5, []() {}), std::logic_error);
+}
+
+TEST(DomainQueue, RunIsUnavailableInTaggedMode)
+{
+    EventQueue eq(QueueMode::ladder);
+    eq.enableTags({0}, 1);
+    EXPECT_THROW(eq.run(), std::logic_error);
+}
+
+} // namespace

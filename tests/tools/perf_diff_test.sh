@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Contract test for tools/perf_diff:
+#
+#   perf_diff_test.sh <perf_diff-binary>
+#
+# Exercises the verdict matrix on synthetic BENCH-shaped JSON: clean
+# pass, wall-time and throughput regressions beyond the threshold,
+# jitter inside the threshold, the identical_results correctness gate,
+# a disappeared bench member, and the host-shape (env) mismatch
+# downgrade with its --ignore-env override.
+set -eu
+
+PERF_DIFF=${1:?usage: perf_diff_test.sh <perf_diff>}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+cat > "$workdir/base.json" <<'EOF'
+{
+  "bench": "runner_speedup",
+  "host_cores": 4,
+  "jobs": 4,
+  "serial_wall_s": 10.0,
+  "parallel_wall_s": 2.5,
+  "speedup": 4.0,
+  "serial_events_per_s": 1000000,
+  "identical_results": true,
+  "pdes_speedup": {
+    "host_cores": 4,
+    "partitioned_wall_s": 3.0,
+    "speedup_vs_tagged_serial": 3.3,
+    "identical_results": true
+  }
+}
+EOF
+
+# 1. A file diffed against itself passes.
+"$PERF_DIFF" "$workdir/base.json" "$workdir/base.json" >/dev/null \
+    || fail "self-diff must pass"
+
+# 2. Jitter inside the threshold passes (wall +10% < default 20%).
+sed 's/"parallel_wall_s": 2.5/"parallel_wall_s": 2.75/' \
+    "$workdir/base.json" > "$workdir/jitter.json"
+"$PERF_DIFF" "$workdir/base.json" "$workdir/jitter.json" >/dev/null \
+    || fail "10% wall jitter must pass the 20% threshold"
+
+# 3. A wall-time regression beyond the threshold fails.
+sed 's/"parallel_wall_s": 2.5/"parallel_wall_s": 4.0/' \
+    "$workdir/base.json" > "$workdir/slow.json"
+if "$PERF_DIFF" "$workdir/base.json" "$workdir/slow.json" >/dev/null; then
+    fail "+60% wall time must be flagged"
+fi
+
+# 4. The same delta passes with a looser threshold.
+"$PERF_DIFF" --threshold 80 "$workdir/base.json" "$workdir/slow.json" \
+    >/dev/null || fail "+60% must pass an 80% threshold"
+
+# 5. A throughput drop fails ("events_per_s" is higher-is-better even
+#    though the key ends in "_s").
+sed 's/"serial_events_per_s": 1000000/"serial_events_per_s": 500000/' \
+    "$workdir/base.json" > "$workdir/slower_eps.json"
+if "$PERF_DIFF" "$workdir/base.json" "$workdir/slower_eps.json" \
+    >/dev/null; then
+    fail "-50% events/s must be flagged"
+fi
+
+# 6. identical_results=false fails regardless of thresholds.
+sed 's/"identical_results": true,/"identical_results": false,/' \
+    "$workdir/base.json" > "$workdir/broken.json"
+if "$PERF_DIFF" "$workdir/base.json" "$workdir/broken.json" >/dev/null; then
+    fail "identical_results=false must be fatal"
+fi
+
+# 7. A disappeared bench member fails.
+grep -v '"speedup": 4.0,' "$workdir/base.json" > "$workdir/gone.json"
+if "$PERF_DIFF" "$workdir/base.json" "$workdir/gone.json" >/dev/null; then
+    fail "a vanished metric must be flagged"
+fi
+
+# 8. A regression on a different host shape is downgraded to
+#    informational...
+sed -e 's/"host_cores": 4/"host_cores": 2/g' \
+    -e 's/"parallel_wall_s": 2.5/"parallel_wall_s": 4.0/' \
+    "$workdir/base.json" > "$workdir/smaller_host.json"
+"$PERF_DIFF" "$workdir/base.json" "$workdir/smaller_host.json" \
+    >/dev/null || fail "env mismatch must downgrade the regression"
+
+# ...unless --ignore-env forces the comparison.
+if "$PERF_DIFF" --ignore-env "$workdir/base.json" \
+    "$workdir/smaller_host.json" >/dev/null; then
+    fail "--ignore-env must enforce the regression"
+fi
+
+# 9. But a broken correctness flag still fails on a mismatched host.
+sed -e 's/"host_cores": 4/"host_cores": 2/g' \
+    -e 's/"identical_results": true,/"identical_results": false,/' \
+    "$workdir/base.json" > "$workdir/broken_env.json"
+if "$PERF_DIFF" "$workdir/base.json" "$workdir/broken_env.json" \
+    >/dev/null; then
+    fail "correctness gate must survive the env downgrade"
+fi
+
+# 10. Malformed input is a usage error (exit 2), not a pass.
+echo '{"unterminated' > "$workdir/bad.json"
+rc=0
+"$PERF_DIFF" "$workdir/base.json" "$workdir/bad.json" >/dev/null 2>&1 \
+    || rc=$?
+[ "$rc" -eq 2 ] || fail "malformed JSON must exit 2 (got $rc)"
+
+echo "perf_diff contract OK"

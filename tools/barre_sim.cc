@@ -47,6 +47,8 @@ usage()
         "  --iommu-tlb         add the 2048-entry IOMMU TLB\n"
         "  --demand-paging     map pages at first touch\n"
         "  --multicast         speculative PFN multicast (ablation)\n"
+        "  --domains N         event domains (0 = legacy serial queue)\n"
+        "  --sim-threads N     workers advancing the domains (0 = auto)\n"
         "  --scale F           workload scale factor (default 1.0)\n"
         "  --validate          check every translation vs page table\n"
         "  --stats             dump all component stats after the run\n"
@@ -169,6 +171,11 @@ main(int argc, char **argv)
             cfg.driver.demand_paging = true;
         } else if (arg == "--multicast") {
             cfg.iommu.multicast = true;
+        } else if (arg == "--domains") {
+            cfg.sim_domains = parseUnsignedArg(next(), "--domains");
+        } else if (arg == "--sim-threads") {
+            cfg.sim_threads =
+                parseUnsignedArg(next(), "--sim-threads");
         } else if (arg == "--scale") {
             cfg.workload_scale = parseScaleArg(next(), "--scale");
         } else if (arg == "--validate") {

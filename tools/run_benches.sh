@@ -16,10 +16,12 @@ build=${BUILD_DIR:-"$root/build-release"}
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j "$(nproc)" --target bench_runner_speedup \
-    bench_event_queue
+    bench_event_queue bench_pdes_speedup
 
 "$build/bench/bench_runner_speedup" "$root/BENCH_runner.json"
-# Splices its "event_queue" member into the same JSON.
+# These splice their "event_queue" / "pdes_speedup" members into the
+# same JSON.
 "$build/bench/bench_event_queue" "$root/BENCH_runner.json"
+"$build/bench/bench_pdes_speedup" "$root/BENCH_runner.json"
 echo "---"
 cat "$root/BENCH_runner.json"
