@@ -193,7 +193,8 @@ mergeJson(const std::string &path, const std::string &member)
             out.erase(prev);
         out += ",\n  \"event_queue\": " + member + "\n}\n";
     } else {
-        out = "{\n  \"event_queue\": " + member + "\n}\n";
+        out = "{\n  \"schema_version\": 1,\n  \"event_queue\": " +
+              member + "\n}\n";
     }
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)

@@ -33,11 +33,10 @@ main(int argc, char **argv)
                                      {"+PTW-sched", sched},
                                      {"+peer-sharing", peer},
                                      {"F-Barre", full}};
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     store.printSpeedupTable("Fig 18: F-Barre speedup breakdown", "Barre",
                             {"+PTW-sched", "+peer-sharing", "F-Barre"},

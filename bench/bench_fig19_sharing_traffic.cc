@@ -21,11 +21,10 @@ main(int argc, char **argv)
 
     std::vector<NamedConfig> configs{{"F-Barre", real},
                                      {"Oracle", oracle}};
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     TextTable table({"app", "achieved % of oracle"});
     std::vector<double> fracs;

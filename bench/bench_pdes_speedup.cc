@@ -117,7 +117,8 @@ mergeJson(const std::string &path, const std::string &member)
             out.erase(prev);
         out += ",\n  \"pdes_speedup\": " + member + "\n}\n";
     } else {
-        out = "{\n  \"pdes_speedup\": " + member + "\n}\n";
+        out = "{\n  \"schema_version\": 1,\n  \"pdes_speedup\": " +
+              member + "\n}\n";
     }
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)

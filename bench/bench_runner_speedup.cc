@@ -140,6 +140,7 @@ main(int argc, char **argv)
     }
     std::fprintf(f,
                  "{\n"
+                 "  \"schema_version\": 1,\n"
                  "  \"bench\": \"runner_speedup\",\n"
                  "  \"host_cores\": %u,\n"
                  "  \"jobs\": %u,\n"

@@ -17,6 +17,7 @@
 
 #include "gpu/translation_service.hh"
 #include "noc/interconnect.hh"
+#include "sim/domain_guard.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -33,7 +34,13 @@ struct LeastParams
     bool operator==(const LeastParams &) const = default;
 };
 
-class LeastService : public SimObject, public TranslationService
+// domain-owner:host — the ideal sharing tracker peeks every peer L2
+// TLB synchronously (the paper's oracle), and evictions spill straight
+// into the next chiplet's TLB; both keep least off the partitionable
+// set and both show up in the domain_audit golden.
+class LeastService : public SimObject,
+                     public TranslationService,
+                     public DomainOwned
 {
   public:
     LeastService(EventQueue &eq, std::string name, Iommu &iommu,
@@ -49,6 +56,7 @@ class LeastService : public SimObject, public TranslationService
     translate(ProcessId pid, Vpn vpn, ChipletId src,
               Iommu::ResponseHandler done) override
     {
+        domainCheck("translate");
         // Ideal tracker: oracle knowledge of peer L2 TLB contents.
         for (std::uint32_t p = 0; p < l2_tlbs_.size(); ++p) {
             if (p == src || !l2_tlbs_[p]->peek(pid, vpn))
@@ -75,6 +83,7 @@ class LeastService : public SimObject, public TranslationService
     {
         if (!params_.spilling || in_spill_)
             return;
+        domainCheck("onL2Evict");
         // Spill to the next chiplet; its own capacity victim is dropped
         // (no transitive spilling).
         ChipletId target =
@@ -119,6 +128,8 @@ class LeastService : public SimObject, public TranslationService
     Iommu &iommu_;
     Interconnect &noc_;
     LeastParams params_;
+    // domain-owner:chiplet domain-cross:sync — oracle peeks and spill
+    // inserts touch peer-chiplet TLBs without a message hop.
     std::vector<Tlb *> l2_tlbs_;
     bool in_spill_ = false;
 

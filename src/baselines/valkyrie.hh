@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gpu/translation_service.hh"
+#include "sim/domain_guard.hh"
 #include "sim/stats.hh"
 
 namespace barre
@@ -30,7 +31,11 @@ struct ValkyrieParams
     bool operator==(const ValkyrieParams &) const = default;
 };
 
-class ValkyrieService : public TranslationService
+// domain-owner:host — the prefetcher's stride/pending state is one
+// shared structure today, mutated directly from every chiplet's miss
+// stream; that synchronous sharing is what keeps valkyrie off the
+// partitionable set (see the domain_audit golden).
+class ValkyrieService : public TranslationService, public DomainOwned
 {
   public:
     ValkyrieService(Iommu &iommu, const ValkyrieParams &params,
@@ -44,6 +49,7 @@ class ValkyrieService : public TranslationService
     translate(ProcessId pid, Vpn vpn, ChipletId src,
               Iommu::ResponseHandler done) override
     {
+        domainCheck("translate");
         iommu_.sendAts(pid, vpn, src, std::move(done));
         if (!params_.prefetch)
             return;
@@ -106,6 +112,8 @@ class ValkyrieService : public TranslationService
 
     Iommu &iommu_;
     ValkyrieParams params_;
+    // domain-owner:chiplet domain-cross:sync — direct peeks/inserts
+    // into chiplet-owned L2 TLBs; needs a message path to partition.
     std::vector<Tlb *> l2_tlbs_;
     std::unordered_set<std::uint64_t> pending_;
     std::unordered_map<ChipletId, std::unordered_set<std::uint64_t>>

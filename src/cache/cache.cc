@@ -21,6 +21,7 @@ Cache::Cache(const CacheParams &p) : params_(p)
 bool
 Cache::access(Addr paddr)
 {
+    domainCheck("access");
     Addr line = paddr >> line_shift_;
     std::uint32_t set = static_cast<std::uint32_t>(line % sets_);
     Way *victim = nullptr;
@@ -48,6 +49,7 @@ Cache::access(Addr paddr)
 std::uint32_t
 Cache::invalidatePage(Pfn pfn, std::uint32_t page_shift)
 {
+    domainCheck("invalidatePage");
     std::uint32_t dropped = 0;
     std::uint32_t lines_shift = page_shift - line_shift_;
     for (Way &way : ways_) {
@@ -62,6 +64,7 @@ Cache::invalidatePage(Pfn pfn, std::uint32_t page_shift)
 void
 Cache::invalidateAll()
 {
+    domainCheck("invalidateAll");
     for (Way &way : ways_)
         way.valid = false;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mem/types.hh"
+#include "sim/domain_guard.hh"
 #include "sim/stats.hh"
 
 namespace barre
@@ -29,7 +30,9 @@ struct CacheParams
     bool operator==(const CacheParams &) const = default;
 };
 
-class Cache
+// domain-owner:chiplet — every instance (per-CU L1s, per-chiplet L2)
+// lives inside one chiplet; remote data goes over the Interconnect.
+class Cache : public DomainOwned
 {
   public:
     explicit Cache(const CacheParams &p);

@@ -36,18 +36,23 @@ FilterEngine::FilterEngine(ChipletId chiplet, std::uint32_t chiplets,
 void
 FilterEngine::lcfInsert(ProcessId pid, Vpn vpn)
 {
+    domainCheck("lcfInsert");
     lcf_.insert(keyOf(pid, vpn));
 }
 
 void
 FilterEngine::lcfErase(ProcessId pid, Vpn vpn)
 {
+    domainCheck("lcfErase");
     lcf_.erase(keyOf(pid, vpn));
 }
 
 bool
 FilterEngine::lcfContains(ProcessId pid, Vpn vpn) const
 {
+    // Const but statistics-bearing; the oracle sharing mode probes peer
+    // LCFs from the requester's context, which this check surfaces.
+    domainCheck("lcfContains");
     ++lcf_lookups_;
     bool hit = lcf_.contains(keyOf(pid, vpn));
     if (hit)
@@ -72,6 +77,7 @@ FilterEngine::rcfFor(ChipletId peer) const
 void
 FilterEngine::rcfInsert(ChipletId peer, ProcessId pid, Vpn vpn)
 {
+    domainCheck("rcfInsert");
     rcfFor(peer).insert(keyOf(pid, vpn));
     if constexpr (invariants_enabled)
         rcf_shadow_[peer].insert(keyOf(pid, vpn));
@@ -80,6 +86,7 @@ FilterEngine::rcfInsert(ChipletId peer, ProcessId pid, Vpn vpn)
 void
 FilterEngine::rcfErase(ChipletId peer, ProcessId pid, Vpn vpn)
 {
+    domainCheck("rcfErase");
     rcfFor(peer).erase(keyOf(pid, vpn));
     if constexpr (invariants_enabled)
         rcf_shadow_[peer].erase(keyOf(pid, vpn));
@@ -128,6 +135,7 @@ FilterEngine::predictSharer(ProcessId pid, Vpn vpn) const
 void
 FilterEngine::reset()
 {
+    domainCheck("reset");
     lcf_.clear();
     for (auto &f : rcfs_)
         f.clear();

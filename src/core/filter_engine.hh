@@ -23,13 +23,17 @@
 
 #include "filters/cuckoo_filter.hh"
 #include "mem/types.hh"
+#include "sim/domain_guard.hh"
 #include "sim/invariant.hh"
 #include "sim/stats.hh"
 
 namespace barre
 {
 
-class FilterEngine
+// domain-owner:chiplet — one engine per chiplet; only its own chiplet's
+// sequencing context may touch it (filter updates from peers arrive as
+// interconnect messages and are applied at delivery).
+class FilterEngine : public DomainOwned
 {
   public:
     /**

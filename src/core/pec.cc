@@ -11,6 +11,7 @@ namespace barre
 void
 PecBuffer::insert(const PecEntry &e)
 {
+    domainCheck("insert");
     barre_assert(e.valid, "inserting invalid PEC entry");
     barre_assert(e.num_gpus >= 1 && e.num_gpus <= PecEntry::max_gpus,
                  "bad num_gpus");
@@ -43,6 +44,9 @@ PecBuffer::insert(const PecEntry &e)
 const PecEntry *
 PecBuffer::find(ProcessId pid, Vpn vpn) const
 {
+    // Read path, but the oracle sharing mode reads peer buffers from
+    // the requester's context mid-epoch — worth surfacing.
+    domainCheck("find");
     for (const auto &slot : slots_)
         if (slot.contains(pid, vpn))
             return &slot;

@@ -36,6 +36,7 @@
 #include "mem/memory_map.hh"
 #include "mem/pte.hh"
 #include "mem/types.hh"
+#include "sim/domain_guard.hh"
 #include "sim/stats.hh"
 
 namespace barre
@@ -118,7 +119,10 @@ struct PecEntry
  * live data buffer. Table II: 5 entries. When full, the entry describing
  * the smallest buffer is overwritten (paper §IV-E).
  */
-class PecBuffer
+// domain-owner:chiplet — per-chiplet instances in F-Barre; the GMMU
+// and IOMMU copies are bound kAnyDomain (driver-filled at setup, only
+// read during the run).
+class PecBuffer : public DomainOwned
 {
   public:
     explicit PecBuffer(std::uint32_t entries = 5) : slots_(entries) {}

@@ -24,12 +24,29 @@ GpuDriver::GpuDriver(const MemoryMap &map, const DriverParams &params)
     }
 }
 
+void
+GpuDriver::bindDomainTree(DomainGuard *guard)
+{
+    bindDomain(guard, kHostTag, "driver");
+    for (auto &[pid, pt] : page_tables_) {
+        pt->bindDomain(guard, kHostTag,
+                       "driver.pt" + std::to_string(pid));
+    }
+}
+
 PageTable &
 GpuDriver::pageTable(ProcessId pid)
 {
     auto &slot = page_tables_[pid];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<PageTable>(pid);
+        // Tables created after the System bound the machine (first
+        // gpuMalloc of a late-arriving process) inherit the binding.
+        if (domainGuard()) {
+            slot->bindDomain(domainGuard(), kHostTag,
+                             "driver.pt" + std::to_string(pid));
+        }
+    }
     return *slot;
 }
 
@@ -118,6 +135,7 @@ DataAlloc
 GpuDriver::gpuMalloc(ProcessId pid, std::uint64_t pages,
                      const DataTraits &traits)
 {
+    domainCheck("gpuMalloc");
     barre_assert(pages > 0, "gpuMalloc of zero pages");
     PageTable &pt = pageTable(pid);
 
@@ -260,6 +278,7 @@ GpuDriver::mapGroupContaining(PageTable &pt, const PecEntry &layout,
 std::vector<Vpn>
 GpuDriver::faultIn(ProcessId pid, Vpn vpn)
 {
+    domainCheck("faultIn");
     barre_assert(params_.demand_paging,
                  "faultIn outside demand-paging mode");
     PageTable &pt = pageTable(pid);
@@ -306,6 +325,7 @@ GpuDriver::findPecEntry(ProcessId pid, Vpn vpn) const
 std::optional<GpuDriver::MigrationResult>
 GpuDriver::migratePage(ProcessId pid, Vpn vpn, ChipletId dest)
 {
+    domainCheck("migratePage");
     barre_assert(dest < map_.numChiplets(), "bad destination chiplet");
     PageTable &pt = pageTable(pid);
     auto pte = pt.walk(vpn);

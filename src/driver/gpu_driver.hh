@@ -29,6 +29,7 @@
 #include "mem/frame_allocator.hh"
 #include "mem/memory_map.hh"
 #include "mem/page_table.hh"
+#include "sim/domain_guard.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 
@@ -67,10 +68,18 @@ struct DataAlloc
     std::uint64_t coalesced_pages = 0;
 };
 
-class GpuDriver
+// domain-owner:host — the driver runs on the CPU; GPU-side actors
+// reach it only through the IOMMU fault path (Pcie messages).
+class GpuDriver : public DomainOwned
 {
   public:
     GpuDriver(const MemoryMap &map, const DriverParams &params);
+
+    /**
+     * Bind the driver and everything it owns (page tables, present and
+     * future) to the host domain under @p guard.
+     */
+    void bindDomainTree(DomainGuard *guard);
 
     const MemoryMap &memoryMap() const { return map_; }
     const DriverParams &params() const { return params_; }

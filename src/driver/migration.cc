@@ -9,6 +9,7 @@ AcudMigrator::recordAccess(Tick now, ProcessId pid, Vpn vpn,
 {
     if (!params_.enabled)
         return 0;
+    domainCheck("recordAccess");
 
     std::uint64_t key = (std::uint64_t{pid} << 52) ^ vpn;
     PageState &st = pages_[key];

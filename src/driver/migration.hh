@@ -22,6 +22,7 @@
 #include "driver/gpu_driver.hh"
 #include "mem/types.hh"
 #include "noc/interconnect.hh"
+#include "sim/domain_guard.hh"
 #include "sim/inline_fn.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -49,7 +50,11 @@ struct MigrationParams
     bool operator==(const MigrationParams &) const = default;
 };
 
-class AcudMigrator
+// domain-owner:host — counter state and migrations are driver-side;
+// chiplets currently feed recordAccess() synchronously, which is why
+// the migration config cannot partition yet (see the domain_audit
+// golden: this is ratchet work, not a sanctioned path).
+class AcudMigrator : public DomainOwned
 {
   public:
     /** Shoot down stale translations for (pid, vpns). */

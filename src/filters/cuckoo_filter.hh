@@ -34,6 +34,8 @@ struct CuckooFilterParams
     bool operator==(const CuckooFilterParams &) const = default;
 };
 
+// domain-owner:chiplet — always embedded in a chiplet's FilterEngine,
+// which carries the dynamic ownership binding.
 class CuckooFilter
 {
   public:

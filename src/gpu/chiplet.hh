@@ -50,6 +50,9 @@ struct ChipletParams
     bool operator==(const ChipletParams &) const = default;
 };
 
+// domain-owner:chiplet — everything under a chiplet (L1 TLBs/caches,
+// the owned L2 TLB + MSHRs, the L2 cache) belongs to its tag; remote
+// data and shared-L2 traffic crosses over the interconnect.
 class Chiplet : public SimObject
 {
   public:
@@ -58,6 +61,26 @@ class Chiplet : public SimObject
             Interconnect &noc);
 
     ChipletId id() const { return id_; }
+
+    /** Bind every component this chiplet owns to its sequencing tag. */
+    void
+    bindDomains(DomainGuard *guard)
+    {
+        const SeqTag tag = chipletTag(id_);
+        for (std::size_t cu = 0; cu < l1_tlbs_.size(); ++cu) {
+            l1_tlbs_[cu]->bindDomain(
+                guard, tag, name() + ".l1tlb" + std::to_string(cu));
+            l1_caches_[cu]->bindDomain(
+                guard, tag, name() + ".l1c" + std::to_string(cu));
+        }
+        // The shared-L2 hypothetical binds the one shared TLB/MSHR pair
+        // to the host tag in System::setupDomainGuard() instead.
+        if (owned_l2_tlb_)
+            owned_l2_tlb_->bindDomain(guard, tag, name() + ".l2tlb");
+        if (owned_l2_mshr_)
+            owned_l2_mshr_->bindDomain(guard, tag, name() + ".l2mshr");
+        l2_cache_->bindDomain(guard, tag, name() + ".l2c");
+    }
 
     /** Wire the translation service (after all chiplets exist). */
     void setService(TranslationService *svc) { service_ = svc; }
@@ -167,6 +190,8 @@ class Chiplet : public SimObject
     const MemoryMap &map_;
     Interconnect &noc_;
     TranslationService *service_ = nullptr;
+    // domain-cross:sync — access tracking pokes the host-owned
+    // migrator from the data path; why migration runs serial-only.
     AcudMigrator *migrator_ = nullptr;
     TranslationValidator validator_;
     std::vector<Chiplet *> peers_;

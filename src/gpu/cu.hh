@@ -41,6 +41,7 @@ struct CuParams
     bool operator==(const CuParams &) const = default;
 };
 
+// domain-owner:chiplet — a CU issues only into its own chiplet.
 class Cu : public SimObject
 {
   public:

@@ -28,6 +28,7 @@
 #include "gpu/translation_service.hh"
 #include "noc/interconnect.hh"
 #include "sim/domain.hh"
+#include "sim/domain_guard.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -56,7 +57,12 @@ struct FBarreParams
     bool operator==(const FBarreParams &) const = default;
 };
 
-class FBarreService : public SimObject, public TranslationService
+// domain-owner:shared — the service object is entered from every
+// chiplet's context; what it owns per chiplet (engines_, pec_buffers_)
+// is bound to that chiplet's tag in bindDomains().
+class FBarreService : public SimObject,
+                      public TranslationService,
+                      public DomainOwned
 {
   public:
     FBarreService(EventQueue &eq, std::string name,
@@ -66,6 +72,20 @@ class FBarreService : public SimObject, public TranslationService
 
     /** Wire each chiplet's L2 TLB for peeking. */
     void attachL2Tlb(ChipletId chiplet, Tlb *tlb);
+
+    /** Bind each chiplet's filter engine + PEC buffer to its tag. */
+    void
+    bindDomains(DomainGuard *guard)
+    {
+        bindDomain(guard, kAnyDomain, name());
+        for (std::uint32_t c = 0; c < chiplets_; ++c) {
+            SeqTag tag = chipletTag(static_cast<ChipletId>(c));
+            engines_[c]->bindDomain(guard, tag,
+                                    name() + ".lcf" + std::to_string(c));
+            pec_buffers_[c]->bindDomain(
+                guard, tag, name() + ".pec" + std::to_string(c));
+        }
+    }
 
     /** Partitioned mode: shard the cross-context stats per tag. */
     void

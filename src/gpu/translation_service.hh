@@ -23,6 +23,9 @@
 namespace barre
 {
 
+// domain-owner:shared — interface only; translate() runs in the
+// requesting chiplet's context, implementations declare their own
+// ownership.
 class TranslationService
 {
   public:
@@ -47,6 +50,7 @@ class TranslationService
 };
 
 /** Baseline: forward every miss to the IOMMU over PCIe. */
+// domain-owner:shared — stateless forwarder; sendAts is a message path.
 class AtsService : public TranslationService
 {
   public:
@@ -64,6 +68,7 @@ class AtsService : public TranslationService
 };
 
 /** GMMU platform: forward every miss to the distributed GMMUs. */
+// domain-owner:shared — stateless forwarder into the GMMU system.
 class GmmuService : public TranslationService
 {
   public:

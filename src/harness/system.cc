@@ -126,6 +126,7 @@ System::System(SystemConfigHandle cfg)
     }
 
     setupPartition();
+    setupDomainGuard();
 }
 
 System::~System() = default;
@@ -243,6 +244,32 @@ System::setupPartition()
         fbarre_->shardStats(tags);
     if (gmmu_)
         gmmu_->shardStats(tags);
+}
+
+void
+System::setupDomainGuard()
+{
+    DomainGuard *g = &guard_;
+    for (auto &c : chiplets_)
+        c->bindDomains(g);
+    if (shared_l2_tlb_) {
+        // The shared-TLB hypothetical: one physical structure hit from
+        // every chiplet — host-owned so each touch shows up.
+        shared_l2_tlb_->bindDomain(g, kHostTag, "shared.l2tlb");
+        shared_l2_mshr_->bindDomain(g, kHostTag, "shared.l2mshr");
+    }
+    iommu_->bindDomainTree(g);
+    driver_->bindDomainTree(g);
+    if (gmmu_)
+        gmmu_->bindDomains(g);
+    if (migrator_)
+        migrator_->bindDomain(g, kHostTag, "migrator");
+    if (valkyrie_)
+        valkyrie_->bindDomain(g, kHostTag, "valkyrie");
+    if (least_)
+        least_->bindDomain(g, kHostTag, "least");
+    if (fbarre_)
+        fbarre_->bindDomains(g);
 }
 
 ChipletId
@@ -397,6 +424,10 @@ System::run()
             if (cu->streamLength() > 0)
                 ++cus_with_work_;
 
+    // Checks only bite between here and the end of the drain: setup /
+    // harvest code legitimately pokes components from the host context.
+    guard_.setMode(DomainGuard::resolveMode(guard_.mode(), pdes_.on));
+
     std::uint64_t fired = 0;
     if (pdes_.on) {
         // Partitioned run: start each chiplet's CUs inside that
@@ -426,8 +457,12 @@ System::run()
             finish_tick_ = std::max(finish_tick_, td.finish);
         }
     } else {
-        for (auto &per_chip : cus_) {
-            for (auto &cu : per_chip) {
+        // The serial queue still stamps ownership tags on events (for
+        // the domain audit), so seed each chiplet's CU-start events
+        // under that chiplet's tag, exactly like the partitioned path.
+        for (std::uint32_t c = 0; c < cfg_.chiplets; ++c) {
+            EventQueue::TagScope scope(eq_, chipletTag(c));
+            for (auto &cu : cus_[c]) {
                 if (cu->streamLength() == 0)
                     continue;
                 cu->start([this]() {
@@ -438,6 +473,9 @@ System::run()
         }
         fired = eq_.run();
     }
+    // Post-run harvest runs from the host context; stop checking but
+    // keep any report-mode violations readable through domainGuard().
+    guard_.setMode(DomainAuditMode::off);
     barre_assert(cus_done_ == cus_with_work_,
                  "simulation drained with %u/%u CUs unfinished",
                  cus_with_work_ - cus_done_, cus_with_work_);

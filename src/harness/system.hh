@@ -13,6 +13,7 @@
 
 #include "harness/config.hh"
 #include "harness/metrics.hh"
+#include "sim/domain_guard.hh"
 #include "workloads/trace.hh"
 #include "workloads/workload.hh"
 
@@ -61,6 +62,13 @@ class System
     /// @name Component access (tests, custom experiments)
     /// @{
     EventQueue &eventQueue() { return eq_; }
+    /**
+     * The domain-ownership audit (sim/domain_guard.hh). Every component
+     * is bound at construction; the mode resolves at run() time (off by
+     * default — pre-arm report mode here, or export
+     * $BARRE_DOMAIN_AUDIT, to collect violations).
+     */
+    DomainGuard &domainGuard() { return guard_; }
     GpuDriver &driver() { return *driver_; }
     Iommu &iommu() { return *iommu_; }
     GmmuSystem *gmmu() { return gmmu_.get(); }
@@ -76,12 +84,15 @@ class System
     static const char *partitionBlocker(const SystemConfig &cfg);
     /** Apply cfg_.sim_domains: tag/domain map, lookahead, enableTags. */
     void setupPartition();
+    /** Bind every component to its owning sequencing tag. */
+    void setupDomainGuard();
     ChipletId homeOf(ProcessId pid, Vpn vpn) const;
 
     SystemConfigHandle cfg_handle_;
     /** Alias for *cfg_handle_; keeps member access terse. */
     const SystemConfig &cfg_;
     EventQueue eq_;
+    DomainGuard guard_;
     std::unique_ptr<MemoryMap> map_;
     std::unique_ptr<Interconnect> noc_;
     std::unique_ptr<Pcie> pcie_;

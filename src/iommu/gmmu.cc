@@ -53,6 +53,7 @@ void
 GmmuSystem::enqueueAt(ChipletId home, Request req)
 {
     Node &node = nodes_[home];
+    node.dom.domainCheck("enqueueAt");
     if (node.queue.size() >= params_.queue_entries)
         node.overflow.push_back(std::move(req));
     else
@@ -64,6 +65,7 @@ void
 GmmuSystem::tryDispatch(ChipletId home)
 {
     Node &node = nodes_[home];
+    node.dom.domainCheck("tryDispatch");
     while (!node.queue.empty() && node.busy < params_.ptws_per_chiplet) {
         Request req = std::move(node.queue.front());
         node.queue.pop_front();
@@ -97,6 +99,7 @@ GmmuSystem::tryDispatch(ChipletId home)
 void
 GmmuSystem::completeWalk(ChipletId home, Request req)
 {
+    nodes_[home].dom.domainCheck("completeWalk");
     auto pte = tableFor(req.pid)->walk(req.vpn);
     barre_assert(pte.has_value(), "GMMU page fault for vpn 0x%llx",
                  (unsigned long long)req.vpn);

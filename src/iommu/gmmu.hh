@@ -26,6 +26,7 @@
 #include "mem/page_table.hh"
 #include "noc/interconnect.hh"
 #include "sim/domain.hh"
+#include "sim/domain_guard.hh"
 #include "sim/flat_map.hh"
 #include "sim/inline_fn.hh"
 #include "sim/sim_object.hh"
@@ -48,6 +49,9 @@ struct GmmuParams
     bool operator==(const GmmuParams &) const = default;
 };
 
+// domain-owner:shared — one service dispatching per-chiplet Nodes;
+// each Node is owned by its home chiplet's tag and bound individually
+// in bindDomains().
 class GmmuSystem : public SimObject
 {
   public:
@@ -61,6 +65,20 @@ class GmmuSystem : public SimObject
 
     void attachPageTable(PageTable &pt);
     PecBuffer &pecBuffer() { return pec_buffer_; }
+
+    /** Bind each per-chiplet Node to its home chiplet's tag. */
+    void
+    bindDomains(DomainGuard *guard)
+    {
+        // Driver-filled at setup, read-only during the run, so any
+        // home GMMU may consult it from its own context.
+        pec_buffer_.bindDomain(guard, kAnyDomain, name() + ".pec");
+        for (std::uint32_t c = 0; c < nodes_.size(); ++c) {
+            nodes_[c].dom.bindDomain(
+                guard, chipletTag(static_cast<ChipletId>(c)),
+                name() + ".node" + std::to_string(c));
+        }
+    }
 
     /** Partitioned mode: shard the cross-context stats per tag. */
     void
@@ -104,10 +122,15 @@ class GmmuSystem : public SimObject
 
     struct Node
     {
+        /** Public-dtor handle for the per-node ownership binding. */
+        struct Dom : DomainOwned
+        {};
+
         std::deque<Request> queue;
         std::deque<Request> overflow;
         std::vector<std::pair<ProcessId, Vpn>> in_flight;
         std::uint32_t busy = 0;
+        Dom dom;
     };
 
     void enqueueAt(ChipletId home, Request req);

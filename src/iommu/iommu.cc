@@ -120,8 +120,20 @@ Iommu::sendAts(ProcessId pid, Vpn vpn, ChipletId src,
 }
 
 void
+Iommu::bindDomainTree(DomainGuard *guard)
+{
+    bindDomain(guard, kHostTag, name());
+    if (tlb_)
+        tlb_->bindDomain(guard, kHostTag, name() + ".tlb");
+    if (pwc_)
+        pwc_->bindDomain(guard, kHostTag, name() + ".pwc");
+    pec_buffer_.bindDomain(guard, kHostTag, name() + ".pec");
+}
+
+void
 Iommu::enqueue(Request req)
 {
+    domainCheck("enqueue");
     if (params_.ptws != 0 &&
         pw_queue_.size() >= params_.pw_queue_entries) {
         overflow_.push_back(std::move(req));

@@ -27,6 +27,7 @@
 #include "mem/memory_map.hh"
 #include "mem/page_table.hh"
 #include "noc/pcie.hh"
+#include "sim/domain_guard.hh"
 #include "sim/flat_map.hh"
 #include "sim/inline_fn.hh"
 #include "sim/sim_object.hh"
@@ -105,13 +106,19 @@ struct AtsResponse
     bool calculated = false;
 };
 
-class Iommu : public SimObject
+// domain-owner:host — all queue/walker/TLB state mutates on the host
+// side of the PCIe link; sendAts() is the chiplet-side entry and only
+// injects into the upstream wire (everything else runs on delivery).
+class Iommu : public SimObject, public DomainOwned
 {
   public:
     using ResponseHandler = InlineFn<void(const AtsResponse &)>;
 
     Iommu(EventQueue &eq, std::string name, const IommuParams &params,
           Pcie &pcie, const MemoryMap &map);
+
+    /** Bind the IOMMU and its internal TLB/PWC to the host domain. */
+    void bindDomainTree(DomainGuard *guard);
 
     /** Register a process's page table (driver setup). */
     void attachPageTable(PageTable &pt);
@@ -169,6 +176,10 @@ class Iommu : public SimObject
     std::size_t
     pendingTranslations() const
     {
+        // Host-owned occupancy read synchronously by valkyrie's
+        // chiplet-side prefetch throttle — the domain audit flags
+        // exactly that (it is why valkyrie cannot partition yet).
+        domainCheck("pendingTranslations");
         return pw_queue_.size() + overflow_.size() + busy_ptws_;
     }
 
@@ -199,6 +210,8 @@ class Iommu : public SimObject
     Pcie &pcie_;
     const MemoryMap *memory_map_;
     FlatMap<ProcessId, PageTable *> page_tables_;
+    // domain-owner:host — the walkers' copy; driver-filled at setup
+    // and only consulted from the IOMMU's own context.
     PecBuffer pec_buffer_;
     std::unique_ptr<Tlb> tlb_;
     /** Page-walk cache over upper-level radix prefixes (timed walks). */

@@ -29,6 +29,8 @@ struct DramParams
     bool operator==(const DramParams &) const = default;
 };
 
+// domain-owner:chiplet — each DRAM stack belongs to its chiplet; peer
+// accesses arrive as interconnect messages (Chiplet::serveRemoteData).
 class Dram : public SimObject
 {
   public:

@@ -28,6 +28,7 @@
 namespace barre
 {
 
+// domain-owner:host — only the driver allocates/frees frames.
 class FrameAllocator
 {
   public:

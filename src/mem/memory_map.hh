@@ -19,6 +19,8 @@
 namespace barre
 {
 
+// domain-owner:shared — immutable package geometry after setup; safe
+// to read from any domain.
 class MemoryMap
 {
   public:

@@ -38,6 +38,7 @@ PageTable::findLeafNode(Vpn vpn) const
 void
 PageTable::map(Vpn vpn, Pfn pfn, const CoalInfo &ci)
 {
+    domainCheck("map");
     Node *leaf = ensurePath(vpn);
     Pte &slot = leaf->ptes[indexAt(vpn, 0)];
     if (!slot.present())
@@ -48,6 +49,7 @@ PageTable::map(Vpn vpn, Pfn pfn, const CoalInfo &ci)
 bool
 PageTable::unmap(Vpn vpn)
 {
+    domainCheck("unmap");
     const Node *leaf = findLeafNode(vpn);
     if (!leaf)
         return false;
@@ -75,6 +77,7 @@ PageTable::walk(Vpn vpn) const
 bool
 PageTable::updateCoalInfo(Vpn vpn, const CoalInfo &ci)
 {
+    domainCheck("updateCoalInfo");
     const Node *leaf = findLeafNode(vpn);
     if (!leaf)
         return false;

@@ -18,12 +18,15 @@
 
 #include "mem/pte.hh"
 #include "mem/types.hh"
+#include "sim/domain_guard.hh"
 #include "sim/stats.hh"
 
 namespace barre
 {
 
-class PageTable
+// domain-owner:host — the driver installs/removes mappings; walk() is
+// the sanctioned concurrent read path (atomic touch counter below).
+class PageTable : public DomainOwned
 {
   public:
     static constexpr int levels = 4;

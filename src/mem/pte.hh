@@ -78,6 +78,7 @@ struct CoalInfo
 };
 
 /** A raw 64-bit page table entry. */
+// domain-owner:host — lives inside the host-owned page tables.
 class Pte
 {
   public:

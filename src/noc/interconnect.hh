@@ -28,6 +28,8 @@ struct InterconnectParams
     bool operator==(const InterconnectParams &) const = default;
 };
 
+// domain-owner:shared — the sanctioned cross-chiplet message path;
+// send(src, dst) re-executes the callback under dst's tag.
 class Interconnect : public SimObject
 {
   public:

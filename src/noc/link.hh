@@ -25,6 +25,8 @@ struct LinkParams
     bool operator==(const LinkParams &) const = default;
 };
 
+// domain-owner:shared — the primitive message path; sendTo/sendShared
+// deliver under the destination/owner tag by construction.
 class Link : public SimObject, public ArbHook
 {
   public:

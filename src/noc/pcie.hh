@@ -25,6 +25,8 @@ struct PcieParams
     bool operator==(const PcieParams &) const = default;
 };
 
+// domain-owner:shared — the chiplet<->host message path (toHost lands
+// at the host tag, toDevice at the target chiplet's tag).
 class Pcie : public SimObject
 {
   public:

@@ -154,6 +154,11 @@ class TagCounter
     slot()
     {
         const SeqTag t = currentExecTag();
+        // Legacy/serial mode runs single-threaded on one shard but
+        // (since the domain audit landed) still stamps real tags on
+        // events for ownership attribution — any tag may bump here.
+        if (slots_.size() == 1)
+            return slots_[0];
         barre_assert(t < slots_.size(),
                      "TagCounter bumped from tag %u but only %zu "
                      "shard(s); missing a shard() call at system build",

@@ -142,8 +142,10 @@ class EventQueue
     const TaggedEngine *taggedEngine() const { return tagged_.get(); }
 
     /**
-     * Schedule @p cb to execute as tag @p dst at tick @p when (legacy
-     * mode: an ordinary schedule — there is only one sequence).
+     * Schedule @p cb to execute as tag @p dst at tick @p when. Legacy
+     * mode has only one sequence, but still stamps @p dst on the entry
+     * so the domain-ownership audit sees the delivery execute under
+     * the destination's tag (sim/domain_guard.hh).
      */
     void
     scheduleCross(SeqTag dst, Tick when, Callback cb)
@@ -152,7 +154,10 @@ class EventQueue
             tagged_->scheduleCross(dst, when, std::move(cb));
             return;
         }
-        schedule(when, std::move(cb));
+        barre_assert(when >= now_,
+                     "scheduling into the past (%llu < %llu)",
+                     (unsigned long long)when, (unsigned long long)now_);
+        scheduleTagged(when, dst, std::move(cb));
     }
 
     /**
@@ -169,20 +174,25 @@ class EventQueue
         if (tagged_)
             return tagged_->stageArb(owner, hook, bytes, std::move(cb));
         const Tick when = hook.arbitrate(now_, bytes);
-        schedule(when, std::move(cb));
+        scheduleTagged(when, owner, std::move(cb));
         return when;
     }
 
     /**
      * RAII execution-context bracket for setup-time scheduling on
-     * behalf of tag @p tag; a no-op in legacy mode.
+     * behalf of tag @p tag. Legacy mode only sets the thread's current
+     * tag (for ownership attribution); the inner TaggedEngine scope
+     * saved the full context and restores it on exit either way.
      */
     class TagScope
     {
       public:
         TagScope(EventQueue &eq, SeqTag tag)
             : scope_(eq.tagged_.get(), tag)
-        {}
+        {
+            if (!eq.tagged_)
+                detail::tls_exec.tag = tag;
+        }
 
       private:
         TaggedEngine::TagScope scope_;
@@ -202,12 +212,7 @@ class EventQueue
         barre_assert(when >= now_,
                      "scheduling into the past (%llu < %llu)",
                      (unsigned long long)when, (unsigned long long)now_);
-        if (when == now_)
-            pushNowLane(std::move(cb));
-        else if (mode_ == QueueMode::ladder && when - now_ < kWindow)
-            pushBucket(when, std::move(cb));
-        else
-            heapPush(Entry{when, seq_++, std::move(cb)});
+        scheduleTagged(when, detail::tls_exec.tag, std::move(cb));
     }
 
     /**
@@ -225,12 +230,8 @@ class EventQueue
             tagged_->scheduleAfter(delay, std::move(cb));
             return;
         }
-        if (delay == 0)
-            pushNowLane(std::move(cb));
-        else if (mode_ == QueueMode::ladder && delay < kWindow)
-            pushBucket(now_ + delay, std::move(cb));
-        else
-            heapPush(Entry{now_ + delay, seq_++, std::move(cb)});
+        scheduleTagged(now_ + delay, detail::tls_exec.tag,
+                       std::move(cb));
     }
 
     /**
@@ -243,6 +244,7 @@ class EventQueue
         barre_assert(!tagged_,
                      "run() on a partitioned queue; use the harness "
                      "DomainScheduler");
+        FireScope tag_restore;
         std::uint64_t fired = 0;
         while (fired < limit) {
             if (nowLaneEmpty()) {
@@ -256,6 +258,7 @@ class EventQueue
                     continue; // promotion fires nothing by itself
                 }
                 Entry e = heapPop();
+                detail::tls_exec.tag = e.tag;
                 e.cb();
             } else {
                 fireNowOrTiedHeapTop();
@@ -279,6 +282,7 @@ class EventQueue
         barre_assert(!tagged_,
                      "runUntil() on a partitioned queue; use the "
                      "harness DomainScheduler");
+        FireScope tag_restore;
         std::uint64_t fired = 0;
         for (;;) {
             if (nowLaneEmpty()) {
@@ -292,6 +296,7 @@ class EventQueue
                     continue;
                 }
                 Entry e = heapPop();
+                detail::tls_exec.tag = e.tag;
                 e.cb();
             } else if (now_ <= until) {
                 fireNowOrTiedHeapTop();
@@ -367,7 +372,44 @@ class EventQueue
     {
         Tick when;
         std::uint64_t seq;
+        SeqTag tag; ///< tag whose state the callback mutates
         Callback cb;
+    };
+
+    /**
+     * Route an entry carrying @p tag to the lane/ladder/heap. The tag
+     * plays no part in firing order — (when, seq) stays the exact
+     * total order, so results are bitwise identical to a tagless
+     * queue — it only feeds currentExecTag() during the callback so
+     * the domain audit can attribute accesses.
+     */
+    void
+    scheduleTagged(Tick when, SeqTag tag, Callback cb)
+    {
+        if (when == now_)
+            pushNowLane(tag, std::move(cb));
+        else if (mode_ == QueueMode::ladder && when - now_ < kWindow)
+            pushBucket(when, tag, std::move(cb));
+        else
+            heapPush(Entry{when, seq_++, tag, std::move(cb)});
+    }
+
+    /**
+     * Restores the thread's current-tag slot when a run loop exits
+     * (normally or by a panic throw), so a fired event's tag never
+     * leaks into setup/harvest code or the next simulation.
+     */
+    class FireScope
+    {
+      public:
+        FireScope() : saved_(detail::tls_exec.tag) {}
+        ~FireScope() { detail::tls_exec.tag = saved_; }
+
+        FireScope(const FireScope &) = delete;
+        FireScope &operator=(const FireScope &) = delete;
+
+      private:
+        SeqTag saved_;
     };
 
     enum class Next
@@ -398,9 +440,9 @@ class EventQueue
      * non-empty (an event with a later tick is never the minimum then).
      */
     void
-    pushNowLane(Callback cb)
+    pushNowLane(SeqTag tag, Callback cb)
     {
-        now_lane_.push_back(Entry{now_, seq_++, std::move(cb)});
+        now_lane_.push_back(Entry{now_, seq_++, tag, std::move(cb)});
     }
 
     /**
@@ -412,13 +454,13 @@ class EventQueue
      * now_ + kWindow is outside the window).
      */
     void
-    pushBucket(Tick when, Callback cb)
+    pushBucket(Tick when, SeqTag tag, Callback cb)
     {
         const std::size_t slot = when & kSlotMask;
         std::vector<Entry> &b = buckets_[slot];
         if (b.empty())
             bucket_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
-        b.push_back(Entry{when, seq_++, std::move(cb)});
+        b.push_back(Entry{when, seq_++, tag, std::move(cb)});
         ++bucket_count_;
     }
 
@@ -498,6 +540,7 @@ class EventQueue
         if (!heap_.empty() && heap_.front().when == now_ &&
             heap_.front().seq < now_lane_[now_head_].seq) {
             Entry e = heapPop();
+            detail::tls_exec.tag = e.tag;
             e.cb();
             return;
         }
@@ -506,6 +549,7 @@ class EventQueue
             now_lane_.clear();
             now_head_ = 0;
         }
+        detail::tls_exec.tag = e.tag;
         e.cb();
     }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mem/types.hh"
+#include "sim/domain_guard.hh"
 #include "sim/flat_map.hh"
 #include "sim/inline_fn.hh"
 #include "sim/logging.hh"
@@ -25,8 +26,10 @@ namespace barre
 /**
  * @tparam Result value delivered to waiting requesters on completion.
  */
+// domain-owner:shared — bound per instance (chiplet L2 MSHRs vs the
+// host-shared L2 TLB's MSHR file) by the System.
 template <typename Result>
-class Mshr
+class Mshr : public DomainOwned
 {
   public:
     using Callback = InlineFn<void(const Result &)>;
@@ -54,6 +57,7 @@ class Mshr
     Outcome
     allocate(Key key, Callback cb)
     {
+        domainCheck("allocate");
         if (std::vector<Callback> *waiters = entries_.find(key)) {
             waiters->push_back(std::move(cb));
             ++secondary_;
@@ -75,6 +79,7 @@ class Mshr
     void
     complete(Key key, const Result &result)
     {
+        domainCheck("complete");
         barre_assert(entries_.contains(key),
                      "completing unknown MSHR entry");
         // Detach first: callbacks may allocate the same key again.

@@ -38,6 +38,7 @@ Tlb::findWay(ProcessId pid, Vpn vpn) const
 std::optional<TlbEntry>
 Tlb::lookup(ProcessId pid, Vpn vpn)
 {
+    domainCheck("lookup");
     if (Way *way = findWay(pid, vpn)) {
         way->lru = ++stamp_;
         ++hits_;
@@ -50,6 +51,9 @@ Tlb::lookup(ProcessId pid, Vpn vpn)
 std::optional<TlbEntry>
 Tlb::peek(ProcessId pid, Vpn vpn) const
 {
+    // peek mutates nothing, but a cross-domain peek still reads state
+    // another domain mutates mid-epoch — equally partition-unsafe.
+    domainCheck("peek");
     if (const Way *way = findWay(pid, vpn))
         return way->entry;
     return std::nullopt;
@@ -58,6 +62,7 @@ Tlb::peek(ProcessId pid, Vpn vpn) const
 void
 Tlb::insert(const TlbEntry &entry)
 {
+    domainCheck("insert");
     barre_assert(entry.valid, "inserting an invalid entry");
     if (Way *way = findWay(entry.pid, entry.vpn)) {
         way->entry = entry;
@@ -93,6 +98,7 @@ Tlb::insert(const TlbEntry &entry)
 bool
 Tlb::invalidate(ProcessId pid, Vpn vpn)
 {
+    domainCheck("invalidate");
     if (Way *way = findWay(pid, vpn)) {
         TlbEntry gone = way->entry;
         way->entry = TlbEntry{};
@@ -107,6 +113,7 @@ Tlb::invalidate(ProcessId pid, Vpn vpn)
 void
 Tlb::shootdown()
 {
+    domainCheck("shootdown");
     for (Way &way : ways_) {
         if (way.entry.valid) {
             way.entry = TlbEntry{};

@@ -20,6 +20,7 @@
 
 #include "mem/pte.hh"
 #include "mem/types.hh"
+#include "sim/domain_guard.hh"
 #include "sim/inline_fn.hh"
 #include "sim/stats.hh"
 
@@ -45,7 +46,10 @@ struct TlbEntry
     bool valid = false;
 };
 
-class Tlb
+// domain-owner:shared — instances live on both sides (chiplet L1/L2,
+// the host-shared L2 variant, the IOMMU's TLB/PWC); the System binds
+// each instance to its owning tag at build time.
+class Tlb : public DomainOwned
 {
   public:
     /** (evicted entry) -> void; fired when a valid entry is replaced. */

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The domain-ownership ratchet (sim/domain_guard.hh).
+ *
+ * Three layers of proof:
+ *  - Corruption tests: a component touched from the wrong execution
+ *    context actually fires — panic mode throws, report mode records a
+ *    deduplicated violation.
+ *  - Golden ratchet: every non-partitionable configuration runs in
+ *    report mode and its violation *pattern* (component class, site,
+ *    owner/accessor domain classes) must match the checked-in golden
+ *    list exactly. Converting a synchronous path to a message path
+ *    must shrink the golden; a new synchronous path fails the diff.
+ *    Regenerate with BARRE_UPDATE_GOLDEN=1 after inspecting the delta.
+ *  - Clean configs: every partitionable configuration runs audit-clean
+ *    under sim_domains>0 and bitwise identical to the tagged serial
+ *    reference (sim_domains=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/csv.hh"
+#include "harness/system.hh"
+#include "tlb/tlb.hh"
+#include "workloads/suite.hh"
+
+using namespace barre;
+
+namespace
+{
+
+TEST(DomainGuardCorruption, PanicFiresOnCrossDomainTouch)
+{
+    DomainGuard guard;
+    guard.setMode(DomainAuditMode::panic);
+    Tlb tlb(TlbParams{});
+    tlb.bindDomain(&guard, chipletTag(0), "gpu0.l2tlb");
+
+    EventQueue eq;
+    {
+        EventQueue::TagScope own(eq, chipletTag(0));
+        EXPECT_NO_THROW(tlb.peek(1, 0));
+    }
+    {
+        EventQueue::TagScope other(eq, chipletTag(1));
+        EXPECT_THROW(tlb.peek(1, 0), std::logic_error);
+    }
+    // Outside any scope the ambient context is the host tag — still
+    // not the owner.
+    EXPECT_THROW(tlb.peek(1, 0), std::logic_error);
+}
+
+TEST(DomainGuardCorruption, ReportModeDeduplicates)
+{
+    DomainGuard guard;
+    guard.setMode(DomainAuditMode::report);
+    Tlb tlb(TlbParams{});
+    tlb.bindDomain(&guard, chipletTag(0), "gpu0.l2tlb");
+
+    EventQueue eq;
+    EventQueue::TagScope other(eq, chipletTag(1));
+    tlb.peek(1, 0);
+    tlb.peek(1, 1); // same pattern, different operand: must dedup
+    TlbEntry te;
+    te.pid = 1;
+    te.vpn = 2;
+    te.pfn = 3;
+    te.valid = true;
+    tlb.insert(te);
+
+    EXPECT_FALSE(guard.clean());
+    auto report = guard.report();
+    ASSERT_EQ(report.size(), 2u);
+    EXPECT_EQ(report[0].component, "gpu0.l2tlb");
+    EXPECT_EQ(report[0].site, "insert");
+    EXPECT_EQ(report[0].owner, chipletTag(0));
+    EXPECT_EQ(report[0].accessor, chipletTag(1));
+    EXPECT_EQ(report[0].count, 1u);
+    EXPECT_EQ(report[1].site, "peek");
+    EXPECT_EQ(report[1].count, 2u);
+
+    auto lines = guard.goldenLines();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "gpu.l2tlb insert chiplet chiplet");
+    EXPECT_EQ(lines[1], "gpu.l2tlb peek chiplet chiplet");
+
+    guard.clear();
+    EXPECT_TRUE(guard.clean());
+}
+
+TEST(DomainGuardCorruption, WildcardOwnerAcceptsEveryTag)
+{
+    DomainGuard guard;
+    guard.setMode(DomainAuditMode::panic);
+    Tlb tlb(TlbParams{});
+    tlb.bindDomain(&guard, kAnyDomain, "shared.tlb");
+
+    EventQueue eq;
+    EXPECT_NO_THROW(tlb.peek(1, 0));
+    EventQueue::TagScope scope(eq, chipletTag(3));
+    EXPECT_NO_THROW(tlb.peek(1, 0));
+}
+
+TEST(DomainGuardCorruption, UnboundComponentChecksNothing)
+{
+    Tlb tlb(TlbParams{});
+    EXPECT_NO_THROW(tlb.peek(1, 0));
+}
+
+/** Run @p cfg small in report mode and harvest the golden lines. */
+std::vector<std::string>
+auditRun(SystemConfig cfg)
+{
+    cfg.workload_scale = 0.02;
+    System sys(std::move(cfg));
+    sys.domainGuard().setMode(DomainAuditMode::report);
+    const AppParams &app = appByName("cov");
+    auto allocs = sys.allocate(app, /*pid=*/1);
+    sys.loadWorkload(app, allocs);
+    (void)sys.run();
+    return sys.domainGuard().goldenLines();
+}
+
+struct BlockedConfig
+{
+    const char *name;
+    SystemConfig cfg;
+};
+
+std::vector<BlockedConfig>
+blockedConfigs()
+{
+    std::vector<BlockedConfig> out;
+    out.push_back({"valkyrie", SystemConfig::valkyrieCfg()});
+    out.push_back({"least", SystemConfig::leastCfg()});
+
+    SystemConfig shared = SystemConfig::baselineAts();
+    shared.shared_l2_tlb = true;
+    out.push_back({"shared_l2_tlb", shared});
+
+    SystemConfig mig = SystemConfig::baselineAts();
+    mig.migration.enabled = true;
+    mig.migration.threshold = 4;
+    mig.driver.policy = MappingPolicyKind::round_robin;
+    out.push_back({"migration", mig});
+
+    SystemConfig demand = SystemConfig::baselineAts();
+    demand.driver.demand_paging = true;
+    out.push_back({"demand_paging", demand});
+
+    SystemConfig oracle = SystemConfig::fbarreCfg();
+    oracle.fbarre.oracle_sharing = true;
+    out.push_back({"fbarre_oracle", oracle});
+    return out;
+}
+
+TEST(DomainAudit, NonPartitionableConfigsMatchGolden)
+{
+    std::ostringstream actual;
+    for (auto &bc : blockedConfigs()) {
+        for (const std::string &line : auditRun(bc.cfg))
+            actual << bc.name << " " << line << "\n";
+    }
+
+    const std::string golden_path =
+        std::string(BARRE_TESTS_DIR) + "/harness/domain_audit_golden.txt";
+    if (std::getenv("BARRE_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(golden_path);
+        ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+        out << actual.str();
+        GTEST_SKIP() << "golden regenerated at " << golden_path;
+    }
+
+    std::ifstream in(golden_path);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << golden_path
+        << " — run once with BARRE_UPDATE_GOLDEN=1 to create it";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(want.str(), actual.str())
+        << "domain-ownership pattern changed. If a synchronous "
+           "cross-domain path was removed (good), regenerate with "
+           "BARRE_UPDATE_GOLDEN=1; if a new one appeared, route it "
+           "over a Link/message path instead (DESIGN.md §8).";
+}
+
+TEST(DomainAudit, KnownSynchronousConfigsActuallyReport)
+{
+    // The ratchet is only meaningful if the dynamic layer sees the
+    // synchronous paths the blocklist claims exist. (demand_paging is
+    // exempt: its blocker is the racy page-table *read* during driver
+    // mutation, which the instrumented mutators cannot witness.)
+    for (auto &bc : blockedConfigs()) {
+        if (std::string(bc.name) == "demand_paging")
+            continue;
+        EXPECT_FALSE(auditRun(bc.cfg).empty())
+            << bc.name << " reported no violations — either the "
+            << "config became partitionable (remove it from "
+            << "System::partitionBlocker) or instrumentation was lost";
+    }
+}
+
+struct CleanRun
+{
+    std::string csv;
+    std::string stats;
+    bool clean = false;
+};
+
+CleanRun
+cleanRun(SystemConfig cfg, std::uint32_t domains)
+{
+    cfg.workload_scale = 0.04;
+    cfg.sim_domains = domains;
+    cfg.sim_threads = 1;
+    System sys(std::move(cfg));
+    sys.domainGuard().setMode(DomainAuditMode::report);
+    const AppParams &app = appByName("cov");
+    auto allocs = sys.allocate(app, /*pid=*/1);
+    sys.loadWorkload(app, allocs);
+    RunMetrics m = sys.run();
+
+    CleanRun out;
+    out.csv = csvRow(m);
+    std::ostringstream os;
+    sys.dumpStats(os);
+    out.stats = os.str();
+    out.clean = sys.domainGuard().clean();
+    return out;
+}
+
+TEST(DomainAudit, PartitionableConfigsAuditCleanAndBitwiseIdentical)
+{
+    std::vector<std::pair<const char *, SystemConfig>> cfgs;
+    cfgs.emplace_back("baseline", SystemConfig::baselineAts());
+    cfgs.emplace_back("barre", SystemConfig::barreCfg());
+    cfgs.emplace_back("fbarre", SystemConfig::fbarreCfg());
+    SystemConfig gmmu;
+    gmmu.use_gmmu = true;
+    gmmu.mode = TranslationMode::barre;
+    cfgs.emplace_back("gmmu", gmmu);
+
+    for (auto &[name, cfg] : cfgs) {
+        const CleanRun serial = cleanRun(cfg, 1);
+        EXPECT_TRUE(serial.clean) << name << " serial";
+        const CleanRun part = cleanRun(cfg, 4);
+        EXPECT_TRUE(part.clean) << name << " partitioned";
+        EXPECT_EQ(serial.csv, part.csv) << name;
+        EXPECT_EQ(serial.stats, part.stats) << name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The documented partition fallback, config by config: every
+ * non-partitionable configuration asked to partition must emit the
+ * `sim_domains=… ignored` warning exactly once, run on the legacy
+ * serial queue, and produce results bit-identical to sim_domains=0.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/csv.hh"
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "workloads/suite.hh"
+
+using namespace barre;
+
+namespace
+{
+
+struct FallbackOut
+{
+    std::string csv;
+    std::string stats;
+    bool tagged = false;
+    int warnings = 0;
+};
+
+FallbackOut
+runCfg(SystemConfig cfg, std::uint32_t domains)
+{
+    cfg.workload_scale = 0.02;
+    cfg.sim_domains = domains;
+
+    FallbackOut out;
+    beginLogBuffer();
+    System sys(std::move(cfg));
+    LogBlock log = endLogBuffer();
+    for (const auto &line : log.lines)
+        if (line.text.find("ignored:") != std::string::npos)
+            ++out.warnings;
+
+    const AppParams &app = appByName("cov");
+    auto allocs = sys.allocate(app, /*pid=*/1);
+    sys.loadWorkload(app, allocs);
+    RunMetrics m = sys.run();
+
+    out.csv = csvRow(m);
+    std::ostringstream os;
+    sys.dumpStats(os);
+    out.stats = os.str();
+    out.tagged = sys.eventQueue().taggedEngine() != nullptr;
+    return out;
+}
+
+class PartitionFallback
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    SystemConfig
+    cfgFor(const std::string &name)
+    {
+        if (name == "valkyrie")
+            return SystemConfig::valkyrieCfg();
+        if (name == "least")
+            return SystemConfig::leastCfg();
+        if (name == "shared_l2_tlb") {
+            SystemConfig cfg = SystemConfig::baselineAts();
+            cfg.shared_l2_tlb = true;
+            return cfg;
+        }
+        if (name == "migration") {
+            SystemConfig cfg = SystemConfig::baselineAts();
+            cfg.migration.enabled = true;
+            cfg.migration.threshold = 4;
+            cfg.driver.policy = MappingPolicyKind::round_robin;
+            return cfg;
+        }
+        if (name == "demand_paging") {
+            SystemConfig cfg = SystemConfig::baselineAts();
+            cfg.driver.demand_paging = true;
+            return cfg;
+        }
+        SystemConfig cfg = SystemConfig::fbarreCfg();
+        cfg.fbarre.oracle_sharing = true;
+        return cfg;
+    }
+};
+
+TEST_P(PartitionFallback, WarnsOnceAndMatchesSerialBitwise)
+{
+    const SystemConfig cfg = cfgFor(GetParam());
+
+    const FallbackOut serial = runCfg(cfg, 0);
+    EXPECT_FALSE(serial.tagged);
+    EXPECT_EQ(serial.warnings, 0);
+
+    const FallbackOut fell_back = runCfg(cfg, 2);
+    EXPECT_FALSE(fell_back.tagged) << "config partitioned anyway";
+    EXPECT_EQ(fell_back.warnings, 1)
+        << "the fallback warning must fire exactly once";
+    EXPECT_EQ(serial.csv, fell_back.csv);
+    EXPECT_EQ(serial.stats, fell_back.stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBlockedConfigs, PartitionFallback,
+    ::testing::Values("valkyrie", "least", "shared_l2_tlb", "migration",
+                      "demand_paging", "fbarre_oracle"));
+
+} // namespace

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * domain_lint negative fixture. Expected violations:
+ *  - Gadget: component class with no domain-owner annotation;
+ *  - WidgetDirectory: host-owned class holding a chiplet-owned Widget
+ *    without a domain-cross marker.
+ */
+
+#pragma once
+
+namespace barre
+{
+
+class Gadget
+{
+  public:
+    void poke();
+};
+
+// domain-owner:chiplet — one per chiplet.
+class Widget
+{
+  public:
+    void poke();
+};
+
+// domain-owner:host — the package-level directory.
+class WidgetDirectory
+{
+  public:
+    void poke();
+
+  private:
+    Widget *widget_ = nullptr;
+};
+
+} // namespace barre

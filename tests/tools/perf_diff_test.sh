@@ -112,4 +112,23 @@ rc=0
     || rc=$?
 [ "$rc" -eq 2 ] || fail "malformed JSON must exit 2 (got $rc)"
 
+# 11. Matching schema_version members compare normally...
+sed 's/"bench": "runner_speedup",/"schema_version": 1,/' \
+    "$workdir/base.json" > "$workdir/v1.json"
+"$PERF_DIFF" "$workdir/v1.json" "$workdir/v1.json" >/dev/null \
+    || fail "matching schema versions must compare"
+
+# ...but a version bump refuses the comparison with exit 2, as does a
+# versioned file against an unversioned (schema 0) baseline.
+sed 's/"schema_version": 1,/"schema_version": 2,/' \
+    "$workdir/v1.json" > "$workdir/v2.json"
+rc=0
+"$PERF_DIFF" "$workdir/v1.json" "$workdir/v2.json" >/dev/null 2>&1 \
+    || rc=$?
+[ "$rc" -eq 2 ] || fail "schema mismatch must exit 2 (got $rc)"
+rc=0
+"$PERF_DIFF" "$workdir/base.json" "$workdir/v1.json" >/dev/null 2>&1 \
+    || rc=$?
+[ "$rc" -eq 2 ] || fail "versioned vs unversioned must exit 2 (got $rc)"
+
 echo "perf_diff contract OK"

@@ -22,6 +22,11 @@ correctness story depends on:
                    sim/inline_fn.hh InlineFn so the per-event schedule
                    path never heap-allocates. std::function remains
                    fine in the host-side runner/pool infrastructure.
+  domain-owner     tools/domain_lint.py: every simulated-hardware class
+                   carries a // domain-owner:host|chiplet|shared
+                   annotation and direct cross-ownership members carry
+                   a domain-cross marker (the static half of the
+                   sim/domain_guard.hh partition-safety analysis).
 
 A line may opt out of one rule with a trailing `lint-allow:<rule>`
 comment.  `--format-check` additionally runs clang-format in dry-run
@@ -41,9 +46,9 @@ from pathlib import Path
 HEADER_GLOBS = ["src/**/*.hh", "bench/**/*.hh"]
 CPP_GLOBS = [
     "src/**/*.hh", "src/**/*.cc",
-    "tests/**/*.cc",
+    "tests/**/*.hh", "tests/**/*.cc",
     "bench/**/*.hh", "bench/**/*.cc",
-    "tools/**/*.cc",
+    "tools/**/*.hh", "tools/**/*.cc",
     "examples/**/*.cpp",
 ]
 
@@ -208,6 +213,20 @@ class Linter:
                         "sim/inline_fn.hh InlineFn so scheduling "
                         "stays allocation-free")
 
+    def check_domain_ownership(self):
+        lint = self.root / "tools" / "domain_lint.py"
+        if not lint.is_file():
+            return
+        proc = subprocess.run(
+            [sys.executable, str(lint), "--root", str(self.root)],
+            capture_output=True, text=True)
+        self.violations.extend(
+            line for line in proc.stdout.splitlines() if line.strip())
+        if proc.returncode not in (0, 1):
+            self.violations.append(
+                f"[domain-owner] domain_lint.py failed "
+                f"(exit {proc.returncode}): {proc.stderr.strip()}")
+
     # -- clang-format ----------------------------------------------------
 
     def check_format(self):
@@ -235,6 +254,7 @@ class Linter:
         self.check_iostream()
         self.check_naked_new()
         self.check_event_path_function()
+        self.check_domain_ownership()
         if format_check:
             self.check_format()
         return self.violations

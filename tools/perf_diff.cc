@@ -23,9 +23,15 @@
  * but downgraded to informational (exit 0) unless --ignore-env forces
  * it, so "CI got smaller" never masquerades as "code got slower".
  *
+ * Schema gate: the writers stamp a top-level "schema_version" member.
+ * Two files are only diffed when their schema versions match (a file
+ * without the member counts as version 0); otherwise the comparison is
+ * refused with exit 2 — regenerate the baseline rather than comparing
+ * metrics whose meaning changed between schemas.
+ *
  * Exit status: 0 = no regressions, 1 = regression (or a bench member
- * missing from the new file, or identical_results=false), 2 = usage or
- * parse error.
+ * missing from the new file, or identical_results=false), 2 = usage,
+ * parse, or schema-version error.
  */
 
 #include <cctype>
@@ -241,6 +247,24 @@ main(int argc, char **argv)
     pn.parseObject("", new_vals);
     if (!po.ok || !pn.ok || old_vals.empty() || new_vals.empty()) {
         std::fprintf(stderr, "malformed JSON input\n");
+        return 2;
+    }
+
+    // Schema gate: files from different bench-schema generations are
+    // not comparable — metric names/meanings may have changed.
+    const auto schemaOf = [](const std::map<std::string, double> &vals) {
+        const auto it = vals.find("schema_version");
+        return it == vals.end() ? 0.0 : it->second;
+    };
+    const double old_schema = schemaOf(old_vals);
+    const double new_schema = schemaOf(new_vals);
+    if (old_schema != new_schema) {
+        std::fprintf(stderr,
+                     "schema_version mismatch: %s has %g, %s has %g — "
+                     "refusing to compare across bench schemas; "
+                     "regenerate the baseline with the current "
+                     "benchmarks\n",
+                     files[0], old_schema, files[1], new_schema);
         return 2;
     }
 

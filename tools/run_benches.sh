@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Build Release and run the self-benchmarks (parallel runner + event
-# queue); writes BENCH_runner.json at the repo root. Used to track the
-# perf trajectory PR over PR.
+# queue + partitioned sim); writes one schema-versioned
+# BENCH_<family>.json per bench family at the repo root. Used to track
+# the perf trajectory PR over PR (tools/perf_diff refuses to compare
+# files whose schema_version differs).
 #
 #   tools/run_benches.sh                 # all cores
 #   BARRE_JOBS=8 tools/run_benches.sh    # fixed worker count
@@ -18,10 +20,13 @@ cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j "$(nproc)" --target bench_runner_speedup \
     bench_event_queue bench_pdes_speedup
 
+# One file per bench family; each carries its own schema_version so a
+# stale baseline from an older schema is rejected rather than
+# mis-compared.
 "$build/bench/bench_runner_speedup" "$root/BENCH_runner.json"
-# These splice their "event_queue" / "pdes_speedup" members into the
-# same JSON.
-"$build/bench/bench_event_queue" "$root/BENCH_runner.json"
-"$build/bench/bench_pdes_speedup" "$root/BENCH_runner.json"
-echo "---"
-cat "$root/BENCH_runner.json"
+"$build/bench/bench_event_queue" "$root/BENCH_event_queue.json"
+"$build/bench/bench_pdes_speedup" "$root/BENCH_pdes.json"
+for family in runner event_queue pdes; do
+    echo "--- BENCH_$family.json"
+    cat "$root/BENCH_$family.json"
+done
