@@ -15,6 +15,8 @@ using namespace barre::bench;
 int
 main(int argc, char **argv)
 {
+    (void)argc;
+    (void)argv;
     ResultStore store;
     // The paper highlights these plus low/mid picks; keep the sweep
     // affordable with a class-balanced subset.
@@ -30,14 +32,11 @@ main(int argc, char **argv)
         // packages put proportionally more pressure on the shared PCIe
         // and PTWs (the contention Fig 20 is about).
         double scale = envScale() * (static_cast<double>(n) / 4.0);
-        registerRuns(store, {{"base-" + std::to_string(n), base}},
-                     apps, scale);
-        registerRuns(store, {{"fbarre-" + std::to_string(n), fb}},
-                     apps, scale);
+        runAll(store,
+               {{"base-" + std::to_string(n), base},
+                {"fbarre-" + std::to_string(n), fb}},
+               apps, scale);
     }
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
 
     TextTable table({"app", "2-chip", "4-chip", "8-chip", "16-chip"});
     std::map<std::string, std::vector<double>> per_n;

@@ -14,6 +14,8 @@ using namespace barre::bench;
 int
 main(int argc, char **argv)
 {
+    (void)argc;
+    (void)argv;
     ResultStore store;
     SystemConfig mgvm = SystemConfig::baselineAts();
     mgvm.use_gmmu = true;
@@ -23,10 +25,7 @@ main(int argc, char **argv)
     std::vector<NamedConfig> configs{{"MGvm", mgvm},
                                      {"MGvm+BarreChord", mgvm_bc}};
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, apps, envScale());
 
     TextTable table({"app", "speedup", "remote-walk -%"});
     std::vector<double> speed, rw;

@@ -1,20 +1,24 @@
 /**
  * @file
- * Self-benchmark for partitioned (conservative-PDES) simulation: one
- * full F-Barre run executed three ways —
+ * Self-benchmark for partitioned (conservative-PDES) simulation, one
+ * row per partitionable configuration — the F-Barre flagship plus
+ * every configuration the message-path conversions unblocked
+ * (valkyrie, least, shared_l2_tlb, migration, fbarre_oracle). Each row
+ * runs three ways —
  *
  *   - legacy:       sim_domains=0, the serial global event queue;
  *   - tagged 1-dom: sim_domains=1, the tagged engine on one thread
  *                   (the identity reference for partitioned runs);
  *   - partitioned:  sim_domains=chiplets+1 with min(jobs, domains)
  *                   worker threads advancing the domains in lock-step
- *                   NoC-lookahead epochs.
+ *                   link-lookahead epochs.
  *
  * The tagged serial and partitioned runs must be bitwise identical
  * (csv metrics row and per-tag firing digests); the bench exits
- * non-zero otherwise. Wall times, simulated events/s, and the two
- * speedup ratios (vs tagged serial, vs legacy) are printed and spliced
- * into the perf-trajectory JSON as a "pdes_speedup" member:
+ * non-zero otherwise. Wall times, simulated events/s, and the speedup
+ * ratios land in a schema-versioned BENCH_pdes.json; the flagship row
+ * is additionally spliced into the perf-trajectory JSON as its
+ * "pdes_speedup" member:
  *
  *   build/bench/bench_pdes_speedup [out.json]  # BENCH_runner.json
  *   build/bench/bench_pdes_speedup --smoke     # small, no file writes
@@ -70,14 +74,14 @@ struct RunOut
 };
 
 RunOut
-runOne(std::uint32_t domains, std::uint32_t threads, double scale)
+runOne(SystemConfig cfg, std::uint32_t domains, std::uint32_t threads,
+       double scale)
 {
-    SystemConfig cfg = SystemConfig::fbarreCfg(2);
     cfg.workload_scale = scale;
     cfg.sim_domains = domains;
     cfg.sim_threads = threads;
 
-    System sys(cfg);
+    System sys(std::move(cfg));
     const AppParams &app = appByName("cov");
     auto allocs = sys.allocate(app, /*pid=*/1);
     sys.loadWorkload(app, allocs);
@@ -92,6 +96,51 @@ runOne(std::uint32_t domains, std::uint32_t threads, double scale)
         out.digests = eng->fireDigests();
     return out;
 }
+
+/** The partitionable configurations this bench sweeps. */
+std::vector<NamedConfig>
+benchConfigs()
+{
+    std::vector<NamedConfig> out;
+    out.push_back({"fbarre", SystemConfig::fbarreCfg(2)});
+    out.push_back({"valkyrie", SystemConfig::valkyrieCfg()});
+    out.push_back({"least", SystemConfig::leastCfg()});
+
+    SystemConfig shared = SystemConfig::baselineAts();
+    shared.shared_l2_tlb = true;
+    out.push_back({"shared_l2_tlb", shared});
+
+    SystemConfig mig = SystemConfig::baselineAts();
+    mig.migration.enabled = true;
+    mig.migration.threshold = 4;
+    mig.driver.policy = MappingPolicyKind::round_robin;
+    out.push_back({"migration", mig});
+
+    SystemConfig oracle = SystemConfig::fbarreCfg(2);
+    oracle.fbarre.oracle_sharing = true;
+    out.push_back({"fbarre_oracle", oracle});
+    return out;
+}
+
+struct Row
+{
+    std::string name;
+    RunOut legacy;
+    RunOut serial;
+    RunOut part;
+    bool identical = false;
+
+    double
+    vsSerial() const
+    {
+        return part.wall > 0 ? serial.wall / part.wall : 0.0;
+    }
+    double
+    vsLegacy() const
+    {
+        return part.wall > 0 ? legacy.wall / part.wall : 0.0;
+    }
+};
 
 /** Splice "pdes_speedup": {...} into @p path (see bench_event_queue). */
 bool
@@ -128,6 +177,49 @@ mergeJson(const std::string &path, const std::string &member)
     return true;
 }
 
+bool
+writePdesJson(const std::string &path, const std::vector<Row> &rows,
+              unsigned cores, std::uint32_t domains,
+              std::uint32_t threads, double scale)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema_version\": 1,\n"
+                 "  \"host_cores\": %u,\n"
+                 "  \"domains\": %u,\n"
+                 "  \"threads\": %u,\n"
+                 "  \"workload_scale\": %g,\n"
+                 "  \"configs\": [\n",
+                 cores, domains, threads, scale);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\n"
+            "      \"name\": \"%s\",\n"
+            "      \"legacy_wall_s\": %.6f,\n"
+            "      \"tagged_serial_wall_s\": %.6f,\n"
+            "      \"partitioned_wall_s\": %.6f,\n"
+            "      \"legacy_events_per_s\": %.0f,\n"
+            "      \"tagged_serial_events_per_s\": %.0f,\n"
+            "      \"partitioned_events_per_s\": %.0f,\n"
+            "      \"speedup_vs_tagged_serial\": %.3f,\n"
+            "      \"speedup_vs_legacy\": %.3f,\n"
+            "      \"identical_results\": %s\n"
+            "    }%s\n",
+            r.name.c_str(), r.legacy.wall, r.serial.wall, r.part.wall,
+            r.legacy.eps(), r.serial.eps(), r.part.eps(), r.vsSerial(),
+            r.vsLegacy(), r.identical ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
 } // namespace
 
 int
@@ -144,44 +236,49 @@ main(int argc, char **argv)
 
     const double scale = smoke ? 0.02 : envScale(0.4);
     const unsigned cores = std::thread::hardware_concurrency();
-    const std::uint32_t chiplets = SystemConfig::fbarreCfg(2).chiplets;
-    const std::uint32_t domains = chiplets + 1;
-    const std::uint32_t threads = std::min<std::uint32_t>(
-        ThreadPool::defaultWorkers(), domains);
 
-    std::fprintf(stderr,
-                 "pdes speedup bench: scale %.3g, %u domains, "
-                 "%u threads, %u host cores%s\n",
-                 scale, domains, threads, cores,
-                 smoke ? " (smoke)" : "");
+    std::vector<Row> rows;
+    bool all_identical = true;
+    std::uint32_t domains = 0, threads = 0;
+    for (const NamedConfig &nc : benchConfigs()) {
+        domains = nc.cfg.chiplets + 1;
+        threads = std::min<std::uint32_t>(ThreadPool::defaultWorkers(),
+                                          domains);
+        std::fprintf(stderr,
+                     "pdes speedup bench: %s, scale %.3g, %u domains, "
+                     "%u threads, %u host cores%s\n",
+                     nc.name.c_str(), scale, domains, threads, cores,
+                     smoke ? " (smoke)" : "");
 
-    const RunOut legacy = runOne(0, 0, scale);
-    const RunOut serial = runOne(1, 1, scale);
-    const RunOut part = runOne(domains, threads, scale);
+        Row r;
+        r.name = nc.name;
+        r.legacy = runOne(nc.cfg, 0, 0, scale);
+        r.serial = runOne(nc.cfg, 1, 1, scale);
+        r.part = runOne(nc.cfg, domains, threads, scale);
+        r.identical = r.serial.csv == r.part.csv &&
+                      r.serial.digests == r.part.digests;
+        if (!r.identical) {
+            all_identical = false;
+            std::fprintf(stderr,
+                         "ERROR: %s partitioned run differs from the "
+                         "tagged serial reference!\n",
+                         nc.name.c_str());
+        }
+        rows.push_back(std::move(r));
+    }
 
-    const bool identical =
-        serial.csv == part.csv && serial.digests == part.digests;
-    if (!identical)
-        std::fprintf(stderr, "ERROR: partitioned run differs from the "
-                             "tagged serial reference!\n");
-
-    const double vs_serial =
-        part.wall > 0 ? serial.wall / part.wall : 0.0;
-    const double vs_legacy =
-        part.wall > 0 ? legacy.wall / part.wall : 0.0;
-
-    std::printf("legacy serial  %.3fs  %.3g events/s\n"
-                "tagged serial  %.3fs  %.3g events/s\n"
-                "partitioned    %.3fs  %.3g events/s "
-                "(%u domains, %u threads)\n"
-                "speedup        %.2fx vs tagged serial, "
-                "%.2fx vs legacy\n"
-                "identity       %s\n",
-                legacy.wall, legacy.eps(), serial.wall, serial.eps(),
-                part.wall, part.eps(), domains, threads, vs_serial,
-                vs_legacy, identical ? "bitwise" : "BROKEN");
+    TextTable table({"config", "legacy-s", "tagged-s", "part-s",
+                     "vs-tagged", "vs-legacy", "identity"});
+    for (const Row &r : rows) {
+        table.addRow({r.name, fmt(r.legacy.wall, 3),
+                      fmt(r.serial.wall, 3), fmt(r.part.wall, 3),
+                      fmt(r.vsSerial()), fmt(r.vsLegacy()),
+                      r.identical ? "bitwise" : "BROKEN"});
+    }
+    table.print("PDES speedup per partitionable config");
 
     if (!smoke) {
+        const Row &flag = rows.front(); // fbarre: the trajectory row
         char member[640];
         std::snprintf(member, sizeof member,
                       "{\n"
@@ -199,14 +296,20 @@ main(int argc, char **argv)
                       "    \"speedup_vs_legacy\": %.3f,\n"
                       "    \"identical_results\": %s\n"
                       "  }",
-                      cores, domains, threads, scale, legacy.wall,
-                      serial.wall, part.wall, legacy.eps(),
-                      serial.eps(), part.eps(), vs_serial, vs_legacy,
-                      identical ? "true" : "false");
+                      cores, domains, threads, scale, flag.legacy.wall,
+                      flag.serial.wall, flag.part.wall,
+                      flag.legacy.eps(), flag.serial.eps(),
+                      flag.part.eps(), flag.vsSerial(), flag.vsLegacy(),
+                      flag.identical ? "true" : "false");
         if (!mergeJson(out_path, member))
             std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
         else
             std::printf("wrote %s\n", out_path.c_str());
+        if (!writePdesJson("BENCH_pdes.json", rows, cores, domains,
+                           threads, scale))
+            std::fprintf(stderr, "cannot write BENCH_pdes.json\n");
+        else
+            std::printf("wrote BENCH_pdes.json\n");
     }
-    return identical ? 0 : 1;
+    return all_identical ? 0 : 1;
 }

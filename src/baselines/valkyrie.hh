@@ -6,11 +6,19 @@
  * sibling_l1_probe) plus an L2 TLB next-page prefetcher, modeled here:
  * on every demand L2 miss, the service also requests vpn+1..vpn+degree
  * from the IOMMU and fills the L2 TLB when the responses return.
+ *
+ * Partitionable by construction: all mutable prefetcher state (stride
+ * window, pending set, in-flight credit, counters) is sharded per
+ * chiplet and owned by that chiplet's tag, so translate() runs
+ * entirely inside the requester's domain. IOMMU pressure is throttled
+ * with a local credit counter — each chiplet tracks its own
+ * outstanding ATS requests instead of synchronously reading the
+ * host-owned queue occupancy (which a real chiplet could not do
+ * either; the credit counter is what the PCIe endpoint would keep).
  */
 
 #pragma once
 
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -25,57 +33,83 @@ struct ValkyrieParams
 {
     bool prefetch = true;
     std::uint32_t prefetch_degree = 1;
-    /** Skip prefetching when this many translations are in flight. */
+    /**
+     * Skip prefetching when this many of the chiplet's own
+     * translations are in flight (local ATS credit counter).
+     */
     std::uint32_t pressure_limit = 24;
 
     bool operator==(const ValkyrieParams &) const = default;
 };
 
-// domain-owner:host — the prefetcher's stride/pending state is one
-// shared structure today, mutated directly from every chiplet's miss
-// stream; that synchronous sharing is what keeps valkyrie off the
-// partitionable set (see the domain_audit golden).
-class ValkyrieService : public TranslationService, public DomainOwned
+// domain-owner:shared — the service object is entered from every
+// chiplet's context; every mutable member is per-chiplet state bound
+// to that chiplet's tag in bindDomains().
+class ValkyrieService : public TranslationService
 {
   public:
     ValkyrieService(Iommu &iommu, const ValkyrieParams &params,
                     std::uint32_t chiplets)
-        : iommu_(iommu), params_(params), l2_tlbs_(chiplets, nullptr)
+        : iommu_(iommu), params_(params), l2_tlbs_(chiplets, nullptr),
+          chips_(chiplets)
     {}
 
     void attachL2Tlb(ChipletId c, Tlb *tlb) { l2_tlbs_[c] = tlb; }
+
+    /** Bind each chiplet's prefetcher shard to its tag. */
+    void
+    bindDomains(DomainGuard *guard)
+    {
+        for (std::size_t c = 0; c < chips_.size(); ++c) {
+            chips_[c].bindDomain(guard,
+                                 chipletTag(static_cast<ChipletId>(c)),
+                                 "valkyrie.chip" + std::to_string(c));
+        }
+    }
 
     void
     translate(ProcessId pid, Vpn vpn, ChipletId src,
               Iommu::ResponseHandler done) override
     {
-        domainCheck("translate");
-        iommu_.sendAts(pid, vpn, src, std::move(done));
-        if (!params_.prefetch)
+        PerChiplet &ch = chips_[src];
+        ch.domainCheck("translate");
+        if (!params_.prefetch) {
+            iommu_.sendAts(pid, vpn, src, std::move(done));
             return;
+        }
+        ++ch.in_flight;
+        iommu_.sendAts(pid, vpn, src,
+                       [this, src, done = std::move(done)](
+                           const AtsResponse &resp) mutable {
+                           --chips_[src].in_flight;
+                           done(resp);
+                       });
         // Stride gate: only prefetch when the chiplet's miss stream
         // looks sequential (vpn-1 missed recently); blind next-page
         // prefetching would flood the PTWs.
-        bool streaming = recent_[src].contains(
-            (std::uint64_t{pid} << 52) ^ (vpn - 1));
-        noteRecent(src, pid, vpn);
+        bool streaming =
+            ch.recent.contains((std::uint64_t{pid} << 52) ^ (vpn - 1));
+        noteRecent(ch, pid, vpn);
         if (!streaming)
             return;
-        // Don't add prefetch load to an already-saturated IOMMU.
-        if (iommu_.pendingTranslations() >= params_.pressure_limit)
+        // Don't add prefetch load when this chiplet already has many
+        // translations outstanding.
+        if (ch.in_flight >= params_.pressure_limit)
             return;
         for (std::uint32_t d = 1; d <= params_.prefetch_degree; ++d) {
             Vpn pv = vpn + d;
-            std::uint64_t key = (std::uint64_t{pid} << 52) ^
-                                (std::uint64_t{src} << 44) ^ pv;
-            if (l2_tlbs_[src]->peek(pid, pv) || pending_.contains(key))
+            std::uint64_t key = (std::uint64_t{pid} << 52) ^ pv;
+            if (l2_tlbs_[src]->peek(pid, pv) || ch.pending.contains(key))
                 continue;
-            pending_.insert(key);
-            ++prefetches_;
+            ch.pending.insert(key);
+            ++ch.prefetches;
+            ++ch.in_flight;
             iommu_.sendAts(pid, pv, src,
                            [this, pid, pv, src,
                             key](const AtsResponse &resp) {
-                               pending_.erase(key);
+                               PerChiplet &c2 = chips_[src];
+                               --c2.in_flight;
+                               c2.pending.erase(key);
                                if (resp.pfn == invalid_pfn)
                                    return;
                                TlbEntry te;
@@ -85,44 +119,66 @@ class ValkyrieService : public TranslationService, public DomainOwned
                                te.coal = resp.coal;
                                te.valid = true;
                                l2_tlbs_[src]->insert(te);
-                               ++prefetch_fills_;
+                               ++c2.prefetch_fills;
                            });
         }
     }
 
-    std::uint64_t prefetches() const { return prefetches_.value(); }
-    std::uint64_t prefetchFills() const { return prefetch_fills_.value(); }
+    std::uint64_t
+    prefetches() const
+    {
+        std::uint64_t n = 0;
+        for (const PerChiplet &ch : chips_)
+            n += ch.prefetches.value();
+        return n;
+    }
+
+    std::uint64_t
+    prefetchFills() const
+    {
+        std::uint64_t n = 0;
+        for (const PerChiplet &ch : chips_)
+            n += ch.prefetch_fills.value();
+        return n;
+    }
 
   private:
-    /** Sliding window of recent miss VPNs per chiplet (stride gate). */
-    void
-    noteRecent(ChipletId src, ProcessId pid, Vpn vpn)
+    /**
+     * One chiplet's prefetcher shard; only ever touched from its
+     * owner's execution context (responses deliver at the chiplet).
+     */
+    struct alignas(64) PerChiplet : DomainOwned
     {
-        auto &window = recent_order_[src];
-        auto &set = recent_[src];
+        std::unordered_set<std::uint64_t> recent;
+        std::vector<std::uint64_t> recent_order;
+        std::unordered_set<std::uint64_t> pending;
+        /** Outstanding ATS requests (demand + prefetch). */
+        std::uint32_t in_flight = 0;
+        Counter prefetches;
+        Counter prefetch_fills;
+    };
+
+    /** Sliding window of recent miss VPNs (stride gate). */
+    void
+    noteRecent(PerChiplet &ch, ProcessId pid, Vpn vpn)
+    {
         std::uint64_t key = (std::uint64_t{pid} << 52) ^ vpn;
-        if (set.insert(key).second) {
-            window.push_back(key);
-            if (window.size() > 64) {
-                set.erase(window.front());
-                window.erase(window.begin());
+        if (ch.recent.insert(key).second) {
+            ch.recent_order.push_back(key);
+            if (ch.recent_order.size() > 64) {
+                ch.recent.erase(ch.recent_order.front());
+                ch.recent_order.erase(ch.recent_order.begin());
             }
         }
     }
 
     Iommu &iommu_;
     ValkyrieParams params_;
-    // domain-owner:chiplet domain-cross:sync — direct peeks/inserts
-    // into chiplet-owned L2 TLBs; needs a message path to partition.
+    // domain-owner:chiplet domain-cross:message — indexed only by the
+    // executing chiplet (l2_tlbs_[src]); fills arrive via the IOMMU
+    // response path, which delivers under src's tag.
     std::vector<Tlb *> l2_tlbs_;
-    std::unordered_set<std::uint64_t> pending_;
-    std::unordered_map<ChipletId, std::unordered_set<std::uint64_t>>
-        recent_;
-    std::unordered_map<ChipletId, std::vector<std::uint64_t>>
-        recent_order_;
-    Counter prefetches_;
-    Counter prefetch_fills_;
+    std::vector<PerChiplet> chips_;
 };
 
 } // namespace barre
-

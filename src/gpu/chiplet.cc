@@ -32,10 +32,14 @@ Chiplet::Chiplet(EventQueue &eq, std::string name, ChipletId id,
 }
 
 void
-Chiplet::shareL2Tlb(Tlb *shared, Mshr<TlbEntry> *shared_mshr)
+Chiplet::connectSharedTlb(SharedTlbService *svc)
 {
-    l2_tlb_ = shared;
-    l2_mshr_ = shared_mshr;
+    shared_svc_ = svc;
+    // Keep l2Tlb() pointing at the shared structure for test peeks and
+    // shootdowns; the access pipeline itself goes through the service's
+    // request/response links, never through this pointer.
+    l2_tlb_ = &svc->tlb();
+    l2_mshr_ = nullptr;
     owned_l2_tlb_.reset();
     owned_l2_mshr_.reset();
 }
@@ -84,6 +88,19 @@ void
 Chiplet::translateAtL2(CuId cu, ProcessId pid, Addr vaddr, Vpn vpn,
                        EventQueue::Callback done)
 {
+    if (shared_svc_) {
+        // The package-shared block serves the whole L2 stage (lookup,
+        // MSHRs, parking, fill) on the host side; the continuation
+        // fires back here with the entry once its response arrives.
+        shared_svc_->lookupFrom(
+            id_, pid, vpn,
+            [this, cu, pid, vaddr,
+             done = std::move(done)](const TlbEntry &te) mutable {
+                l1_tlbs_[cu]->insert(te);
+                dataAccess(cu, pid, vaddr, te, std::move(done));
+            });
+        return;
+    }
     after(l2_tlb_->params().lookup_latency,
           [this, cu, pid, vaddr, vpn, done = std::move(done)]() mutable {
               if (auto te = l2_tlb_->lookup(pid, vpn)) {
@@ -189,19 +206,6 @@ Chiplet::dataAccess(CuId cu, ProcessId pid, Addr vaddr, const TlbEntry &te,
 
 void
 Chiplet::unparkWaiters()
-{
-    unparkLocalWaiters();
-    // A shared MSHR file (owned_l2_mshr_ empty) serves every chiplet:
-    // the freed slot may unblock a peer's parked request.
-    if (!owned_l2_mshr_) {
-        for (Chiplet *peer : peers_)
-            if (peer != this)
-                peer->unparkLocalWaiters();
-    }
-}
-
-void
-Chiplet::unparkLocalWaiters()
 {
     // An MSHR completion freed a slot; release parked requests. They
     // re-run the L2 stage (and may hit now, merge, or re-park).

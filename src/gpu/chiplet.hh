@@ -19,6 +19,7 @@
 
 #include "cache/cache.hh"
 #include "driver/migration.hh"
+#include "gpu/shared_tlb.hh"
 #include "gpu/translation_service.hh"
 #include "mem/dram.hh"
 #include "mem/memory_map.hh"
@@ -73,8 +74,8 @@ class Chiplet : public SimObject
             l1_caches_[cu]->bindDomain(
                 guard, tag, name() + ".l1c" + std::to_string(cu));
         }
-        // The shared-L2 hypothetical binds the one shared TLB/MSHR pair
-        // to the host tag in System::setupDomainGuard() instead.
+        // The shared-L2 hypothetical binds its TLB/MSHR to the host
+        // tag in SharedTlbService::bindDomains() instead.
         if (owned_l2_tlb_)
             owned_l2_tlb_->bindDomain(guard, tag, name() + ".l2tlb");
         if (owned_l2_mshr_)
@@ -94,8 +95,13 @@ class Chiplet : public SimObject
         InlineFn<void(ProcessId, Vpn, Pfn, bool calculated)>;
     void setValidator(TranslationValidator v) { validator_ = std::move(v); }
     void setMigrator(AcudMigrator *m) { migrator_ = m; }
-    /** Share one L2 TLB across chiplets (the Fig 5/6 hypothetical). */
-    void shareL2Tlb(Tlb *shared, Mshr<TlbEntry> *shared_mshr);
+    /**
+     * Route L2-TLB traffic to the package-shared service (the Fig 5/6
+     * hypothetical). Translation requests travel over the service's
+     * per-chiplet request/response links instead of touching a local
+     * L2 TLB/MSHR; this chiplet's owned structures are dropped.
+     */
+    void connectSharedTlb(SharedTlbService *svc);
     /** Register the peer chiplets for remote data access. */
     void setPeers(std::vector<Chiplet *> peers);
 
@@ -125,6 +131,12 @@ class Chiplet : public SimObject
             return;
         if (service_)
             service_->onResponse(id_, resp);
+        if (shared_svc_) {
+            // The fill crosses to the host-owned shared block as a
+            // message; the insert happens there.
+            shared_svc_->unsolicitedFillFrom(id_, resp);
+            return;
+        }
         TlbEntry te;
         te.pid = resp.pid;
         te.vpn = resp.vpn;
@@ -142,7 +154,13 @@ class Chiplet : public SimObject
     /// @name Statistics
     /// @{
     /** Demand misses (no retry double counting) - the MPKI numerator. */
-    std::uint64_t l2TlbMisses() const { return l2_demand_misses_.value(); }
+    std::uint64_t
+    l2TlbMisses() const
+    {
+        // The shared block counts per requester on the host side.
+        return shared_svc_ ? shared_svc_->demandMisses(id_)
+                           : l2_demand_misses_.value();
+    }
     std::uint64_t l2TlbAccesses() const
     {
         return l2_demand_accesses_.value();
@@ -154,7 +172,12 @@ class Chiplet : public SimObject
     std::uint64_t siblingProbeHits() const { return sibling_hits_.value(); }
     std::uint64_t remoteDataAccesses() const { return remote_data_.value(); }
     std::uint64_t localDataAccesses() const { return local_data_.value(); }
-    std::uint64_t mshrRetries() const { return mshr_retries_.value(); }
+    std::uint64_t
+    mshrRetries() const
+    {
+        return shared_svc_ ? shared_svc_->mshrRetries(id_)
+                           : mshr_retries_.value();
+    }
     Dram &dram() { return *dram_; }
     /// @}
 
@@ -170,13 +193,8 @@ class Chiplet : public SimObject
 
     void translateAtL2(CuId cu, ProcessId pid, Addr vaddr, Vpn vpn,
                        EventQueue::Callback done);
-    /**
-     * Release requests parked on a full MSHR file. With the shared-TLB
-     * hypothetical the MSHR file is shared too, so a completion on any
-     * chiplet must release every chiplet's parked requests.
-     */
+    /** Release requests parked on this chiplet's full MSHR file. */
     void unparkWaiters();
-    void unparkLocalWaiters();
     void dataAccess(CuId cu, ProcessId pid, Addr vaddr,
                     const TlbEntry &te, EventQueue::Callback done);
 
@@ -190,9 +208,12 @@ class Chiplet : public SimObject
     const MemoryMap &map_;
     Interconnect &noc_;
     TranslationService *service_ = nullptr;
-    // domain-cross:sync — access tracking pokes the host-owned
-    // migrator from the data path; why migration runs serial-only.
+    // domain-cross:message — recordAccess() runs on the migrator's
+    // per-chiplet shard; migration requests/shootdowns ride PCIe.
     AcudMigrator *migrator_ = nullptr;
+    // domain-cross:message — reached only through its per-chiplet
+    // request/response links.
+    SharedTlbService *shared_svc_ = nullptr;
     TranslationValidator validator_;
     std::vector<Chiplet *> peers_;
 

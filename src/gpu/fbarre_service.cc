@@ -151,8 +151,13 @@ FBarreService::translate(ProcessId pid, Vpn vpn, ChipletId src,
                     auto reply = [done = std::move(done),
                                   r = std::move(*resp)]() { done(r); };
                     if (params_.oracle_sharing) {
-                        after(peer_lat + params_.oracle_latency,
-                              std::move(reply));
+                        // Fixed-latency hop back to the requester; runs
+                        // under src's tag so the continuation fills
+                        // src's TLBs in its own context.
+                        eventQueue().scheduleCross(
+                            chipletTag(src),
+                            curTick() + peer_lat + params_.oracle_latency,
+                            std::move(reply));
                     } else {
                         after(peer_lat, [this, p, src,
                                          reply = std::move(reply)]() mutable {
@@ -169,8 +174,10 @@ FBarreService::translate(ProcessId pid, Vpn vpn, ChipletId src,
                     fallback_.translate(pid, vpn, src, std::move(done));
                 };
                 if (params_.oracle_sharing) {
-                    after(peer_lat + params_.oracle_latency,
-                          std::move(fall));
+                    eventQueue().scheduleCross(
+                        chipletTag(src),
+                        curTick() + peer_lat + params_.oracle_latency,
+                        std::move(fall));
                 } else {
                     after(peer_lat, [this, p, src,
                                      fall = std::move(fall)]() mutable {
@@ -180,8 +187,15 @@ FBarreService::translate(ProcessId pid, Vpn vpn, ChipletId src,
                 }
             };
             if (params_.oracle_sharing) {
-                after(local_lat + params_.oracle_latency,
-                      std::move(at_peer));
+                // The oracle models a fixed-latency query with no NoC
+                // resource usage, but the peek still executes the
+                // peer's LCF/PEC/TLB — deliver it under the peer's tag
+                // like a message would. local_lat >= lcf_latency >= 1
+                // keeps the arrival past any oracle-bounded lookahead.
+                eventQueue().scheduleCross(
+                    chipletTag(p),
+                    curTick() + local_lat + params_.oracle_latency,
+                    std::move(at_peer));
             } else {
                 noc_.send(src, p, params_.probe_bytes, std::move(at_peer));
             }
@@ -223,7 +237,14 @@ FBarreService::sendFilterUpdates(ChipletId from, ChipletId to, bool add,
                           engines_[to]->auditRcfMembership());
     };
     if (params_.oracle_sharing) {
-        after(params_.oracle_latency, std::move(apply));
+        // Apply under the receiving chiplet's tag: the RCF being
+        // updated is @p to 's state. The bare oracle_latency delay is
+        // the tightest cross-domain arrival this mode produces, so the
+        // partition's lookahead is capped at oracle_latency when
+        // oracle sharing is on (System::setupPartition).
+        eventQueue().scheduleCross(chipletTag(to),
+                                   curTick() + params_.oracle_latency,
+                                   std::move(apply));
         return;
     }
     // One message carries all the 43-bit updates of this TLB event.

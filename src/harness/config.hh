@@ -62,6 +62,8 @@ struct SystemConfig
 
     /** The Fig 5/6 hypothetical package-shared L2 TLB (4x entries). */
     bool shared_l2_tlb = false;
+    /** Link/sizing parameters for the shared-TLB service block. */
+    SharedTlbParams shared_tlb{};
 
     /** Workload sizing multiplier for quick tests. */
     double workload_scale = 1.0;
@@ -87,10 +89,11 @@ struct SystemConfig
      * partition-independent event ordering — the reference the
      * multi-domain runs are proven bitwise-identical to); >= 2 gives
      * the host its own domain and round-robins chiplets over the rest.
-     * Clamped to chiplets + 1. Configurations whose components reach
-     * across chiplet boundaries synchronously (valkyrie/least modes,
-     * the shared L2 TLB, migration, demand paging, oracle sharing)
-     * fall back to the serial queue with a warning.
+     * Clamped to chiplets + 1. The few configurations whose components
+     * still reach across chiplet boundaries synchronously (demand
+     * paging, and exotic combinations layered on the shared L2 TLB —
+     * see System::partitionBlocker) fall back to the serial queue with
+     * a warning; everything else partitions.
      */
     std::uint32_t sim_domains = 0;
 

@@ -185,6 +185,18 @@ runMany(const std::vector<NamedConfig> &cfgs,
         cache = loadCostCache(cache_path);
 
     const std::size_t n = cfgs.size() * apps.size();
+
+    // A sweep with fewer cells than workers leaves cores idle; hand
+    // each cell's partitioned scheduler an equal share of the
+    // leftovers. The domain scheduler's thread count never affects
+    // results (harness/domain_scheduler.hh), only wall time, so the
+    // sweep stays bitwise identical to the serial path. Explicit
+    // sim_threads requests are left alone.
+    const unsigned eff_jobs =
+        jobs != 0 ? jobs : ThreadPool::defaultWorkers();
+    const unsigned spare_threads =
+        n > 0 && eff_jobs > n ? static_cast<unsigned>(eff_jobs / n) : 1;
+
     std::vector<std::function<RunMetrics()>> sims;
     std::vector<double> hints;
     std::vector<double> walls(n, 0.0);
@@ -192,7 +204,12 @@ runMany(const std::vector<NamedConfig> &cfgs,
     hints.reserve(n);
     for (const auto &nc : cfgs) {
         // One frozen handle per column; all of its cells share it.
-        SystemConfigHandle frozen = freezeConfig(nc.cfg);
+        SystemConfig col_cfg = nc.cfg;
+        if (spare_threads > 1 && col_cfg.sim_domains > 0 &&
+            col_cfg.sim_threads == 0) {
+            col_cfg.sim_threads = spare_threads;
+        }
+        SystemConfigHandle frozen = freezeConfig(std::move(col_cfg));
         for (const auto &app : apps) {
             std::size_t i = sims.size();
             bool timed = cache_path != nullptr;

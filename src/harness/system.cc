@@ -56,17 +56,21 @@ System::System(SystemConfigHandle cfg)
 
     if (cfg_.shared_l2_tlb) {
         // The Fig 5/6 hypothetical: one physical L2 TLB with 4x entries
-        // and bandwidth, same latency, no inter-chiplet hop.
+        // and bandwidth, owned by the host domain and reached over
+        // short per-chiplet request/response links.
         TlbParams tp = cfg_.chiplet.l2_tlb;
         tp.entries *= cfg_.chiplets;
         tp.mshrs *= cfg_.chiplets;
-        shared_l2_tlb_ = std::make_unique<Tlb>(tp);
-        shared_l2_mshr_ = std::make_unique<Mshr<TlbEntry>>(tp.mshrs);
+        shared_tlb_svc_ = std::make_unique<SharedTlbService>(
+            eq_, "shared", cfg_.shared_tlb, tp, cfg_.chiplets,
+            cfg_.chiplet.retry_interval);
         for (auto &c : chiplets_)
-            c->shareL2Tlb(shared_l2_tlb_.get(), shared_l2_mshr_.get());
+            c->connectSharedTlb(shared_tlb_svc_.get());
     }
 
     buildService();
+    if (shared_tlb_svc_)
+        shared_tlb_svc_->setService(active_service_);
 
     if (cfg_.driver.demand_paging) {
         barre_assert(!cfg_.use_gmmu,
@@ -83,35 +87,41 @@ System::System(SystemConfigHandle cfg)
     }
 
     if (cfg_.migration.enabled) {
-        migrator_ = std::make_unique<AcudMigrator>(*driver_,
-                                                   cfg_.migration);
+        migrator_ = std::make_unique<AcudMigrator>(
+            eq_, "migrator", *driver_, *pcie_, cfg_.chiplets,
+            cfg_.migration);
         migrator_->setInterconnect(noc_.get());
+        // Each chiplet invalidates its own translations when its copy
+        // of the shootdown broadcast arrives.
         migrator_->setInvalidateHook(
-            [this](ProcessId pid, const std::vector<Vpn> &vpns) {
-                for (auto &c : chiplets_)
-                    c->shootdownVpns(pid, vpns);
+            [this](ChipletId c, ProcessId pid,
+                   const std::vector<Vpn> &vpns) {
+                chiplets_[c]->shootdownVpns(pid, vpns);
             });
         for (auto &c : chiplets_)
             c->setMigrator(migrator_.get());
     }
 
     if (cfg_.validate_translations && !cfg_.migration.enabled) {
-        for (auto &c : chiplets_) {
-            c->setValidator([this](ProcessId pid, Vpn vpn, Pfn pfn,
-                                   bool calculated) {
-                auto pte = driver_->pageTable(pid).walk(vpn);
-                barre_assert(pte.has_value(),
-                             "translation for unmapped vpn 0x%llx",
-                             (unsigned long long)vpn);
-                barre_assert(pte->pfn() == pfn,
-                             "%s translation wrong for vpn 0x%llx: "
-                             "got 0x%llx want 0x%llx",
-                             calculated ? "calculated" : "walked",
-                             (unsigned long long)vpn,
-                             (unsigned long long)pfn,
-                             (unsigned long long)pte->pfn());
-            });
-        }
+        auto check = [this](ProcessId pid, Vpn vpn, Pfn pfn,
+                            bool calculated) {
+            auto pte = driver_->pageTable(pid).walk(vpn);
+            barre_assert(pte.has_value(),
+                         "translation for unmapped vpn 0x%llx",
+                         (unsigned long long)vpn);
+            barre_assert(pte->pfn() == pfn,
+                         "%s translation wrong for vpn 0x%llx: "
+                         "got 0x%llx want 0x%llx",
+                         calculated ? "calculated" : "walked",
+                         (unsigned long long)vpn,
+                         (unsigned long long)pfn,
+                         (unsigned long long)pte->pfn());
+        };
+        for (auto &c : chiplets_)
+            c->setValidator(check);
+        // With the shared L2 TLB the fills complete host-side.
+        if (shared_tlb_svc_)
+            shared_tlb_svc_->setValidator(check);
     }
 
     cus_.resize(cfg_.chiplets);
@@ -184,18 +194,18 @@ System::partitionBlocker(const SystemConfig &cfg)
     // Anything that reaches across a chiplet (or chiplet/host) boundary
     // synchronously — without going through a latency-bearing link —
     // would be racy and non-deterministic under partitioned execution.
-    if (cfg.mode == TranslationMode::valkyrie)
-        return "valkyrie's synchronous inter-chiplet L1 probing";
-    if (cfg.mode == TranslationMode::least)
-        return "least's synchronous inter-chiplet L2 sharing";
-    if (cfg.shared_l2_tlb)
-        return "the package-shared L2 TLB";
-    if (cfg.migration.enabled)
-        return "migration's synchronous cross-chiplet shootdowns";
+    // Valkyrie, least, the shared L2 TLB, migration, and the F-Barre
+    // oracle all cross over message paths now; only the combinations
+    // below still touch remote state synchronously.
     if (cfg.driver.demand_paging)
         return "demand paging's driver page-table mutation";
-    if (cfg.mode == TranslationMode::fbarre && cfg.fbarre.oracle_sharing)
-        return "the F-Barre oracle-sharing model";
+    if (cfg.shared_l2_tlb && cfg.mode != TranslationMode::baseline &&
+        cfg.mode != TranslationMode::barre)
+        return "a TLB-sharing service layered on the shared L2 TLB";
+    if (cfg.shared_l2_tlb && cfg.migration.enabled)
+        return "migration shootdowns into the host-owned shared L2 TLB";
+    if (cfg.migration.enabled && cfg.use_gmmu)
+        return "migration's PTE surgery under GMMU-side walks";
     return nullptr;
 }
 
@@ -224,15 +234,30 @@ System::setupPartition()
             tag_domain[chipletTag(c)] = 1 + c % (domains - 1);
     }
 
-    // Conservative lookahead: minimum over all links that can carry a
-    // cross-domain message of (1 serialization cycle + latency). PCIe
-    // crosses whenever the host is split off; the NoC only crosses once
-    // chiplets land in at least two distinct domains.
+    // Conservative lookahead: the true minimum over every link that
+    // can carry a cross-domain message of (1 serialization cycle +
+    // latency). PCIe and the shared-TLB links cross whenever the host
+    // is split off; the NoC and the oracle's cross-chiplet updates only
+    // cross once chiplets land in at least two distinct domains.
     Tick lookahead = max_tick;
-    if (domains >= 2)
+    if (domains >= 2) {
         lookahead = std::min<Tick>(lookahead, 1 + cfg_.pcie.latency);
-    if (domains >= 3 && cfg_.chiplets >= 2)
+        if (cfg_.shared_l2_tlb) {
+            lookahead = std::min<Tick>(lookahead,
+                                       1 + cfg_.shared_tlb.latency);
+        }
+    }
+    if (domains >= 3 && cfg_.chiplets >= 2) {
         lookahead = std::min<Tick>(lookahead, 1 + cfg_.noc.latency);
+        if (cfg_.mode == TranslationMode::fbarre &&
+            cfg_.fbarre.oracle_sharing) {
+            // Oracle filter updates are scheduled across chiplets at
+            // exactly oracle_latency — no serialization cycle — so the
+            // epoch cannot reach past that.
+            lookahead = std::min<Tick>(lookahead,
+                                       cfg_.fbarre.oracle_latency);
+        }
+    }
     if (lookahead == max_tick)
         lookahead = 1; // one domain: the single epoch is unbounded
 
@@ -252,22 +277,18 @@ System::setupDomainGuard()
     DomainGuard *g = &guard_;
     for (auto &c : chiplets_)
         c->bindDomains(g);
-    if (shared_l2_tlb_) {
-        // The shared-TLB hypothetical: one physical structure hit from
-        // every chiplet — host-owned so each touch shows up.
-        shared_l2_tlb_->bindDomain(g, kHostTag, "shared.l2tlb");
-        shared_l2_mshr_->bindDomain(g, kHostTag, "shared.l2mshr");
-    }
+    if (shared_tlb_svc_)
+        shared_tlb_svc_->bindDomains(g);
     iommu_->bindDomainTree(g);
     driver_->bindDomainTree(g);
     if (gmmu_)
         gmmu_->bindDomains(g);
     if (migrator_)
-        migrator_->bindDomain(g, kHostTag, "migrator");
+        migrator_->bindDomains(g);
     if (valkyrie_)
-        valkyrie_->bindDomain(g, kHostTag, "valkyrie");
+        valkyrie_->bindDomains(g);
     if (least_)
-        least_->bindDomain(g, kHostTag, "least");
+        least_->bindDomains(g);
     if (fbarre_)
         fbarre_->bindDomains(g);
 }
@@ -391,6 +412,14 @@ System::dumpStats(std::ostream &os) const
     if (migrator_) {
         os << "migration.count " << migrator_->migrations() << "\n";
         os << "migration.bytes " << migrator_->migratedBytes() << "\n";
+        os << "migration.requests " << migrator_->migrationRequests()
+           << "\n";
+        os << "migration.shootdown_rounds "
+           << migrator_->shootdownRounds() << "\n";
+        os << "migration.shootdown_acks " << migrator_->shootdownAcks()
+           << "\n";
+        os << "migration.avg_round_cycles "
+           << migrator_->roundLatency().mean() << "\n";
     }
 }
 

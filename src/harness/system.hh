@@ -74,8 +74,14 @@ class System
     GmmuSystem *gmmu() { return gmmu_.get(); }
     Chiplet &chiplet(ChipletId c) { return *chiplets_[c]; }
     FBarreService *fbarre() { return fbarre_.get(); }
+    AcudMigrator *migrator() { return migrator_.get(); }
+    SharedTlbService *sharedTlb() { return shared_tlb_svc_.get(); }
     const SystemConfig &config() const { return cfg_; }
     const MemoryMap &memoryMap() const { return *map_; }
+    /** Whether this run executes partitioned (tagged engine active). */
+    bool partitioned() const { return pdes_.on; }
+    /** The epoch lookahead the partition plan computed (1 when off). */
+    Tick pdesLookahead() const { return pdes_.lookahead; }
     /// @}
 
   private:
@@ -105,8 +111,7 @@ class System
     std::vector<std::vector<std::unique_ptr<Cu>>> cus_;
     std::vector<std::uint32_t> next_cu_; ///< round-robin CTA placement
 
-    std::unique_ptr<Tlb> shared_l2_tlb_;
-    std::unique_ptr<Mshr<TlbEntry>> shared_l2_mshr_;
+    std::unique_ptr<SharedTlbService> shared_tlb_svc_;
 
     std::unique_ptr<AtsService> ats_service_;
     std::unique_ptr<GmmuService> gmmu_service_;

@@ -134,8 +134,11 @@ TEST(Least, RemoteHitFetchesFromPeerTlb)
                      LeastParams{});
     for (int c = 0; c < 4; ++c)
         svc.attachL2Tlb(c, rig.tlbs[c].get());
-    // Peer 2 holds the translation.
+    // Peer 2 holds the translation; its insert broadcast must land in
+    // chiplet 0's tracker replica before the miss consults it.
     rig.tlbs[2]->insert(entryFor(rig, rig.alloc.start_vpn));
+    svc.onL2Insert(2, entryFor(rig, rig.alloc.start_vpn));
+    rig.eq.run();
 
     Pfn pfn = invalid_pfn;
     svc.translate(1, rig.alloc.start_vpn, 0,
@@ -173,10 +176,12 @@ TEST(Least, RacedEvictionNacksToAts)
     for (int c = 0; c < 4; ++c)
         svc.attachL2Tlb(c, rig.tlbs[c].get());
     rig.tlbs[2]->insert(entryFor(rig, rig.alloc.start_vpn));
+    svc.onL2Insert(2, entryFor(rig, rig.alloc.start_vpn));
+    rig.eq.run();
     int done = 0;
     svc.translate(1, rig.alloc.start_vpn, 0,
                   [&](const AtsResponse &) { ++done; });
-    // Evict before the probe lands.
+    // Evict before the probe lands; the tracker replica goes stale.
     rig.tlbs[2]->invalidate(1, rig.alloc.start_vpn);
     rig.eq.run();
     EXPECT_EQ(done, 1);
@@ -193,6 +198,9 @@ TEST(Least, EvictionSpillsToNextChiplet)
         svc.attachL2Tlb(c, rig.tlbs[c].get());
     TlbEntry te = entryFor(rig, rig.alloc.start_vpn);
     svc.onL2Evict(0, te);
+    // The spill travels over the interconnect now.
+    EXPECT_EQ(svc.spills(), 0u);
+    rig.eq.run();
     EXPECT_EQ(svc.spills(), 1u);
     EXPECT_TRUE(rig.tlbs[1]->peek(1, rig.alloc.start_vpn).has_value());
 }

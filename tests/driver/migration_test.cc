@@ -1,11 +1,13 @@
 /**
  * @file
- * Unit tests for the ACUD counter-based migration engine (§VII-G).
+ * Unit tests for the ACUD counter-based migration engine (§VII-G),
+ * now an asynchronous request/shootdown/ack protocol over PCIe.
  */
 
 #include <gtest/gtest.h>
 
 #include "driver/migration.hh"
+#include "sim/event_queue.hh"
 
 using namespace barre;
 
@@ -14,19 +16,28 @@ namespace
 
 struct Rig
 {
+    EventQueue eq;
     MemoryMap map{4, 0x1000};
     GpuDriver drv;
+    Pcie pcie;
     MigrationParams params;
 
     explicit Rig(std::uint32_t threshold = 4)
         : drv(map,
-              DriverParams{MappingPolicyKind::lasp, true, 1, 0.0, 7})
+              DriverParams{MappingPolicyKind::lasp, true, 1, 0.0, 7}),
+          pcie(eq, "pcie", PcieParams{})
     {
         params.enabled = true;
         params.threshold = threshold;
         params.copy_bytes_per_cycle = 1024.0;
         params.shootdown_cost = 100;
         params.page_bytes = 4096;
+    }
+
+    AcudMigrator
+    make()
+    {
+        return AcudMigrator(eq, "mig", drv, pcie, 4, params);
     }
 };
 
@@ -36,94 +47,183 @@ TEST(AcudMigrator, DisabledDoesNothing)
 {
     Rig rig;
     rig.params.enabled = false;
-    AcudMigrator mig(rig.drv, rig.params);
+    auto mig = rig.make();
     auto a = rig.drv.gpuMalloc(1, 12);
     for (int i = 0; i < 100; ++i)
         EXPECT_EQ(mig.recordAccess(i, 1, a.start_vpn, 3, 0), 0u);
+    rig.eq.run();
     EXPECT_EQ(mig.migrations(), 0u);
+    EXPECT_EQ(mig.migrationRequests(), 0u);
 }
 
 TEST(AcudMigrator, LocalAccessesNeverTrigger)
 {
     Rig rig(2);
-    AcudMigrator mig(rig.drv, rig.params);
+    auto mig = rig.make();
     auto a = rig.drv.gpuMalloc(1, 12);
     for (int i = 0; i < 100; ++i)
         mig.recordAccess(i, 1, a.start_vpn, 0, 0);
+    rig.eq.run();
     EXPECT_EQ(mig.migrations(), 0u);
 }
 
 TEST(AcudMigrator, RemoteAccessesTriggerAtThreshold)
 {
     Rig rig(4);
-    AcudMigrator mig(rig.drv, rig.params);
+    auto mig = rig.make();
     auto a = rig.drv.gpuMalloc(1, 12);
     Vpn v = a.start_vpn; // on chiplet 0
     for (int i = 0; i < 3; ++i)
         EXPECT_EQ(mig.recordAccess(i, 1, v, 2, 0), 0u);
     EXPECT_EQ(mig.migrations(), 0u);
-    Cycles stall = mig.recordAccess(10, 1, v, 2, 0);
+    // Crossing the threshold launches a request; the access itself is
+    // not stalled — the cost lands when the shootdown broadcast
+    // returns to this chiplet.
+    EXPECT_EQ(mig.recordAccess(10, 1, v, 2, 0), 0u);
+    EXPECT_EQ(mig.migrations(), 0u); // request still in flight
+    rig.eq.run();
     EXPECT_EQ(mig.migrations(), 1u);
-    EXPECT_GT(stall, 0u); // copy + shootdown
     EXPECT_EQ(rig.map.chipletOf(rig.drv.pageTable(1).walk(v)->pfn()),
               2u);
     EXPECT_EQ(mig.migratedBytes(), 4096u);
+    EXPECT_EQ(mig.migrationRequests(), 1u);
 }
 
-TEST(AcudMigrator, InvalidateHookReceivesStaleVpns)
+TEST(AcudMigrator, InvalidateHookReceivesStaleVpnsOnEveryChiplet)
 {
     Rig rig(1);
-    AcudMigrator mig(rig.drv, rig.params);
+    auto mig = rig.make();
     auto a = rig.drv.gpuMalloc(1, 12);
-    std::vector<Vpn> stale;
-    mig.setInvalidateHook(
-        [&](ProcessId, const std::vector<Vpn> &vpns) { stale = vpns; });
+    std::vector<std::vector<Vpn>> stale(4);
+    mig.setInvalidateHook([&](ChipletId c, ProcessId,
+                              const std::vector<Vpn> &vpns) {
+        stale[c] = vpns;
+    });
     mig.recordAccess(0, 1, a.start_vpn, 1, 0);
-    // The whole former group {s, s+3, s+6, s+9} is stale.
-    EXPECT_EQ(stale.size(), 4u);
+    rig.eq.run();
+    // The shootdown broadcast reaches every chiplet; the whole former
+    // group {s, s+3, s+6, s+9} is stale on each of them.
+    for (std::uint32_t c = 0; c < 4; ++c)
+        EXPECT_EQ(stale[c].size(), 4u) << "chiplet " << c;
 }
 
 TEST(AcudMigrator, AccessesDuringCopyStall)
 {
     Rig rig(1);
-    AcudMigrator mig(rig.drv, rig.params);
+    auto mig = rig.make();
     auto a = rig.drv.gpuMalloc(1, 12);
-    Cycles s1 = mig.recordAccess(0, 1, a.start_vpn, 1, 0);
-    EXPECT_GT(s1, 0u);
-    // A second access one tick later still sees most of the stall.
-    Cycles s2 = mig.recordAccess(1, 1, a.start_vpn, 1, 1);
-    EXPECT_GE(s2 + 1, s1 - 1);
+    EXPECT_EQ(mig.recordAccess(0, 1, a.start_vpn, 1, 0), 0u);
+    rig.eq.run();
+    EXPECT_EQ(mig.migrations(), 1u);
+    // Every chiplet froze for copy + shootdown_cost once its copy of
+    // the broadcast arrived.
+    Tick frozen = mig.frozenUntil(1);
+    EXPECT_GT(frozen, 0u);
+    // An access 10 cycles before the freeze lifts sees the remainder.
+    EXPECT_EQ(mig.recordAccess(frozen - 10, 1, a.start_vpn, 1, 1), 10u);
     // Long after the copy, no stall remains.
-    EXPECT_EQ(mig.recordAccess(1'000'000, 1, a.start_vpn, 1, 1), 0u);
+    EXPECT_EQ(mig.recordAccess(frozen + 1'000'000, 1, a.start_vpn, 1, 1),
+              0u);
 }
 
 TEST(AcudMigrator, CountersResetAfterMigration)
 {
     Rig rig(3);
-    AcudMigrator mig(rig.drv, rig.params);
+    auto mig = rig.make();
     auto a = rig.drv.gpuMalloc(1, 12);
     Vpn v = a.start_vpn;
     for (int i = 0; i < 3; ++i)
         mig.recordAccess(i, 1, v, 1, 0);
+    rig.eq.run();
     EXPECT_EQ(mig.migrations(), 1u);
-    // Two more remote accesses from chiplet 2 are below threshold.
-    mig.recordAccess(100000, 1, v, 2, 1);
-    mig.recordAccess(100001, 1, v, 2, 1);
+    // Two more remote accesses from chiplet 2 are below threshold (the
+    // shootdown wiped every shard's counter for the page).
+    mig.recordAccess(1'000'000, 1, v, 2, 1);
+    mig.recordAccess(1'000'001, 1, v, 2, 1);
+    rig.eq.run();
     EXPECT_EQ(mig.migrations(), 1u);
 }
 
-TEST(AcudMigrator, PingPongPossible)
+TEST(AcudMigrator, RequestsDedupWhileInFlight)
+{
+    Rig rig(1);
+    auto mig = rig.make();
+    auto a = rig.drv.gpuMalloc(1, 12);
+    // Ten threshold-crossing accesses before the driver answers: only
+    // the first sends a request; the rest see it in flight.
+    for (int i = 0; i < 10; ++i)
+        mig.recordAccess(i, 1, a.start_vpn, 1, 0);
+    rig.eq.run();
+    EXPECT_EQ(mig.migrationRequests(), 1u);
+    EXPECT_EQ(mig.migrations(), 1u);
+}
+
+TEST(AcudMigrator, ShootdownRoundCollectsOneAckPerChiplet)
+{
+    Rig rig(1);
+    auto mig = rig.make();
+    auto a = rig.drv.gpuMalloc(1, 12);
+    mig.recordAccess(0, 1, a.start_vpn, 1, 0);
+    rig.eq.run();
+    EXPECT_EQ(mig.shootdownRounds(), 1u);
+    EXPECT_EQ(mig.shootdownAcks(), 4u);
+    ASSERT_EQ(mig.roundLatency().count(), 1u);
+    // The round is bounded below by the PCIe round trip: request up,
+    // shootdown down, ack up.
+    EXPECT_GT(mig.roundLatency().mean(), 2.0 * PcieParams{}.latency);
+}
+
+TEST(AcudMigrator, QueuedRequestsRunSequentially)
+{
+    Rig rig(1);
+    rig.params.cooldown = 0;
+    auto mig = rig.make();
+    auto a = rig.drv.gpuMalloc(1, 24);
+    Vpn v0 = a.start_vpn;      // on chiplet 0
+    Vpn v1 = a.start_vpn + 12; // on chiplet 2
+    mig.recordAccess(0, 1, v0, 1, 0);
+    mig.recordAccess(0, 1, v1, 3, 2);
+    rig.eq.run();
+    EXPECT_EQ(mig.migrations(), 2u);
+    EXPECT_EQ(mig.shootdownRounds(), 2u);
+    EXPECT_EQ(mig.shootdownAcks(), 8u);
+}
+
+TEST(AcudMigrator, CooldownDeniesImmediateReturn)
 {
     Rig rig(2);
-    AcudMigrator mig(rig.drv, rig.params);
+    auto mig = rig.make();
     auto a = rig.drv.gpuMalloc(1, 12);
     Vpn v = a.start_vpn;
-    Tick t = 0;
-    // Chiplet 1 pulls it, then chiplet 0 pulls it back.
-    mig.recordAccess(t += 100000, 1, v, 1, 0);
-    mig.recordAccess(t += 100000, 1, v, 1, 0);
+    mig.recordAccess(0, 1, v, 1, 0);
+    mig.recordAccess(1, 1, v, 1, 0);
+    rig.eq.run();
     EXPECT_EQ(mig.migrations(), 1u);
-    mig.recordAccess(t += 100000, 1, v, 0, 1);
-    mig.recordAccess(t += 100000, 1, v, 0, 1);
+    // The page just moved; pulling it back inside the cooldown window
+    // is denied (the request still counts, the round never starts).
+    Tick t = rig.eq.now();
+    mig.recordAccess(t, 1, v, 0, 1);
+    mig.recordAccess(t + 1, 1, v, 0, 1);
+    rig.eq.run();
+    EXPECT_EQ(mig.migrationRequests(), 2u);
+    EXPECT_EQ(mig.migrations(), 1u);
+}
+
+TEST(AcudMigrator, PingPongPossibleWithoutCooldown)
+{
+    Rig rig(2);
+    rig.params.cooldown = 0;
+    auto mig = rig.make();
+    auto a = rig.drv.gpuMalloc(1, 12);
+    Vpn v = a.start_vpn;
+    // Chiplet 1 pulls it, then chiplet 0 pulls it back.
+    mig.recordAccess(0, 1, v, 1, 0);
+    mig.recordAccess(1, 1, v, 1, 0);
+    rig.eq.run();
+    EXPECT_EQ(mig.migrations(), 1u);
+    Tick t = rig.eq.now();
+    mig.recordAccess(t, 1, v, 0, 1);
+    mig.recordAccess(t + 1, 1, v, 0, 1);
+    rig.eq.run();
     EXPECT_EQ(mig.migrations(), 2u);
 }

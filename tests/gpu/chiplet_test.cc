@@ -191,10 +191,11 @@ TEST(Chiplet, SharedL2TlbServesBothChiplets)
     tp.entries = 2048;
     tp.ways = 16;
     tp.mshrs = 64;
-    Tlb shared(tp);
-    Mshr<TlbEntry> shared_mshr(64);
-    rig.chip0->shareL2Tlb(&shared, &shared_mshr);
-    rig.chip1->shareL2Tlb(&shared, &shared_mshr);
+    SharedTlbService shared(rig.eq, "shared", SharedTlbParams{}, tp, 2,
+                            ChipletParams{}.retry_interval);
+    shared.setService(&rig.svc);
+    rig.chip0->connectSharedTlb(&shared);
+    rig.chip1->connectSharedTlb(&shared);
 
     int done = 0;
     rig.chip0->access(0, 1, rig.addrOfPage(0), [&] {

@@ -137,27 +137,36 @@ struct BlockedConfig
 std::vector<BlockedConfig>
 blockedConfigs()
 {
+    // The message-path conversions retired the simple blocked configs
+    // (valkyrie, least, shared_l2_tlb, migration, fbarre_oracle) — they
+    // now live in PartitionableConfigsAuditCleanAndBitwiseIdentical.
+    // What remains blocked: demand paging (racy page-table reads the
+    // instrumented mutators cannot witness) and the exotic combinations
+    // that layer a second user onto the host-owned shared L2 TLB.
     std::vector<BlockedConfig> out;
-    out.push_back({"valkyrie", SystemConfig::valkyrieCfg()});
-    out.push_back({"least", SystemConfig::leastCfg()});
-
-    SystemConfig shared = SystemConfig::baselineAts();
-    shared.shared_l2_tlb = true;
-    out.push_back({"shared_l2_tlb", shared});
-
-    SystemConfig mig = SystemConfig::baselineAts();
-    mig.migration.enabled = true;
-    mig.migration.threshold = 4;
-    mig.driver.policy = MappingPolicyKind::round_robin;
-    out.push_back({"migration", mig});
 
     SystemConfig demand = SystemConfig::baselineAts();
     demand.driver.demand_paging = true;
     out.push_back({"demand_paging", demand});
 
-    SystemConfig oracle = SystemConfig::fbarreCfg();
-    oracle.fbarre.oracle_sharing = true;
-    out.push_back({"fbarre_oracle", oracle});
+    SystemConfig sv = SystemConfig::valkyrieCfg();
+    sv.shared_l2_tlb = true;
+    out.push_back({"shared+valkyrie", sv});
+
+    SystemConfig sm = SystemConfig::baselineAts();
+    sm.shared_l2_tlb = true;
+    sm.migration.enabled = true;
+    sm.migration.threshold = 4;
+    sm.driver.policy = MappingPolicyKind::round_robin;
+    out.push_back({"shared+migration", sm});
+
+    SystemConfig mg = SystemConfig::baselineAts();
+    mg.use_gmmu = true;
+    mg.mode = TranslationMode::barre;
+    mg.migration.enabled = true;
+    mg.migration.threshold = 4;
+    mg.driver.policy = MappingPolicyKind::round_robin;
+    out.push_back({"migration+gmmu", mg});
     return out;
 }
 
@@ -194,17 +203,40 @@ TEST(DomainAudit, NonPartitionableConfigsMatchGolden)
 TEST(DomainAudit, KnownSynchronousConfigsActuallyReport)
 {
     // The ratchet is only meaningful if the dynamic layer sees the
-    // synchronous paths the blocklist claims exist. (demand_paging is
-    // exempt: its blocker is the racy page-table *read* during driver
-    // mutation, which the instrumented mutators cannot witness.)
+    // synchronous paths the blocklist claims exist. (demand_paging and
+    // migration+gmmu are exempt: their blockers are racy page-table
+    // *reads* during driver mutation, which the instrumented mutators
+    // cannot witness.)
     for (auto &bc : blockedConfigs()) {
-        if (std::string(bc.name) == "demand_paging")
+        const std::string name = bc.name;
+        if (name == "demand_paging" || name == "migration+gmmu")
             continue;
         EXPECT_FALSE(auditRun(bc.cfg).empty())
             << bc.name << " reported no violations — either the "
             << "config became partitionable (remove it from "
             << "System::partitionBlocker) or instrumentation was lost";
     }
+}
+
+TEST(DomainAudit, GoldenOnlyShrinks)
+{
+    // CI ratchet: the golden may only shrink. The message-path PRs
+    // brought it from 21 entries down to the current count; lower this
+    // ceiling whenever another synchronous path is converted, and
+    // never raise it.
+    constexpr std::size_t kCeiling = 5;
+    const std::string golden_path =
+        std::string(BARRE_TESTS_DIR) + "/harness/domain_audit_golden.txt";
+    std::ifstream in(golden_path);
+    ASSERT_TRUE(in.good()) << "missing golden " << golden_path;
+    std::size_t lines = 0;
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty())
+            ++lines;
+    EXPECT_LE(lines, kCeiling)
+        << "the domain-audit golden grew — new synchronous cross-domain "
+           "paths are not allowed; route them over a Link/message path "
+           "(DESIGN.md §8)";
 }
 
 struct CleanRun
@@ -246,6 +278,21 @@ TEST(DomainAudit, PartitionableConfigsAuditCleanAndBitwiseIdentical)
     gmmu.use_gmmu = true;
     gmmu.mode = TranslationMode::barre;
     cfgs.emplace_back("gmmu", gmmu);
+
+    // The five configs the message-path conversions unblocked.
+    cfgs.emplace_back("valkyrie", SystemConfig::valkyrieCfg());
+    cfgs.emplace_back("least", SystemConfig::leastCfg());
+    SystemConfig shared = SystemConfig::baselineAts();
+    shared.shared_l2_tlb = true;
+    cfgs.emplace_back("shared_l2_tlb", shared);
+    SystemConfig mig = SystemConfig::baselineAts();
+    mig.migration.enabled = true;
+    mig.migration.threshold = 4;
+    mig.driver.policy = MappingPolicyKind::round_robin;
+    cfgs.emplace_back("migration", mig);
+    SystemConfig oracle = SystemConfig::fbarreCfg();
+    oracle.fbarre.oracle_sharing = true;
+    cfgs.emplace_back("fbarre_oracle", oracle);
 
     for (auto &[name, cfg] : cfgs) {
         const CleanRun serial = cleanRun(cfg, 1);

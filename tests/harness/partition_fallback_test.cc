@@ -4,6 +4,9 @@
  * non-partitionable configuration asked to partition must emit the
  * `sim_domains=… ignored` warning exactly once, run on the legacy
  * serial queue, and produce results bit-identical to sim_domains=0.
+ * Conversely, every configuration the message-path work unblocked must
+ * partition without a warning — a config can never both partition and
+ * warn.
  */
 
 #include <gtest/gtest.h>
@@ -56,39 +59,60 @@ runCfg(SystemConfig cfg, std::uint32_t domains)
     return out;
 }
 
-class PartitionFallback
-    : public ::testing::TestWithParam<const char *>
+SystemConfig
+cfgFor(const std::string &name)
 {
-  protected:
-    SystemConfig
-    cfgFor(const std::string &name)
-    {
-        if (name == "valkyrie")
-            return SystemConfig::valkyrieCfg();
-        if (name == "least")
-            return SystemConfig::leastCfg();
-        if (name == "shared_l2_tlb") {
-            SystemConfig cfg = SystemConfig::baselineAts();
-            cfg.shared_l2_tlb = true;
-            return cfg;
-        }
-        if (name == "migration") {
-            SystemConfig cfg = SystemConfig::baselineAts();
-            cfg.migration.enabled = true;
-            cfg.migration.threshold = 4;
-            cfg.driver.policy = MappingPolicyKind::round_robin;
-            return cfg;
-        }
-        if (name == "demand_paging") {
-            SystemConfig cfg = SystemConfig::baselineAts();
-            cfg.driver.demand_paging = true;
-            return cfg;
-        }
+    if (name == "valkyrie")
+        return SystemConfig::valkyrieCfg();
+    if (name == "least")
+        return SystemConfig::leastCfg();
+    if (name == "shared_l2_tlb") {
+        SystemConfig cfg = SystemConfig::baselineAts();
+        cfg.shared_l2_tlb = true;
+        return cfg;
+    }
+    if (name == "migration") {
+        SystemConfig cfg = SystemConfig::baselineAts();
+        cfg.migration.enabled = true;
+        cfg.migration.threshold = 4;
+        cfg.driver.policy = MappingPolicyKind::round_robin;
+        return cfg;
+    }
+    if (name == "fbarre_oracle") {
         SystemConfig cfg = SystemConfig::fbarreCfg();
         cfg.fbarre.oracle_sharing = true;
         return cfg;
     }
-};
+    if (name == "demand_paging") {
+        SystemConfig cfg = SystemConfig::baselineAts();
+        cfg.driver.demand_paging = true;
+        return cfg;
+    }
+    if (name == "shared+valkyrie") {
+        SystemConfig cfg = SystemConfig::valkyrieCfg();
+        cfg.shared_l2_tlb = true;
+        return cfg;
+    }
+    if (name == "shared+migration") {
+        SystemConfig cfg = SystemConfig::baselineAts();
+        cfg.shared_l2_tlb = true;
+        cfg.migration.enabled = true;
+        cfg.migration.threshold = 4;
+        cfg.driver.policy = MappingPolicyKind::round_robin;
+        return cfg;
+    }
+    // migration+gmmu
+    SystemConfig cfg = SystemConfig::baselineAts();
+    cfg.use_gmmu = true;
+    cfg.mode = TranslationMode::barre;
+    cfg.migration.enabled = true;
+    cfg.migration.threshold = 4;
+    cfg.driver.policy = MappingPolicyKind::round_robin;
+    return cfg;
+}
+
+class PartitionFallback : public ::testing::TestWithParam<const char *>
+{};
 
 TEST_P(PartitionFallback, WarnsOnceAndMatchesSerialBitwise)
 {
@@ -106,9 +130,29 @@ TEST_P(PartitionFallback, WarnsOnceAndMatchesSerialBitwise)
     EXPECT_EQ(serial.stats, fell_back.stats);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllBlockedConfigs, PartitionFallback,
-    ::testing::Values("valkyrie", "least", "shared_l2_tlb", "migration",
-                      "demand_paging", "fbarre_oracle"));
+INSTANTIATE_TEST_SUITE_P(AllBlockedConfigs, PartitionFallback,
+                         ::testing::Values("demand_paging",
+                                           "shared+valkyrie",
+                                           "shared+migration",
+                                           "migration+gmmu"));
+
+class PartitionUnblocked : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(PartitionUnblocked, PartitionsWithoutWarning)
+{
+    const FallbackOut out = runCfg(cfgFor(GetParam()), 4);
+    // The warn-once fallback path for this config is gone: it runs on
+    // the tagged engine and stays silent. (Partitioning while also
+    // warning would mean a stale warn path survived the unblocking.)
+    EXPECT_TRUE(out.tagged) << "config fell back to the serial queue";
+    EXPECT_EQ(out.warnings, 0)
+        << "a config must never both partition and warn";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnblockedConfigs, PartitionUnblocked,
+                         ::testing::Values("valkyrie", "least",
+                                           "shared_l2_tlb", "migration",
+                                           "fbarre_oracle"));
 
 } // namespace

@@ -137,7 +137,7 @@ TEST(PdesDeterminism, NonPartitionableConfigFallsBackToLegacy)
 {
     SystemConfig legacy;
     legacy.mode = TranslationMode::baseline;
-    legacy.shared_l2_tlb = true;
+    legacy.driver.demand_paging = true;
     legacy.workload_scale = 0.02;
     legacy.sim_domains = 0;
     const RunOut ref = runCfg(legacy);
@@ -149,6 +149,151 @@ TEST(PdesDeterminism, NonPartitionableConfigFallsBackToLegacy)
     EXPECT_FALSE(got.tagged);
     EXPECT_EQ(ref.csv, got.csv);
     EXPECT_EQ(ref.stats, got.stats);
+}
+
+/**
+ * The configurations PR "message-path modeling" unblocked: each one
+ * used to fall back to the serial queue; now every one must partition
+ * and stay bitwise identical to the tagged serial reference across
+ * every domain and thread count.
+ */
+class NewlyPartitioned : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static SystemConfig
+    cfgFor(const std::string &name)
+    {
+        if (name == "valkyrie")
+            return SystemConfig::valkyrieCfg();
+        if (name == "least")
+            return SystemConfig::leastCfg();
+        if (name == "shared_l2_tlb") {
+            SystemConfig cfg = SystemConfig::baselineAts();
+            cfg.shared_l2_tlb = true;
+            return cfg;
+        }
+        if (name == "migration") {
+            SystemConfig cfg = SystemConfig::baselineAts();
+            cfg.migration.enabled = true;
+            cfg.migration.threshold = 4;
+            cfg.driver.policy = MappingPolicyKind::round_robin;
+            return cfg;
+        }
+        SystemConfig cfg = SystemConfig::fbarreCfg();
+        cfg.fbarre.oracle_sharing = true;
+        return cfg;
+    }
+};
+
+TEST_P(NewlyPartitioned, IdenticalAcrossDomainsAndThreads)
+{
+    SystemConfig base = cfgFor(GetParam());
+    base.workload_scale = 0.04;
+    base.sim_domains = 1;
+    base.sim_threads = 1;
+    const RunOut ref = runCfg(base);
+    ASSERT_TRUE(ref.tagged)
+        << GetParam() << " fell back to the legacy serial queue";
+
+    for (std::uint32_t domains : {2u, 4u, 8u}) {
+        for (std::uint32_t threads : {1u, 8u}) {
+            SystemConfig cfg = cfgFor(GetParam());
+            cfg.workload_scale = 0.04;
+            cfg.sim_domains = domains;
+            cfg.sim_threads = threads;
+            const RunOut got = runCfg(cfg);
+            EXPECT_TRUE(got.tagged);
+            expectIdentical(
+                ref, got,
+                (std::string(GetParam()) +
+                 " domains=" + std::to_string(domains) +
+                 " threads=" + std::to_string(threads))
+                    .c_str());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnblockedConfigs, NewlyPartitioned,
+                         ::testing::Values("valkyrie", "least",
+                                           "shared_l2_tlb", "migration",
+                                           "fbarre_oracle"));
+
+TEST(PdesLookahead, TrueMinimumOverAllCrossDomainLinks)
+{
+    // Host split off only: PCIe bounds the epoch.
+    SystemConfig base = SystemConfig::baselineAts();
+    base.workload_scale = 0.04;
+    base.sim_domains = 2;
+    {
+        System sys(base);
+        ASSERT_TRUE(sys.partitioned());
+        EXPECT_EQ(sys.pdesLookahead(), 1 + base.pcie.latency);
+    }
+
+    // Chiplets split too: the NoC hop is shorter than PCIe.
+    SystemConfig spread = base;
+    spread.sim_domains = 5;
+    {
+        System sys(spread);
+        ASSERT_TRUE(sys.partitioned());
+        EXPECT_EQ(sys.pdesLookahead(), 1 + spread.noc.latency);
+    }
+
+    // The shared-TLB links are shorter than the NoC hop, so wiring the
+    // shared block must tighten the epochs further.
+    SystemConfig shared = spread;
+    shared.shared_l2_tlb = true;
+    {
+        System sys(shared);
+        ASSERT_TRUE(sys.partitioned());
+        ASSERT_LT(shared.shared_tlb.latency, shared.noc.latency);
+        EXPECT_EQ(sys.pdesLookahead(), 1 + shared.shared_tlb.latency);
+    }
+
+    // The F-Barre oracle's cross-chiplet filter updates land at
+    // exactly oracle_latency, with no serialization cycle.
+    SystemConfig oracle = SystemConfig::fbarreCfg();
+    oracle.fbarre.oracle_sharing = true;
+    oracle.workload_scale = 0.04;
+    oracle.sim_domains = 5;
+    {
+        System sys(oracle);
+        ASSERT_TRUE(sys.partitioned());
+        EXPECT_EQ(sys.pdesLookahead(), oracle.fbarre.oracle_latency);
+    }
+}
+
+TEST(PdesDeterminism, MigrationShootdownTrafficIsModeled)
+{
+    // The accuracy half of the conversion: shootdown rounds used to be
+    // free (zero-cycle synchronous calls); now every round shows up as
+    // request/broadcast/ack traffic with a PCIe-bounded latency.
+    SystemConfig cfg = SystemConfig::baselineAts();
+    cfg.migration.enabled = true;
+    cfg.migration.threshold = 4;
+    cfg.driver.policy = MappingPolicyKind::round_robin;
+    cfg.workload_scale = 0.04;
+    cfg.sim_domains = 4;
+    cfg.sim_threads = 1;
+
+    System sys(cfg);
+    ASSERT_TRUE(sys.partitioned());
+    const AppParams &app = appByName("cov");
+    auto allocs = sys.allocate(app, /*pid=*/1);
+    sys.loadWorkload(app, allocs);
+    (void)sys.run();
+
+    AcudMigrator *mig = sys.migrator();
+    ASSERT_NE(mig, nullptr);
+    EXPECT_GT(mig->migrations(), 0u);
+    EXPECT_EQ(mig->shootdownRounds(), mig->migrations());
+    EXPECT_EQ(mig->shootdownAcks(),
+              mig->shootdownRounds() * sys.config().chiplets);
+    ASSERT_GT(mig->roundLatency().count(), 0u);
+    // A round starts once the request has arrived host-side; shootdown
+    // down + ack up can never beat two PCIe traversals.
+    EXPECT_GT(mig->roundLatency().mean(),
+              2.0 * sys.config().pcie.latency);
 }
 
 } // namespace

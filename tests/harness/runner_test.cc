@@ -151,6 +151,34 @@ TEST(CellCostHint, HighMpkiAppsCostMore)
               cellCostHint(appByName("gemv")));
 }
 
+TEST(RunMany, SpareWorkersHandedToPartitionedCellsStayBitwise)
+{
+    // 2 cells on 8 workers: the sweep hands each partitioned cell
+    // (sim_domains > 0, sim_threads unset) the 4 leftover workers as
+    // sim_threads. The scheduler's thread count must never leak into
+    // results, so the sweep stays bitwise identical to a hand-rolled
+    // serial loop pinned to one scheduler thread.
+    SystemConfig cfg = SystemConfig::fbarreCfg(2);
+    cfg.workload_scale = 0.04;
+    cfg.sim_domains = 4;
+    std::vector<NamedConfig> cfgs{{"fbarre_pdes", cfg}};
+    std::vector<AppParams> apps{appByName("fft"), appByName("gups")};
+
+    SystemConfig ref_cfg = cfg;
+    ref_cfg.sim_threads = 1;
+    std::vector<RunMetrics> expect;
+    for (const auto &app : apps) {
+        RunMetrics m = runApp(ref_cfg, app);
+        m.config = "fbarre_pdes";
+        expect.push_back(m);
+    }
+
+    std::vector<RunMetrics> got = runMany(cfgs, apps, /*jobs=*/8);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], expect[i]) << "cell " << i;
+}
+
 TEST(RunMany, CostCachePersistsWallTimesAndStaysDeterministic)
 {
     std::string path = testing::TempDir() + "barre_cost_cache_test";
