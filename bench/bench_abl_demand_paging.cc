@@ -27,14 +27,15 @@ main(int argc, char **argv)
     std::vector<AppParams> apps{appByName("fft"), appByName("pr"),
                                 appByName("cov"), appByName("atax"),
                                 appByName("matr"), appByName("gups")};
-    registerRuns(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    registerRuns(store, configs, specs, envScale());
     int rc = runBenchmarks(argc, argv);
     if (rc != 0)
         return rc;
 
     store.printSpeedupTable(
         "Ablation: on-demand paging (group-unit fault-in)",
-        "demand-baseline", {"demand-BarreChord"}, apps);
+        "demand-baseline", {"demand-BarreChord"}, specs);
     std::printf("\nexpectation: Barre Chord amortizes faults over whole "
                 "coalescing groups and keeps its translation wins.\n");
     return 0;

@@ -27,14 +27,15 @@ main(int argc, char **argv)
     std::vector<NamedConfig> configs{{"Barre", barre},
                                      {"Barre+multicast", mcast}};
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    registerRuns(store, configs, specs, envScale());
     int rc = runBenchmarks(argc, argv);
     if (rc != 0)
         return rc;
 
     store.printSpeedupTable(
         "Ablation: speculative multicast (§IV-B design probe)", "Barre",
-        {"Barre+multicast"}, apps);
+        {"Barre+multicast"}, specs);
     std::printf("\npaper: multicasting drops performance (IOMMU "
                 "outbound bandwidth); pending-only coverage wins.\n");
     return 0;

@@ -28,7 +28,8 @@ main(int argc, char **argv)
     std::vector<AppParams> apps{appByName("fft"), appByName("pr"),
                                 appByName("cov"), appByName("atax"),
                                 appByName("matr"), appByName("gups")};
-    registerRuns(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    registerRuns(store, configs, specs, envScale());
     int rc = runBenchmarks(argc, argv);
     if (rc != 0)
         return rc;

@@ -150,13 +150,13 @@ endToEnd(double scale)
     cfg.workload_scale = scale;
     SystemConfig heap_cfg = cfg;
     heap_cfg.heap_only_queue = true;
-    const AppParams &app = appByName("cov");
+    const ScenarioSpec spec = ScenarioSpec::solo("cov");
 
     RunMetrics lm, hm;
     const double ladder_s =
-        wallSeconds([&] { lm = runApp(cfg, app); });
+        wallSeconds([&] { lm = runScenario(cfg, spec); });
     const double heap_s =
-        wallSeconds([&] { hm = runApp(heap_cfg, app); });
+        wallSeconds([&] { hm = runScenario(heap_cfg, spec); });
     Rates r;
     r.ladder_eps = ladder_s > 0 ? lm.sim_events / ladder_s : 0.0;
     r.heap_eps = heap_s > 0 ? hm.sim_events / heap_s : 0.0;

@@ -26,10 +26,11 @@ main(int argc, char **argv)
     (void)argc;
     (void)argv;
     const auto &apps = standardSuite();
-    runAll(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    runAll(store, configs, specs, envScale());
 
     store.printSpeedupTable("Fig 1: speedup vs number of PTWs", "8-PTW",
-                            {"16-PTW", "32-PTW", "inf-PTW"}, apps);
+                            {"16-PTW", "32-PTW", "inf-PTW"}, specs);
     std::printf("\npaper: near-linear to 32 PTWs; infinite saturates "
                 "around 2x.\n");
     return 0;

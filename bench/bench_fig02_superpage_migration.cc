@@ -26,11 +26,12 @@ main(int argc, char **argv)
     (void)argc;
     (void)argv;
     const auto &apps = standardSuite();
-    runAll(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    runAll(store, configs, specs, envScale());
 
     store.printSpeedupTable(
         "Fig 2: 2MB super page speedup under migration", "4KB+mig",
-        {"2MB+mig"}, apps);
+        {"2MB+mig"}, specs);
     std::printf("\npaper: fwt and matr drop well below 1x; average is "
                 "modest.\n");
     return 0;

@@ -56,8 +56,7 @@ runWithHist(SystemConfig cfg, const AppParams &app, double scale)
     GapHist hist;
     System sys(std::move(cfg));
     sys.iommu().setVpnProbe([&](Vpn v) { hist.sample(v); });
-    auto allocs = sys.allocate(app, 1);
-    sys.loadWorkload(app, allocs);
+    sys.loadScenario(ScenarioSpec::solo(app.name));
     sys.run();
     return hist;
 }

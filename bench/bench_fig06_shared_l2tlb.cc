@@ -26,10 +26,11 @@ main(int argc, char **argv)
     (void)argc;
     (void)argv;
     const auto &apps = standardSuite();
-    runAll(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    runAll(store, configs, specs, envScale());
 
     store.printSpeedupTable("Fig 6: oracle shared L2 TLB", "private",
-                            {"shared-oracle"}, apps);
+                            {"shared-oracle"}, specs);
     std::printf("\npaper: ~1.06x average; fewer than half the apps "
                 "improve.\n");
     return 0;

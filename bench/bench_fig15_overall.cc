@@ -34,18 +34,19 @@ main(int argc, char **argv)
     (void)argc;
     (void)argv;
     const auto &apps = standardSuite();
-    runAll(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    runAll(store, configs, specs, envScale());
 
     store.printSpeedupTable(
         "Fig 15: overall performance", "baseline",
         {"Valkyrie", "Least", "Barre", "F-Barre-NoMerge",
          "F-Barre-2Merge", "F-Barre-4Merge"},
-        apps);
+        specs);
     store.printSpeedupTable(
         "Fig 15 (paper normalization)", "Least",
         {"Barre", "F-Barre-NoMerge", "F-Barre-2Merge",
          "F-Barre-4Merge"},
-        apps);
+        specs);
     std::printf("\npaper: Barre ~1.128x over Least; F-Barre-NoMerge "
                 "1.36x over Least; 2/4-merge add 1.34x/1.53x over "
                 "F-Barre-NoMerge.\n");

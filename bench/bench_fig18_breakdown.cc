@@ -36,11 +36,12 @@ main(int argc, char **argv)
     (void)argc;
     (void)argv;
     const auto &apps = standardSuite();
-    runAll(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    runAll(store, configs, specs, envScale());
 
     store.printSpeedupTable("Fig 18: F-Barre speedup breakdown", "Barre",
                             {"+PTW-sched", "+peer-sharing", "F-Barre"},
-                            apps);
+                            specs);
     std::printf("\npaper: PTW scheduling 1.34x over Barre; peer "
                 "sharing lifts it to 1.80x.\n");
     return 0;

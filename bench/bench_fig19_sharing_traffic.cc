@@ -24,7 +24,8 @@ main(int argc, char **argv)
     (void)argc;
     (void)argv;
     const auto &apps = standardSuite();
-    runAll(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    runAll(store, configs, specs, envScale());
 
     TextTable table({"app", "achieved % of oracle"});
     std::vector<double> fracs;

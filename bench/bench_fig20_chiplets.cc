@@ -23,6 +23,7 @@ main(int argc, char **argv)
     std::vector<AppParams> apps{appByName("pr"),   appByName("cov"),
                                 appByName("st2d"), appByName("matr"),
                                 appByName("gups"), appByName("spmv")};
+    const auto specs = soloSpecs(apps);
     for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
         SystemConfig base = SystemConfig::baselineAts();
         base.chiplets = n;
@@ -35,7 +36,7 @@ main(int argc, char **argv)
         runAll(store,
                {{"base-" + std::to_string(n), base},
                 {"fbarre-" + std::to_string(n), fb}},
-               apps, scale);
+               specs, scale);
     }
 
     TextTable table({"app", "2-chip", "4-chip", "8-chip", "16-chip"});

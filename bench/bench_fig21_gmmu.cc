@@ -25,7 +25,8 @@ main(int argc, char **argv)
     std::vector<NamedConfig> configs{{"MGvm", mgvm},
                                      {"MGvm+BarreChord", mgvm_bc}};
     const auto &apps = standardSuite();
-    runAll(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    runAll(store, configs, specs, envScale());
 
     TextTable table({"app", "speedup", "remote-walk -%"});
     std::vector<double> speed, rw;

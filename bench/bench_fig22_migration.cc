@@ -2,6 +2,9 @@
  * @file
  * Fig 22: Barre Chord under runtime page migration (ACUD [7],
  * threshold 16). Paper: 1.20x average over plain ACUD.
+ *
+ * Runs on the native bench::runAll() harness (parallel across host
+ * cores, deterministic output) like the other figure benches.
  */
 
 #include "bench/common.hh"
@@ -22,14 +25,13 @@ main(int argc, char **argv)
 
     std::vector<NamedConfig> configs{{"ACUD", acud},
                                      {"ACUD+BarreChord", acud_bc}};
-    const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    (void)argc;
+    (void)argv;
+    const auto specs = soloSpecs(standardSuite());
+    runAll(store, configs, specs, envScale());
 
     store.printSpeedupTable("Fig 22: Barre Chord under page migration",
-                            "ACUD", {"ACUD+BarreChord"}, apps);
+                            "ACUD", {"ACUD+BarreChord"}, specs);
     std::printf("\npaper: 1.20x average over ACUD.\n");
     return 0;
 }

@@ -26,7 +26,8 @@ main(int argc, char **argv)
     (void)argc;
     (void)argv;
     const auto &apps = standardSuite();
-    runAll(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    runAll(store, configs, specs, envScale());
 
     TextTable table({"app", "8 PTWs", "16 PTWs", "32 PTWs"});
     std::map<std::string, std::vector<double>> per_p;

@@ -34,7 +34,7 @@ sweep(ResultStore &store, const std::string &suffix,
         configs.push_back({"base-" + tag + suffix, base});
         configs.push_back({"fbarre-" + tag + suffix, fb});
     }
-    runAll(store, configs, apps, scale);
+    runAll(store, configs, soloSpecs(apps), scale);
 }
 
 void

@@ -31,7 +31,8 @@ main(int argc, char **argv)
     (void)argc;
     (void)argv;
     const auto &apps = standardSuite();
-    runAll(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    runAll(store, configs, specs, envScale());
 
     TextTable table({"app", "round-robin", "chunking", "CODA"});
     std::map<std::string, std::vector<double>> per;

@@ -47,7 +47,7 @@ main(int argc, char **argv)
                                        ? SystemConfig::baselineAts()
                                        : SystemConfig::fbarreCfg(2);
                 cfg.workload_scale = scale;
-                return runApps(cfg, {appByName(p.a), appByName(p.b)});
+                return runScenario(cfg, ScenarioSpec::pair(p.a, p.b));
             });
         }
     }

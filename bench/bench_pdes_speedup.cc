@@ -82,14 +82,12 @@ runOne(SystemConfig cfg, std::uint32_t domains, std::uint32_t threads,
     cfg.sim_threads = threads;
 
     System sys(std::move(cfg));
-    const AppParams &app = appByName("cov");
-    auto allocs = sys.allocate(app, /*pid=*/1);
-    sys.loadWorkload(app, allocs);
+    sys.loadScenario(ScenarioSpec::solo("cov"));
 
     RunOut out;
     RunMetrics m;
     out.wall = wallSeconds([&] { m = sys.run(); });
-    m.app = app.name;
+    m.app = "cov";
     out.events = m.sim_events;
     out.csv = csvRow(m);
     if (const TaggedEngine *eng = sys.eventQueue().taggedEngine())

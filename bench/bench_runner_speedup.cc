@@ -90,21 +90,21 @@ main(int argc, char **argv)
     };
     for (auto &nc : cfgs)
         nc.cfg.workload_scale = scale;
-    std::vector<AppParams> apps = scaledSubset();
+    const auto specs = soloSpecs(scaledSubset());
 
     std::fprintf(stderr,
                  "runner self-benchmark: %zu cells, scale %.3g, "
                  "%u cores, %u jobs\n",
-                 cfgs.size() * apps.size(), scale, cores, jobs);
+                 cfgs.size() * specs.size(), scale, cores, jobs);
 
     // Index-order scheduling reference: the same cells through the
     // unhinted runManyJobs() path, so the only difference from the
     // ordered run is the start order.
     std::vector<std::function<RunMetrics()>> sims;
     for (const auto &nc : cfgs) {
-        for (const auto &app : apps) {
-            sims.push_back([&nc, &app] {
-                RunMetrics m = runApp(nc.cfg, app);
+        for (const auto &spec : specs) {
+            sims.push_back([&nc, &spec] {
+                RunMetrics m = runScenario(nc.cfg, spec);
                 m.config = nc.name;
                 return m;
             });
@@ -113,11 +113,11 @@ main(int argc, char **argv)
 
     std::vector<RunMetrics> serial, unordered, parallel;
     double serial_s = wallSeconds(
-        [&] { serial = runMany(cfgs, apps, /*jobs=*/1); });
+        [&] { serial = runMany(cfgs, specs, /*jobs=*/1); });
     double unordered_s = wallSeconds(
         [&] { unordered = runManyJobs(sims, jobs); });
     double parallel_s = wallSeconds(
-        [&] { parallel = runMany(cfgs, apps, jobs); });
+        [&] { parallel = runMany(cfgs, specs, jobs); });
 
     bool identical = serial == parallel && serial == unordered;
     if (!identical)
@@ -157,7 +157,7 @@ main(int argc, char **argv)
                  "  \"eventqueue_events_per_s\": %.0f,\n"
                  "  \"identical_results\": %s\n"
                  "}\n",
-                 cores, jobs, cfgs.size() * apps.size(), scale,
+                 cores, jobs, cfgs.size() * specs.size(), scale,
                  serial_s, unordered_s, parallel_s, speedup,
                  ordering_gain, (unsigned long long)events,
                  serial_s > 0 ? events / serial_s : 0.0,

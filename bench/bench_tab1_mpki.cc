@@ -20,7 +20,8 @@ main(int argc, char **argv)
     std::vector<NamedConfig> configs{{"baseline",
                                       SystemConfig::baselineAts()}};
     const auto &apps = standardSuite();
-    registerRuns(store, configs, apps, envScale());
+    const auto specs = soloSpecs(apps);
+    registerRuns(store, configs, specs, envScale());
     int rc = runBenchmarks(argc, argv);
     if (rc != 0)
         return rc;

@@ -46,14 +46,15 @@ ResultStore::get(const std::string &cfg, const std::string &app) const
 
 std::vector<double>
 ResultStore::speedups(const std::string &base, const std::string &cfg,
-                      const std::vector<AppParams> &apps) const
+                      const std::vector<ScenarioSpec> &specs) const
 {
     std::vector<double> out;
-    for (const auto &app : apps) {
-        const RunMetrics *b = get(base, app.name);
-        const RunMetrics *c = get(cfg, app.name);
+    for (const auto &spec : specs) {
+        const std::string label = spec.label();
+        const RunMetrics *b = get(base, label);
+        const RunMetrics *c = get(cfg, label);
         barre_assert(b && c, "missing cell %s/%s", cfg.c_str(),
-                     app.name.c_str());
+                     label.c_str());
         out.push_back(static_cast<double>(b->runtime) /
                       static_cast<double>(c->runtime));
     }
@@ -64,7 +65,8 @@ void
 ResultStore::printSpeedupTable(const std::string &title,
                                const std::string &base,
                                const std::vector<std::string> &configs,
-                               const std::vector<AppParams> &apps) const
+                               const std::vector<ScenarioSpec> &specs)
+    const
 {
     std::vector<std::string> headers{"app"};
     for (const auto &c : configs)
@@ -73,10 +75,10 @@ ResultStore::printSpeedupTable(const std::string &title,
 
     std::map<std::string, std::vector<double>> per_cfg;
     for (const auto &c : configs)
-        per_cfg[c] = speedups(base, c, apps);
+        per_cfg[c] = speedups(base, c, specs);
 
-    for (std::size_t i = 0; i < apps.size(); ++i) {
-        std::vector<std::string> row{apps[i].name};
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::vector<std::string> row{specs[i].label()};
         for (const auto &c : configs)
             row.push_back(fmt(per_cfg[c][i]));
         table.addRow(std::move(row));
@@ -90,20 +92,20 @@ ResultStore::printSpeedupTable(const std::string &title,
 
 void
 runAll(ResultStore &store, const std::vector<NamedConfig> &configs,
-       const std::vector<AppParams> &apps, double scale)
+       const std::vector<ScenarioSpec> &specs, double scale)
 {
     std::vector<NamedConfig> scaled = configs;
     for (auto &nc : scaled)
         nc.cfg.workload_scale *= scale;
 
-    std::vector<RunMetrics> results = runMany(scaled, apps);
+    std::vector<RunMetrics> results = runMany(scaled, specs);
 
     for (std::size_t c = 0; c < scaled.size(); ++c) {
-        for (std::size_t a = 0; a < apps.size(); ++a) {
-            const RunMetrics &m = results[c * apps.size() + a];
-            store.put(scaled[c].name, apps[a].name, m);
+        for (std::size_t s = 0; s < specs.size(); ++s) {
+            const RunMetrics &m = results[c * specs.size() + s];
+            store.put(scaled[c].name, m.app, m);
             std::fprintf(stderr, "%-18s %-8s %14llu cycles\n",
-                         scaled[c].name.c_str(), apps[a].name.c_str(),
+                         scaled[c].name.c_str(), m.app.c_str(),
                          (unsigned long long)m.runtime);
         }
     }
@@ -111,20 +113,20 @@ runAll(ResultStore &store, const std::vector<NamedConfig> &configs,
 
 void
 registerRuns(ResultStore &store, const std::vector<NamedConfig> &configs,
-             const std::vector<AppParams> &apps, double scale)
+             const std::vector<ScenarioSpec> &specs, double scale)
 {
     for (const auto &nc : configs) {
-        for (const auto &app : apps) {
+        for (const auto &spec : specs) {
             SystemConfig cfg = nc.cfg;
             cfg.workload_scale *= scale;
             std::string cfg_name = nc.name;
-            std::string bench_name = cfg_name + "/" + app.name;
+            std::string bench_name = cfg_name + "/" + spec.label();
             benchmark::RegisterBenchmark(
                 bench_name.c_str(),
-                [&store, cfg, app, cfg_name](benchmark::State &state) {
+                [&store, cfg, spec, cfg_name](benchmark::State &state) {
                     for (auto _ : state) {
-                        RunMetrics m = runApp(cfg, app);
-                        store.put(cfg_name, app.name, m);
+                        RunMetrics m = runScenario(cfg, spec);
+                        store.put(cfg_name, m.app, m);
                         state.counters["sim_cycles"] =
                             static_cast<double>(m.runtime);
                         state.counters["ats_packets"] =

@@ -41,45 +41,46 @@ class ResultStore
     const RunMetrics *get(const std::string &cfg,
                           const std::string &app) const;
 
-    /** runtime(base)/runtime(cfg) per app, in @p apps order. */
+    /** runtime(base)/runtime(cfg) per scenario, in @p specs order. */
     std::vector<double> speedups(const std::string &base,
                                  const std::string &cfg,
-                                 const std::vector<AppParams> &apps) const;
+                                 const std::vector<ScenarioSpec> &specs)
+        const;
 
     /**
-     * Print the classic evaluation table: one row per app with the
-     * speedup of each config over @p base, plus a geomean row.
+     * Print the classic evaluation table: one row per scenario with
+     * the speedup of each config over @p base, plus a geomean row.
      */
     void printSpeedupTable(const std::string &title,
                            const std::string &base,
                            const std::vector<std::string> &configs,
-                           const std::vector<AppParams> &apps) const;
+                           const std::vector<ScenarioSpec> &specs) const;
 
   private:
     std::map<std::string, RunMetrics> cells_;
 };
 
 /**
- * Register one google-benchmark per (config, app); each runs the
+ * Register one google-benchmark per (config, scenario); each runs the
  * simulation once and deposits its metrics into @p store. Counters
  * exposed: sim cycles, ATS packets, L2 MPKI.
  */
 void registerRuns(ResultStore &store,
                   const std::vector<NamedConfig> &configs,
-                  const std::vector<AppParams> &apps, double scale);
+                  const std::vector<ScenarioSpec> &specs, double scale);
 
 /** Initialize + run google-benchmark (call from main after register). */
 int runBenchmarks(int argc, char **argv);
 
 /**
- * Run every (config, app) cell through runMany() — parallel across
- * host cores unless $BARRE_JOBS=1 — and deposit the metrics into
- * @p store. Per-cell progress lines go to stderr in deterministic
+ * Run every (config, scenario) cell through runMany() — parallel
+ * across host cores unless $BARRE_JOBS=1 — and deposit the metrics
+ * into @p store. Per-cell progress lines go to stderr in deterministic
  * (config-major) order after all cells finish, so stdout tables are
  * byte-identical regardless of the worker count.
  */
 void runAll(ResultStore &store, const std::vector<NamedConfig> &configs,
-            const std::vector<AppParams> &apps, double scale);
+            const std::vector<ScenarioSpec> &specs, double scale);
 
 } // namespace barre::bench
 

@@ -34,10 +34,14 @@ main()
     cfg.validate_translations = true; // assert calc == page table
     System sys(cfg);
 
-    auto allocs = sys.allocate(app, /*pid=*/1);
+    // Register the app and load it as a single-tenant scenario (the
+    // registry makes it addressable by name, e.g. for barre_sim
+    // --scenario custom+atax).
+    registerScenarioApp(app);
+    sys.loadScenario(ScenarioSpec::solo("custom"));
 
     // Inspect the coalescing-group layout the driver enforced.
-    const DataAlloc &a = allocs.front();
+    const DataAlloc &a = sys.allocations().front();
     const MemoryMap &map = sys.memoryMap();
     PageTable &pt = sys.driver().pageTable(1);
     std::printf("buffer 0: %llu pages from VPN 0x%llx, gran %u, "
@@ -61,7 +65,6 @@ main()
                     ci.merged ? ", merged" : "");
     }
 
-    sys.loadWorkload(app, allocs);
     RunMetrics m = sys.run();
 
     std::printf("\nran %llu accesses in %llu cycles\n",

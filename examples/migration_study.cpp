@@ -43,9 +43,10 @@ main(int argc, char **argv)
     std::printf("app: %s (%s), ACUD threshold %u\n", app.name.c_str(),
                 app.full_name.c_str(), conventional.migration.threshold);
 
-    RunMetrics m4k = runApp(conventional, app);
-    RunMetrics m2m = runApp(superpage, app);
-    RunMetrics mbc = runApp(barre_chord, app);
+    const ScenarioSpec spec = ScenarioSpec::solo(app.name);
+    RunMetrics m4k = runScenario(conventional, spec);
+    RunMetrics m2m = runScenario(superpage, spec);
+    RunMetrics mbc = runScenario(barre_chord, spec);
 
     auto speedup = [&](const RunMetrics &m) {
         return fmt(static_cast<double>(m4k.runtime) /

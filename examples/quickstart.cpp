@@ -33,8 +33,9 @@ main(int argc, char **argv)
     SystemConfig fb = SystemConfig::fbarreCfg(/*merge_limit=*/2);
     fb.workload_scale = scale;
 
-    RunMetrics mb = runApp(base, app);
-    RunMetrics mf = runApp(fb, app);
+    const ScenarioSpec spec = ScenarioSpec::solo(app.name);
+    RunMetrics mb = runScenario(base, spec);
+    RunMetrics mf = runScenario(fb, spec);
 
     TextTable t({"metric", "baseline", "F-Barre-2Merge"});
     t.addRow({"runtime (cycles)", std::to_string(mb.runtime),

@@ -49,7 +49,7 @@ main(int argc, char **argv)
     double base_runtime = 0;
     for (auto &e : entries) {
         e.cfg.workload_scale = scale;
-        RunMetrics m = runApp(e.cfg, app);
+        RunMetrics m = runScenario(e.cfg, ScenarioSpec::solo(app.name));
         if (base_runtime == 0)
             base_runtime = static_cast<double>(m.runtime);
         table.addRow({e.name,

@@ -61,6 +61,20 @@ PecBuffer::clear()
 }
 
 std::uint32_t
+PecBuffer::eraseProcess(ProcessId pid)
+{
+    domainCheck("eraseProcess");
+    std::uint32_t released = 0;
+    for (auto &slot : slots_) {
+        if (slot.valid && slot.pid == pid) {
+            slot = PecEntry{};
+            ++released;
+        }
+    }
+    return released;
+}
+
+std::uint32_t
 PecBuffer::occupancy() const
 {
     std::uint32_t n = 0;

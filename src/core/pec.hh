@@ -135,6 +135,12 @@ class PecBuffer : public DomainOwned
 
     void clear();
 
+    /**
+     * Drop every entry belonging to @p pid (process exit). @return the
+     * number of slots released.
+     */
+    std::uint32_t eraseProcess(ProcessId pid);
+
     std::uint32_t capacity() const
     {
         return static_cast<std::uint32_t>(slots_.size());

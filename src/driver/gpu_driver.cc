@@ -399,4 +399,49 @@ GpuDriver::migratePage(ProcessId pid, Vpn vpn, ChipletId dest)
     return res;
 }
 
+std::uint64_t
+GpuDriver::processExit(ProcessId pid)
+{
+    domainCheck("processExit");
+    auto it = page_tables_.find(pid);
+    barre_assert(it != page_tables_.end(),
+                 "processExit for unknown process %u", pid);
+    PageTable &pt = *it->second;
+
+    std::uint64_t freed = 0;
+    for (const PecEntry &layout : all_layouts_) {
+        if (layout.pid != pid)
+            continue;
+        for (Vpn vpn = layout.start_vpn; vpn <= layout.end_vpn; ++vpn) {
+            auto pte = pt.walk(vpn);
+            if (!pte)
+                continue; // demand paging: reserved but never touched
+            ChipletId owner = map_.chipletOf(pte->pfn());
+            bool released =
+                allocators_[owner]->release(map_.localOf(pte->pfn()));
+            barre_assert(released,
+                         "frame double-free tearing down process %u",
+                         pid);
+            bool unmapped = pt.unmap(vpn);
+            barre_assert(unmapped, "walked PTE refused to unmap");
+            ++freed;
+        }
+    }
+    barre_assert(pt.mappedPages() == 0,
+                 "process %u exited with %llu pages outside its "
+                 "recorded buffers",
+                 pid,
+                 static_cast<unsigned long long>(pt.mappedPages()));
+
+    std::erase_if(all_layouts_,
+                  [pid](const PecEntry &e) { return e.pid == pid; });
+    std::erase_if(pec_entries_,
+                  [pid](const PecEntry &e) { return e.pid == pid; });
+    page_tables_.erase(it);
+    vpn_bump_.erase(pid);
+    ++exits_;
+    freed_pages_ += freed;
+    return freed;
+}
+
 } // namespace barre

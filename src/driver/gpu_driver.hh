@@ -123,6 +123,21 @@ class GpuDriver : public DomainOwned
      */
     std::vector<Vpn> faultIn(ProcessId pid, Vpn vpn);
 
+    /**
+     * Full process teardown (multi-tenant churn): unmap every page of
+     * every buffer @p pid allocated, release the backing frames to
+     * their chiplets' allocators, and drop the page table, PEC entries
+     * and VPN bump state. The caller is responsible for the GPU-side
+     * consequences (ASID shootdowns, IOMMU detach). @return the number
+     * of pages unmapped.
+     */
+    std::uint64_t processExit(ProcessId pid);
+
+    /** Live (allocated, not yet exited) processes. */
+    std::uint64_t liveProcesses() const { return page_tables_.size(); }
+    std::uint64_t processExits() const { return exits_.value(); }
+    std::uint64_t freedPages() const { return freed_pages_.value(); }
+
     std::uint64_t demandFaults() const { return faults_.value(); }
 
     std::uint64_t totalMappedPages() const { return mapped_pages_.value(); }
@@ -167,6 +182,8 @@ class GpuDriver : public DomainOwned
     /** Every allocation's layout (demand-fault lookup). */
     std::vector<PecEntry> all_layouts_;
 
+    Counter exits_;
+    Counter freed_pages_;
     Counter mapped_pages_;
     Counter coalesced_pages_;
     Counter merged_pages_;

@@ -55,10 +55,12 @@ Chiplet::access(CuId cu, ProcessId pid, Addr vaddr,
                 EventQueue::Callback done)
 {
     Vpn vpn = vpnOf(vaddr, params_.page_size);
+    const Tick t0 = curTick();
     after(params_.l1_tlb.lookup_latency,
-          [this, cu, pid, vaddr, vpn, done = std::move(done)]() mutable {
+          [this, cu, pid, vaddr, vpn, t0,
+           done = std::move(done)]() mutable {
               if (auto te = l1_tlbs_[cu]->lookup(pid, vpn)) {
-                  dataAccess(cu, pid, vaddr, *te, std::move(done));
+                  dataAccess(cu, pid, vaddr, *te, t0, std::move(done));
                   return;
               }
               // Valkyrie: probe sibling L1 TLBs inside the chiplet.
@@ -70,9 +72,9 @@ Chiplet::access(CuId cu, ProcessId pid, Addr vaddr,
                           ++sibling_hits_;
                           l1_tlbs_[cu]->insert(*te);
                           after(params_.sibling_probe_latency,
-                                [this, cu, pid, vaddr, te = *te,
+                                [this, cu, pid, vaddr, te = *te, t0,
                                  done = std::move(done)]() mutable {
-                                    dataAccess(cu, pid, vaddr, te,
+                                    dataAccess(cu, pid, vaddr, te, t0,
                                                std::move(done));
                                 });
                           return;
@@ -80,13 +82,13 @@ Chiplet::access(CuId cu, ProcessId pid, Addr vaddr,
                   }
               }
               ++l2_demand_accesses_;
-              translateAtL2(cu, pid, vaddr, vpn, std::move(done));
+              translateAtL2(cu, pid, vaddr, vpn, t0, std::move(done));
           });
 }
 
 void
 Chiplet::translateAtL2(CuId cu, ProcessId pid, Addr vaddr, Vpn vpn,
-                       EventQueue::Callback done)
+                       Tick t0, EventQueue::Callback done)
 {
     if (shared_svc_) {
         // The package-shared block serves the whole L2 stage (lookup,
@@ -94,18 +96,19 @@ Chiplet::translateAtL2(CuId cu, ProcessId pid, Addr vaddr, Vpn vpn,
         // fires back here with the entry once its response arrives.
         shared_svc_->lookupFrom(
             id_, pid, vpn,
-            [this, cu, pid, vaddr,
+            [this, cu, pid, vaddr, t0,
              done = std::move(done)](const TlbEntry &te) mutable {
                 l1_tlbs_[cu]->insert(te);
-                dataAccess(cu, pid, vaddr, te, std::move(done));
+                dataAccess(cu, pid, vaddr, te, t0, std::move(done));
             });
         return;
     }
     after(l2_tlb_->params().lookup_latency,
-          [this, cu, pid, vaddr, vpn, done = std::move(done)]() mutable {
+          [this, cu, pid, vaddr, vpn, t0,
+           done = std::move(done)]() mutable {
               if (auto te = l2_tlb_->lookup(pid, vpn)) {
                   l1_tlbs_[cu]->insert(*te);
-                  dataAccess(cu, pid, vaddr, *te, std::move(done));
+                  dataAccess(cu, pid, vaddr, *te, t0, std::move(done));
                   return;
               }
               auto key = Mshr<TlbEntry>::keyOf(pid, vpn);
@@ -117,17 +120,17 @@ Chiplet::translateAtL2(CuId cu, ProcessId pid, Addr vaddr, Vpn vpn,
               // proceeds, so parked retries are not double counted.
               if (!l2_mshr_->inFlight(key) && l2_mshr_->full()) {
                   ++mshr_retries_;
-                  parked_.push_back(Parked{cu, pid, vaddr, vpn,
+                  parked_.push_back(Parked{cu, pid, vaddr, vpn, t0,
                                            std::move(done)});
                   return;
               }
               ++l2_demand_misses_;
 
               auto outcome = l2_mshr_->allocate(
-                  key, [this, cu, pid, vaddr,
+                  key, [this, cu, pid, vaddr, t0,
                         done = std::move(done)](const TlbEntry &te) mutable {
                       l1_tlbs_[cu]->insert(te);
-                      dataAccess(cu, pid, vaddr, te, std::move(done));
+                      dataAccess(cu, pid, vaddr, te, t0, std::move(done));
                   });
               if (outcome != Mshr<TlbEntry>::Outcome::primary)
                   return; // merged onto the in-flight miss
@@ -156,8 +159,10 @@ Chiplet::translateAtL2(CuId cu, ProcessId pid, Addr vaddr, Vpn vpn,
 
 void
 Chiplet::dataAccess(CuId cu, ProcessId pid, Addr vaddr, const TlbEntry &te,
-                    EventQueue::Callback done)
+                    Tick t0, EventQueue::Callback done)
 {
+    if (lat_probe_)
+        lat_probe_(pid, curTick() - t0);
     Addr offset = pageOffset(vaddr, params_.page_size);
     Addr paddr = paddrOf(te.pfn, offset, params_.page_size);
     ChipletId owner = map_.chipletOf(te.pfn);
@@ -214,7 +219,7 @@ Chiplet::unparkWaiters()
         parked_.pop_front();
         after(params_.retry_interval,
               [this, p = std::move(p)]() mutable {
-                  translateAtL2(p.cu, p.pid, p.vaddr, p.vpn,
+                  translateAtL2(p.cu, p.pid, p.vaddr, p.vpn, p.t0,
                                 std::move(p.done));
               });
     }
@@ -241,6 +246,20 @@ Chiplet::shootdownVpns(ProcessId pid, const std::vector<Vpn> &vpns)
             l1->invalidate(pid, vpn);
         l2_tlb_->invalidate(pid, vpn);
     }
+}
+
+std::uint64_t
+Chiplet::shootdownAsid(ProcessId pid)
+{
+    std::uint64_t removed = 0;
+    for (auto &l1 : l1_tlbs_)
+        removed += l1->invalidateAsid(pid);
+    // The shared-L2 hypothetical's TLB is host-owned; its shootdown
+    // would have to travel the service links (the scenario engine
+    // refuses that configuration instead).
+    if (owned_l2_tlb_)
+        removed += owned_l2_tlb_->invalidateAsid(pid);
+    return removed;
 }
 
 } // namespace barre

@@ -151,6 +151,39 @@ class Chiplet : public SimObject
     /** Invalidate translations for @p vpns everywhere in this chiplet. */
     void shootdownVpns(ProcessId pid, const std::vector<Vpn> &vpns);
 
+    /**
+     * Process-exit shootdown: drop every translation @p pid owns from
+     * this chiplet's L1 TLBs and (owned) L2 TLB. @return entries
+     * invalidated. The package-shared L2 TLB hypothetical is host-
+     * owned and out of scope here (the scenario engine excludes it).
+     */
+    std::uint64_t shootdownAsid(ProcessId pid);
+
+    /**
+     * Audit helper: entries @p pid still holds anywhere in this
+     * chiplet (all L1 TLBs plus the owned L2 TLB). Must be 0 after the
+     * process's exit shootdown — System::auditNoStaleAsid().
+     */
+    std::uint64_t
+    asidResidency(ProcessId pid) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &tlb : l1_tlbs_)
+            n += tlb->occupancy(pid);
+        if (owned_l2_tlb_)
+            n += owned_l2_tlb_->occupancy(pid);
+        return n;
+    }
+
+    /**
+     * Observer for per-access translation latency (ticks from issue to
+     * translated data access), keyed by process — feeds the
+     * multi-tenant p50/p95/p99 metrics. Fired on this chiplet's event
+     * context.
+     */
+    using LatencyProbe = InlineFn<void(ProcessId, Cycles)>;
+    void setLatencyProbe(LatencyProbe p) { lat_probe_ = std::move(p); }
+
     /// @name Statistics
     /// @{
     /** Demand misses (no retry double counting) - the MPKI numerator. */
@@ -188,15 +221,17 @@ class Chiplet : public SimObject
         ProcessId pid;
         Addr vaddr;
         Vpn vpn;
+        Tick t0;
         EventQueue::Callback done;
     };
 
     void translateAtL2(CuId cu, ProcessId pid, Addr vaddr, Vpn vpn,
-                       EventQueue::Callback done);
+                       Tick t0, EventQueue::Callback done);
     /** Release requests parked on this chiplet's full MSHR file. */
     void unparkWaiters();
     void dataAccess(CuId cu, ProcessId pid, Addr vaddr,
-                    const TlbEntry &te, EventQueue::Callback done);
+                    const TlbEntry &te, Tick t0,
+                    EventQueue::Callback done);
 
     std::uint32_t pageShift() const
     {
@@ -215,6 +250,7 @@ class Chiplet : public SimObject
     // request/response links.
     SharedTlbService *shared_svc_ = nullptr;
     TranslationValidator validator_;
+    LatencyProbe lat_probe_;
     std::vector<Chiplet *> peers_;
 
     std::vector<std::unique_ptr<Tlb>> l1_tlbs_;

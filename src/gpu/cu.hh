@@ -12,11 +12,14 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "gpu/chiplet.hh"
 #include "mem/types.hh"
+#include "sim/logging.hh"
 #include "sim/sim_object.hh"
 
 namespace barre
@@ -76,8 +79,37 @@ class Cu : public SimObject
             issueNext();
     }
 
+    /**
+     * Dynamic-launch path (multi-tenant scenarios): run one CTA's
+     * access stream as an independent job, sharing the CU's issue
+     * machinery but arriving at any tick. Jobs issue concurrently with
+     * each other (each gets its own mlp slots — the CU models enough
+     * resident warps); @p on_done fires when this job's stream drains.
+     * Must not be mixed with the static addStream()/start() path.
+     */
+    void
+    launchJob(std::vector<AccessDesc> accesses,
+              EventQueue::Callback on_done)
+    {
+        barre_assert(stream_.empty(),
+                     "launchJob on a CU with a static stream");
+        barre_assert(!accesses.empty(), "launching an empty job");
+        auto job = std::make_unique<Job>();
+        job->accesses = std::move(accesses);
+        job->on_done = std::move(on_done);
+        Job *j = job.get();
+        jobs_.push_back(std::move(job));
+        const std::uint32_t slots = std::min<std::uint32_t>(
+            params_.mlp,
+            static_cast<std::uint32_t>(j->accesses.size()));
+        j->active_slots = slots;
+        for (std::uint32_t s = 0; s < slots; ++s)
+            issueJob(j);
+    }
+
     std::uint64_t accessesIssued() const { return issued_; }
     std::uint64_t streamLength() const { return stream_.size(); }
+    std::uint64_t jobsLaunched() const { return jobs_.size(); }
 
   private:
     void
@@ -95,6 +127,35 @@ class Cu : public SimObject
         });
     }
 
+    /** One dynamically launched CTA stream (stable address). */
+    struct Job
+    {
+        std::vector<AccessDesc> accesses;
+        std::size_t next = 0;
+        std::uint32_t active_slots = 0;
+        EventQueue::Callback on_done;
+    };
+
+    void
+    issueJob(Job *j)
+    {
+        if (j->next >= j->accesses.size()) {
+            if (--j->active_slots == 0) {
+                // Keep the Job shell (completion accounting) but drop
+                // the drained stream's storage.
+                j->accesses.clear();
+                j->accesses.shrink_to_fit();
+                j->on_done();
+            }
+            return;
+        }
+        const AccessDesc &a = j->accesses[j->next++];
+        ++issued_;
+        chiplet_.access(id_, a.pid, a.vaddr, [this, j]() {
+            after(params_.issue_gap, [this, j]() { issueJob(j); });
+        });
+    }
+
     Chiplet &chiplet_;
     CuId id_;
     CuParams params_;
@@ -103,6 +164,7 @@ class Cu : public SimObject
     std::uint64_t issued_ = 0;
     std::uint32_t active_slots_ = 0;
     EventQueue::Callback on_done_;
+    std::vector<std::unique_ptr<Job>> jobs_;
 };
 
 } // namespace barre

@@ -22,6 +22,24 @@ csvHeader()
 }
 
 std::string
+tenantCsvHeader()
+{
+    return "app,pid,arrival,finish,retired,runtime,accesses,"
+           "lat_p50,lat_p95,lat_p99,peak_l2_tlb";
+}
+
+std::string
+tenantCsvRow(const TenantMetrics &t)
+{
+    std::ostringstream os;
+    os << csvQuote(t.app) << ',' << t.pid << ',' << t.arrival << ','
+       << t.finish << ',' << t.retired << ',' << t.runtime() << ','
+       << t.accesses << ',' << t.lat_p50 << ',' << t.lat_p95 << ','
+       << t.lat_p99 << ',' << t.peak_l2_tlb;
+    return os.str();
+}
+
+std::string
 csvQuote(const std::string &field)
 {
     if (field.find_first_of(",\"\n\r") == std::string::npos)

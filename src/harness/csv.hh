@@ -20,6 +20,12 @@ std::string csvHeader();
 /** One metrics record as a CSV line (no trailing newline). */
 std::string csvRow(const RunMetrics &m);
 
+/** Column header matching tenantCsvRow's field order. */
+std::string tenantCsvHeader();
+
+/** One per-tenant record as a CSV line (no trailing newline). */
+std::string tenantCsvRow(const TenantMetrics &t);
+
 /** Write a whole result set with header. */
 void writeCsv(std::ostream &os, const std::vector<RunMetrics> &rows);
 

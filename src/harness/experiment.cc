@@ -56,36 +56,18 @@ saveCostCache(const char *path,
 } // namespace
 
 RunMetrics
-runApp(const SystemConfig &cfg, const AppParams &app)
+runScenario(const SystemConfig &cfg, const ScenarioSpec &spec)
 {
-    return runApp(freezeConfig(cfg), app);
+    return runScenario(freezeConfig(cfg), spec);
 }
 
 RunMetrics
-runApp(const SystemConfigHandle &cfg, const AppParams &app)
+runScenario(const SystemConfigHandle &cfg, const ScenarioSpec &spec)
 {
     System sys(cfg);
-    auto allocs = sys.allocate(app, /*pid=*/1);
-    sys.loadWorkload(app, allocs);
+    sys.loadScenario(spec);
     RunMetrics m = sys.run();
-    m.app = app.name;
-    return m;
-}
-
-RunMetrics
-runApps(const SystemConfig &cfg, const std::vector<AppParams> &apps)
-{
-    System sys(cfg);
-    std::string label;
-    ProcessId pid = 1;
-    for (const auto &app : apps) {
-        auto allocs = sys.allocate(app, pid);
-        sys.loadWorkload(app, allocs);
-        label += (label.empty() ? "" : "+") + app.name;
-        ++pid;
-    }
-    RunMetrics m = sys.run();
-    m.app = label;
+    m.app = spec.label();
     return m;
 }
 
@@ -175,16 +157,25 @@ cellCostHint(const AppParams &app)
     return accesses + 8.0 * expected_misses;
 }
 
+double
+cellCostHint(const ScenarioSpec &spec)
+{
+    double hint = 0.0;
+    for (const ResolvedTenant &t : spec.resolve())
+        hint += cellCostHint(t.app) * t.scale;
+    return hint;
+}
+
 std::vector<RunMetrics>
 runMany(const std::vector<NamedConfig> &cfgs,
-        const std::vector<AppParams> &apps, unsigned jobs)
+        const std::vector<ScenarioSpec> &specs, unsigned jobs)
 {
     const char *cache_path = std::getenv("BARRE_COST_CACHE");
     std::map<std::string, double> cache;
     if (cache_path)
         cache = loadCostCache(cache_path);
 
-    const std::size_t n = cfgs.size() * apps.size();
+    const std::size_t n = cfgs.size() * specs.size();
 
     // A sweep with fewer cells than workers leaves cores idle; hand
     // each cell's partitioned scheduler an equal share of the
@@ -210,12 +201,12 @@ runMany(const std::vector<NamedConfig> &cfgs,
             col_cfg.sim_threads = spare_threads;
         }
         SystemConfigHandle frozen = freezeConfig(std::move(col_cfg));
-        for (const auto &app : apps) {
+        for (const auto &spec : specs) {
             std::size_t i = sims.size();
             bool timed = cache_path != nullptr;
-            sims.push_back([frozen, &nc, &app, &walls, i, timed] {
+            sims.push_back([frozen, &nc, &spec, &walls, i, timed] {
                 auto t0 = std::chrono::steady_clock::now();
-                RunMetrics m = runApp(frozen, app);
+                RunMetrics m = runScenario(frozen, spec);
                 m.config = nc.name;
                 if (timed)
                     walls[i] = std::chrono::duration<double>(
@@ -224,10 +215,10 @@ runMany(const std::vector<NamedConfig> &cfgs,
                                    .count();
                 return m;
             });
-            auto it = cache.find(nc.name + "/" + app.name);
+            auto it = cache.find(nc.name + "/" + spec.label());
             hints.push_back(it != cache.end()
                                 ? it->second
-                                : cellCostHint(app));
+                                : cellCostHint(spec));
         }
     }
     std::vector<RunMetrics> results = runManyJobs(sims, hints, jobs);

@@ -23,19 +23,22 @@
 namespace barre
 {
 
-/** Build a system, run one app, return its metrics. */
-RunMetrics runApp(const SystemConfig &cfg, const AppParams &app);
+/**
+ * Build a system, run one scenario, return its metrics
+ * (RunMetrics::app = spec.label()). The historic single-app and
+ * multi-programmed runs are ScenarioSpec::solo(name) and
+ * ::pair(a, b); dynamic specs run the churn engine.
+ */
+RunMetrics runScenario(const SystemConfig &cfg,
+                       const ScenarioSpec &spec);
 
 /**
  * Same, from a frozen config handle. runMany() uses this to build every
  * cell of a column from one shared immutable SystemConfig instead of a
  * per-cell copy.
  */
-RunMetrics runApp(const SystemConfigHandle &cfg, const AppParams &app);
-
-/** Multi-programmed run: each app gets its own process id. */
-RunMetrics runApps(const SystemConfig &cfg,
-                   const std::vector<AppParams> &apps);
+RunMetrics runScenario(const SystemConfigHandle &cfg,
+                       const ScenarioSpec &spec);
 
 /** One column of an experiment: a named system configuration. */
 struct NamedConfig
@@ -45,11 +48,12 @@ struct NamedConfig
 };
 
 /**
- * Run the full (config x app) grid — config-major, i.e. result index
- * c * apps.size() + a — across @p jobs workers (0 = $BARRE_JOBS, else
- * hardware concurrency; 1 = plain serial loop, no threads spawned).
- * Each cell is runApp() with RunMetrics::config set to the config name.
- * Results are deterministic and independent of the worker count.
+ * Run the full (config x scenario) grid — config-major, i.e. result
+ * index c * specs.size() + s — across @p jobs workers (0 =
+ * $BARRE_JOBS, else hardware concurrency; 1 = plain serial loop, no
+ * threads spawned). Each cell is runScenario() with
+ * RunMetrics::config set to the config name. Results are
+ * deterministic and independent of the worker count.
  *
  * Cells are scheduled longest-expected-first (cellCostHint(), or the
  * cell's last measured wall time when $BARRE_COST_CACHE names a cache
@@ -57,7 +61,7 @@ struct NamedConfig
  * collected by grid index, so output is unaffected by the ordering.
  */
 std::vector<RunMetrics> runMany(const std::vector<NamedConfig> &cfgs,
-                                const std::vector<AppParams> &apps,
+                                const std::vector<ScenarioSpec> &specs,
                                 unsigned jobs = 0);
 
 /**
@@ -92,6 +96,9 @@ runManyJobs(const std::vector<std::function<RunMetrics()>> &sims,
  * order cells longest-expected-first.
  */
 double cellCostHint(const AppParams &app);
+
+/** Scenario form: the sum of its resolved tenants' hints x scale. */
+double cellCostHint(const ScenarioSpec &spec);
 
 /**
  * Fixed-width text table, printed in the shape of the paper's figures

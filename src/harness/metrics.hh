@@ -15,6 +15,38 @@
 namespace barre
 {
 
+/**
+ * Per-tenant lifecycle and tail-latency metrics from a multi-tenant
+ * scenario run (empty for static single/multi-app runs).
+ */
+struct TenantMetrics
+{
+    std::string app;
+    std::uint32_t pid = 0;
+
+    Tick arrival = 0; ///< launch tick
+    Tick finish = 0;  ///< last access drained (host-observed)
+    Tick retired = 0; ///< teardown + shootdown storm completed
+    std::uint64_t accesses = 0;
+
+    /// @name Translation latency percentiles, cycles (issue ->
+    /// translated data access; LogHistogram representatives)
+    /// @{
+    std::uint64_t lat_p50 = 0;
+    std::uint64_t lat_p95 = 0;
+    std::uint64_t lat_p99 = 0;
+    /// @}
+
+    /** High-water L2 TLB entries held, summed over chiplets. */
+    std::uint64_t peak_l2_tlb = 0;
+
+    /** Wall the tenant ran: arrival to last access. */
+    Tick runtime() const { return finish - arrival; }
+
+    friend bool operator==(const TenantMetrics &,
+                           const TenantMetrics &) = default;
+};
+
 struct RunMetrics
 {
     std::string config;
@@ -77,6 +109,9 @@ struct RunMetrics
     std::uint64_t mapped_pages = 0;
     std::uint64_t migrations = 0;
     /// @}
+
+    /** Per-tenant rows (scenario-engine runs only), pid order. */
+    std::vector<TenantMetrics> tenants;
 
     /** Fraction of translation misses served without the IOMMU. */
     double

@@ -338,13 +338,18 @@ System::allocate(const AppParams &app, ProcessId pid)
 
 void
 System::loadWorkload(const AppParams &app,
-                     const std::vector<DataAlloc> &allocs)
+                     const std::vector<DataAlloc> &allocs,
+                     double tenant_scale)
 {
     AppParams eff = app;
     if (cfg_.workload_scale != 1.0) {
         eff.ctas = std::max<std::uint32_t>(
             cfg_.chiplets * 4,
             static_cast<std::uint32_t>(app.ctas * cfg_.workload_scale));
+    }
+    if (tenant_scale != 1.0) {
+        eff.ctas = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(eff.ctas * tenant_scale));
     }
 
     for (std::uint32_t t = 0; t < eff.ctas; ++t) {
@@ -358,6 +363,158 @@ System::loadWorkload(const AppParams &app,
     total_instructions_ += eff.ctas *
                            static_cast<double>(eff.accesses_per_cta) *
                            eff.instr_per_access;
+}
+
+const char *
+System::scenarioBlocker() const
+{
+    // The churn engine mutates driver/IOMMU state mid-run (arrivals
+    // allocate, exits tear down); anything that reads that state from
+    // outside the host context — or that has no process-exit path —
+    // cannot carry a dynamic scenario yet.
+    if (cfg_.use_gmmu)
+        return "the GMMU platform (no GMMU detach path)";
+    if (cfg_.driver.demand_paging)
+        return "demand paging's mid-run page-table mutation";
+    if (cfg_.shared_l2_tlb)
+        return "the package-shared L2 TLB hypothetical";
+    if (cfg_.migration.enabled)
+        return "page migration racing process teardown";
+    if (cfg_.iommu.multicast)
+        return "IOMMU multicast pushes (unsolicited fills may land "
+               "after exit)";
+    if (cfg_.mode == TranslationMode::valkyrie ||
+        cfg_.mode == TranslationMode::least)
+        return "a TLB-sharing translation service";
+    if (cfg_.validate_translations)
+        return "synchronous page-table validation";
+    return nullptr;
+}
+
+void
+System::loadScenario(const ScenarioSpec &spec)
+{
+    barre_assert(!engine_ && total_accesses_ == 0,
+                 "loadScenario() must be the only workload load");
+    const std::vector<ResolvedTenant> tenants = spec.resolve();
+
+    if (!spec.dynamicArrivals()) {
+        // Static preload: byte-for-byte the historic single/multi-app
+        // path — allocate + load each tenant in pid order.
+        ProcessId pid = 1;
+        for (const ResolvedTenant &t : tenants) {
+            auto allocs = allocate(t.app, pid);
+            loadWorkload(t.app, allocs, t.scale);
+            ++pid;
+        }
+        return;
+    }
+
+    if (const char *why = scenarioBlocker()) {
+        barre_fatal("dynamic scenario '%s' is unsupported on this "
+                    "configuration: %s",
+                    spec.label().c_str(), why);
+    }
+
+    engine_ = std::make_unique<ScenarioEngine>(eq_, "scenario", *pcie_,
+                                               cfg_.chiplets);
+    for (const ResolvedTenant &t : tenants) {
+        // The engine stores the tenant's app with its CTA count fully
+        // scaled, so planTenant() at arrival time is scale-free.
+        AppParams eff = t.app;
+        if (cfg_.workload_scale != 1.0) {
+            eff.ctas = std::max<std::uint32_t>(
+                cfg_.chiplets * 4, static_cast<std::uint32_t>(
+                                       eff.ctas * cfg_.workload_scale));
+        }
+        if (t.scale != 1.0) {
+            eff.ctas = std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(eff.ctas * t.scale));
+        }
+        engine_->addTenant(std::move(eff), t.arrival);
+    }
+
+    engine_->setHooks(
+        [this](const AppParams &app, ProcessId pid) {
+            return planTenant(app, pid);
+        },
+        [this](ChipletId c, std::uint32_t cu,
+               std::vector<AccessDesc> accesses,
+               EventQueue::Callback done) {
+            cus_[c][cu]->launchJob(std::move(accesses), std::move(done));
+        },
+        [this](ChipletId c, ProcessId pid) {
+            chiplets_[c]->shootdownAsid(pid);
+        },
+        [this](ProcessId pid) {
+            // Detach the IOMMU first: it holds a pointer into the page
+            // table processExit() destroys.
+            iommu_->detachProcess(pid);
+            driver_->processExit(pid);
+        });
+    engine_->bindDomains(&guard_);
+
+    for (std::uint32_t c = 0; c < cfg_.chiplets; ++c) {
+        chiplets_[c]->setLatencyProbe(
+            [this, c](ProcessId pid, Cycles lat) {
+                engine_->recordLatency(c, pid, lat);
+            });
+    }
+}
+
+ScenarioEngine::LaunchPlan
+System::planTenant(const AppParams &app, ProcessId pid)
+{
+    auto allocs = allocate(app, pid);
+
+    // Same CTA generation/placement as the preload path, but grouped
+    // into one job per CU so a CU's share issues with its usual mlp
+    // slots no matter how many CTAs land on it.
+    ScenarioEngine::LaunchPlan plan(cfg_.chiplets);
+    std::vector<std::vector<std::int32_t>> job_of(
+        cfg_.chiplets,
+        std::vector<std::int32_t>(cfg_.cus_per_chiplet, -1));
+    for (std::uint32_t t = 0; t < app.ctas; ++t) {
+        auto accesses = generateCta(app, allocs, t, cfg_.page_size);
+        ChipletId c = assignCta(cfg_.driver.policy, app, allocs, t,
+                                cfg_.chiplets);
+        std::uint32_t u = next_cu_[c]++ % cfg_.cus_per_chiplet;
+        total_accesses_ += accesses.size();
+        if (job_of[c][u] < 0) {
+            job_of[c][u] = static_cast<std::int32_t>(plan[c].size());
+            plan[c].push_back(ScenarioEngine::CuJob{u, {}});
+        }
+        auto &stream = plan[c][job_of[c][u]].accesses;
+        stream.insert(stream.end(), accesses.begin(), accesses.end());
+    }
+    total_instructions_ += app.ctas *
+                           static_cast<double>(app.accesses_per_cta) *
+                           app.instr_per_access;
+    return plan;
+}
+
+void
+System::auditNoStaleAsid() const
+{
+    barre_assert(engine_, "ASID audit without a scenario engine");
+    for (const auto &ts : engine_->tenantStates()) {
+        if (!ts.done)
+            continue;
+        for (std::uint32_t c = 0; c < cfg_.chiplets; ++c) {
+            std::uint64_t left = chiplets_[c]->asidResidency(ts.pid);
+            barre_assert(left == 0,
+                         "stale ASID: %llu TLB entries for exited "
+                         "tenant %u still in gpu%u",
+                         (unsigned long long)left, ts.pid, c);
+        }
+        if (const Tlb *tlb = iommu_->iommuTlb()) {
+            std::uint64_t left = tlb->occupancy(ts.pid);
+            barre_assert(left == 0,
+                         "stale ASID: %llu IOMMU-TLB entries for "
+                         "exited tenant %u",
+                         (unsigned long long)left, ts.pid);
+        }
+    }
 }
 
 void
@@ -404,7 +561,12 @@ System::dumpStats(std::ostream &os) const
     os << "noc.messages " << noc_->totalMessages() << "\n";
     os << "pcie.up_bytes " << pcie_->upstream().bytesSent() << "\n";
     os << "pcie.down_bytes " << pcie_->downstream().bytesSent() << "\n";
+    if (engine_) {
+        os << "scenario.launches " << engine_->launches() << "\n";
+        os << "scenario.retires " << engine_->retires() << "\n";
+    }
     os << "driver.mapped_pages " << driver_->totalMappedPages() << "\n";
+    os << "driver.process_exits " << driver_->processExits() << "\n";
     os << "driver.coalesced_pages " << driver_->coalescedPages() << "\n";
     os << "driver.merged_pages " << driver_->mergedGroupPages() << "\n";
     os << "driver.fallback_pages " << driver_->fallbackPages() << "\n";
@@ -421,6 +583,20 @@ System::dumpStats(std::ostream &os) const
         os << "migration.avg_round_cycles "
            << migrator_->roundLatency().mean() << "\n";
     }
+}
+
+Trace
+System::recordAppTrace(const AppParams &app)
+{
+    // Record what this system would actually run: the same
+    // workload_scale flooring as the preload path.
+    AppParams eff = app;
+    if (cfg_.workload_scale != 1.0) {
+        eff.ctas = std::max<std::uint32_t>(
+            cfg_.chiplets * 4,
+            static_cast<std::uint32_t>(app.ctas * cfg_.workload_scale));
+    }
+    return recordTrace(eff, allocate(app, 1), cfg_.page_size);
 }
 
 void
@@ -445,7 +621,8 @@ System::run()
 {
     barre_assert(!ran_, "System::run() is one-shot");
     ran_ = true;
-    barre_assert(total_accesses_ > 0, "no workload loaded");
+    // Dynamic scenarios count accesses lazily, at each arrival.
+    barre_assert(engine_ || total_accesses_ > 0, "no workload loaded");
 
     cus_with_work_ = 0;
     for (auto &per_chip : cus_)
@@ -456,6 +633,13 @@ System::run()
     // Checks only bite between here and the end of the drain: setup /
     // harvest code legitimately pokes components from the host context.
     guard_.setMode(DomainGuard::resolveMode(guard_.mode(), pdes_.on));
+
+    if (engine_) {
+        // Arrivals are host-domain events; their chiplet effects ride
+        // PCIe (workloads/scenario_engine.hh).
+        EventQueue::TagScope scope(eq_, kHostTag);
+        engine_->begin();
+    }
 
     std::uint64_t fired = 0;
     if (pdes_.on) {
@@ -508,6 +692,12 @@ System::run()
     barre_assert(cus_done_ == cus_with_work_,
                  "simulation drained with %u/%u CUs unfinished",
                  cus_with_work_ - cus_done_, cus_with_work_);
+    if (engine_) {
+        barre_assert(engine_->allRetired(),
+                     "scenario drained with tenants unretired");
+        finish_tick_ = engine_->lastRetireTick();
+        auditNoStaleAsid();
+    }
 
     RunMetrics m;
     m.config = to_string(cfg_.mode);
@@ -560,6 +750,25 @@ System::run()
     m.mapped_pages = driver_->totalMappedPages();
     if (migrator_)
         m.migrations = migrator_->migrations();
+
+    if (engine_) {
+        for (const auto &ts : engine_->tenantStates()) {
+            TenantMetrics t;
+            t.app = ts.app.name;
+            t.pid = ts.pid;
+            t.arrival = ts.launched;
+            t.finish = ts.finished;
+            t.retired = ts.retired;
+            t.accesses = ts.accesses;
+            LogHistogram lat = engine_->mergedLatency(ts.pid);
+            t.lat_p50 = lat.percentile(0.50);
+            t.lat_p95 = lat.percentile(0.95);
+            t.lat_p99 = lat.percentile(0.99);
+            for (const auto &c : chiplets_)
+                t.peak_l2_tlb += c->l2Tlb().peakOccupancy(ts.pid);
+            m.tenants.push_back(std::move(t));
+        }
+    }
     return m;
 }
 

@@ -14,6 +14,8 @@
 #include "harness/config.hh"
 #include "harness/metrics.hh"
 #include "sim/domain_guard.hh"
+#include "workloads/scenario.hh"
+#include "workloads/scenario_engine.hh"
 #include "workloads/trace.hh"
 #include "workloads/workload.hh"
 
@@ -32,16 +34,27 @@ class System
     explicit System(SystemConfig cfg);
     ~System();
 
-    /** Allocate an app's buffers through the driver. */
-    std::vector<DataAlloc> allocate(const AppParams &app, ProcessId pid);
+    /**
+     * Load the machine's tenants from a ScenarioSpec — the one
+     * workload-selection entry point (workloads/scenario.hh).
+     *
+     * Static scenarios (every arrival at tick 0) preload each tenant's
+     * buffers and CTAs exactly like the historic single/multi-app
+     * paths; ScenarioSpec::solo()/pair() reproduce those runs bitwise.
+     * Dynamic scenarios (non-zero arrivals or a churn clause) run
+     * through the scenario engine: tenants launch at their arrival
+     * ticks and exit with full driver/IOMMU teardown plus an ASID
+     * shootdown storm across the chiplets. Call once, before run().
+     */
+    void loadScenario(const ScenarioSpec &spec);
 
     /**
-     * Generate the app's CTAs and distribute them over CUs (co-located
-     * per the mapping policy). Call once per app (multi-programming =
-     * multiple calls with distinct pids).
+     * Allocate @p app's buffers through the driver and record the
+     * access streams its workload model generates — no simulation run
+     * (barre_sim --record-trace, trace regression pinning). Applies
+     * cfg.workload_scale exactly like the scenario preload path.
      */
-    void loadWorkload(const AppParams &app,
-                      const std::vector<DataAlloc> &allocs);
+    Trace recordAppTrace(const AppParams &app);
 
     /**
      * Load a recorded/imported trace (workloads/trace.hh). CTAs are
@@ -52,6 +65,15 @@ class System
 
     /** Run to completion and harvest metrics. */
     RunMetrics run();
+
+    /**
+     * Multi-tenant invariant: no TLB level (chiplet L1s, owned L2s,
+     * the IOMMU TLB) still holds an entry for an exited tenant.
+     * Checked automatically after every scenario-engine run; panics
+     * (std::logic_error) on a stale ASID. Public so the teardown tests
+     * can corrupt a TLB and watch it bite.
+     */
+    void auditNoStaleAsid() const;
 
     /**
      * Dump every component's counters (gem5-style stats listing) to
@@ -76,8 +98,15 @@ class System
     FBarreService *fbarre() { return fbarre_.get(); }
     AcudMigrator *migrator() { return migrator_.get(); }
     SharedTlbService *sharedTlb() { return shared_tlb_svc_.get(); }
+    /** The churn engine (null unless a dynamic scenario is loaded). */
+    ScenarioEngine *scenarioEngine() { return engine_.get(); }
     const SystemConfig &config() const { return cfg_; }
     const MemoryMap &memoryMap() const { return *map_; }
+    /** Every buffer allocated so far, in allocation order. */
+    const std::vector<DataAlloc> &allocations() const
+    {
+        return all_allocs_;
+    }
     /** Whether this run executes partitioned (tagged engine active). */
     bool partitioned() const { return pdes_.on; }
     /** The epoch lookahead the partition plan computed (1 when off). */
@@ -85,6 +114,25 @@ class System
     /// @}
 
   private:
+    /** Allocate an app's buffers through the driver. */
+    std::vector<DataAlloc> allocate(const AppParams &app, ProcessId pid);
+    /**
+     * Generate the app's CTAs and distribute them over CUs (co-located
+     * per the mapping policy); @p tenant_scale multiplies the CTA
+     * count on top of cfg.workload_scale. Preload path only — dynamic
+     * tenants go through planTenant().
+     */
+    void loadWorkload(const AppParams &app,
+                      const std::vector<DataAlloc> &allocs,
+                      double tenant_scale = 1.0);
+    /**
+     * Scenario-engine launch hook: allocate the arriving tenant's
+     * buffers and plan its CTA placement (host context).
+     */
+    ScenarioEngine::LaunchPlan planTenant(const AppParams &app,
+                                          ProcessId pid);
+    /** Why @p cfg cannot run a dynamic scenario, or nullptr. */
+    const char *scenarioBlocker() const;
     void buildService();
     /** Why @p cfg cannot be partitioned, or nullptr if it can. */
     static const char *partitionBlocker(const SystemConfig &cfg);
@@ -112,6 +160,7 @@ class System
     std::vector<std::uint32_t> next_cu_; ///< round-robin CTA placement
 
     std::unique_ptr<SharedTlbService> shared_tlb_svc_;
+    std::unique_ptr<ScenarioEngine> engine_;
 
     std::unique_ptr<AtsService> ats_service_;
     std::unique_ptr<GmmuService> gmmu_service_;

@@ -65,6 +65,32 @@ Iommu::attachPageTable(PageTable &pt)
     page_tables_[pt.pid()] = &pt;
 }
 
+void
+Iommu::detachProcess(ProcessId pid)
+{
+    domainCheck("detachProcess");
+    // Detach only quiesced processes: a queued or walking request
+    // would complete against a freed page table.
+    for (const Request &r : pw_queue_)
+        barre_assert(r.pid != pid,
+                     "detachProcess(%u) with a queued walk", pid);
+    for (const Request &r : overflow_)
+        barre_assert(r.pid != pid,
+                     "detachProcess(%u) with an overflowed walk", pid);
+    for (const auto &[p, vpn] : in_flight_)
+        barre_assert(p != pid,
+                     "detachProcess(%u) with a walk in flight", pid);
+
+    page_tables_.erase(pid);
+    pec_buffer_.eraseProcess(pid);
+    if (tlb_)
+        tlb_->invalidateAsid(pid);
+    if (pwc_)
+        pwc_->invalidateAsid(pid);
+    last_served_.erase(pid);
+    ++detaches_;
+}
+
 const PageTable *
 Iommu::tableFor(ProcessId pid) const
 {
@@ -173,9 +199,35 @@ Iommu::coalescibleWithInFlight(const Request &req) const
 void
 Iommu::tryDispatch()
 {
+    const bool coal_sched = params_.barre && params_.coal_aware_sched;
     while (!pw_queue_.empty() &&
            (params_.ptws == 0 || busy_ptws_ < params_.ptws)) {
-        if (params_.barre && params_.coal_aware_sched) {
+        std::size_t pick = 0;
+        if (params_.fair_pw_sched) {
+            // Per-tenant fairness: dispatch the request whose process
+            // was least recently granted a walker; FIFO breaks ties
+            // (and orders never-served processes). Coalescible
+            // requests stay deferred exactly as in the FIFO path.
+            bool found = false;
+            std::uint64_t best = 0;
+            for (std::size_t i = 0; i < pw_queue_.size(); ++i) {
+                if (coal_sched &&
+                    coalescibleWithInFlight(pw_queue_[i]))
+                    continue;
+                auto it = last_served_.find(pw_queue_[i].pid);
+                const std::uint64_t stamp =
+                    it != last_served_.end() ? it->second : 0;
+                if (!found || stamp < best) {
+                    found = true;
+                    best = stamp;
+                    pick = i;
+                }
+            }
+            if (!found) {
+                ++deferrals_;
+                break; // everything pending will be calculated shortly
+            }
+        } else if (coal_sched) {
             // De-prioritize coalescible heads (bounded rotation so a
             // queue of all-coalescible requests still progresses).
             std::size_t rotations = 0;
@@ -189,8 +241,11 @@ Iommu::tryDispatch()
             if (rotations == pw_queue_.size() && rotations > 0)
                 break; // everything pending will be calculated shortly
         }
-        Request req = std::move(pw_queue_.front());
-        pw_queue_.pop_front();
+        Request req = std::move(pw_queue_[pick]);
+        pw_queue_.erase(pw_queue_.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+        if (params_.fair_pw_sched)
+            last_served_[req.pid] = ++serve_stamp_;
         if (!overflow_.empty()) {
             pw_queue_.push_back(std::move(overflow_.front()));
             overflow_.pop_front();

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -80,6 +81,16 @@ struct IommuParams
     std::uint32_t pwc_entries = 64;
     std::uint32_t pwc_ways = 8;
 
+    /**
+     * Per-tenant fair PW-queue scheduling: dispatch the queued request
+     * whose process was least recently served a walker (FIFO within a
+     * process and among never-served processes) instead of strict
+     * FIFO, so one thrashing tenant cannot monopolize the walkers.
+     * Composes with coal_aware_sched (coalescible requests are still
+     * deferred). Off (FIFO) by default.
+     */
+    bool fair_pw_sched = false;
+
     /** Demand-paging fault service time (driver + copy-in; §VI). */
     Cycles fault_latency = 20000;
 
@@ -122,6 +133,19 @@ class Iommu : public SimObject, public DomainOwned
 
     /** Register a process's page table (driver setup). */
     void attachPageTable(PageTable &pt);
+
+    /**
+     * Process teardown (multi-tenant churn): forget the page table,
+     * drop the process's PEC entries and flush its IOMMU-TLB/PWC
+     * state. The caller must guarantee no translation for @p pid is
+     * still queued or walking — asserted here.
+     */
+    void detachProcess(ProcessId pid);
+
+    std::uint64_t processDetaches() const { return detaches_.value(); }
+
+    /** The optional IOMMU TLB (null unless tlb_enabled); audits. */
+    const Tlb *iommuTlb() const { return tlb_.get(); }
 
     /** PEC buffer, populated by the driver at allocation time. */
     PecBuffer &pecBuffer() { return pec_buffer_; }
@@ -225,6 +249,10 @@ class Iommu : public SimObject, public DomainOwned
     std::vector<std::pair<ProcessId, Vpn>> in_flight_;
     std::uint32_t busy_ptws_ = 0;
 
+    /** Fair scheduling: per-process last-dispatch stamps. */
+    std::map<ProcessId, std::uint64_t> last_served_;
+    std::uint64_t serve_stamp_ = 0;
+
     VpnProbe vpn_probe_;
     Counter ats_requests_;
     Counter walks_;
@@ -235,6 +263,7 @@ class Iommu : public SimObject, public DomainOwned
     Counter pwc_hits_;
     Counter pwc_misses_;
     Counter page_faults_;
+    Counter detaches_;
     FaultHandler fault_handler_;
     Accumulator processing_time_;
     Accumulator queue_depth_;

@@ -11,8 +11,45 @@ Tlb::Tlb(const TlbParams &p) : params_(p)
     barre_assert(p.entries % p.ways == 0,
                  "entries (%u) not divisible by ways (%u)", p.entries,
                  p.ways);
+    barre_assert(p.asid_partitions == 0 ||
+                     (p.asid_partitions <= p.ways &&
+                      p.ways % p.asid_partitions == 0),
+                 "asid_partitions (%u) must divide ways (%u)",
+                 p.asid_partitions, p.ways);
     sets_ = p.entries / p.ways;
     ways_.resize(p.entries);
+}
+
+void
+Tlb::occInsert(ProcessId pid)
+{
+    AsidOcc &occ = asid_occ_[pid];
+    ++occ.current;
+    if (occ.current > occ.peak)
+        occ.peak = occ.current;
+}
+
+void
+Tlb::occRemove(ProcessId pid)
+{
+    auto it = asid_occ_.find(pid);
+    barre_assert(it != asid_occ_.end() && it->second.current > 0,
+                 "ASID occupancy underflow for process %u", pid);
+    --it->second.current;
+}
+
+std::uint64_t
+Tlb::occupancy(ProcessId pid) const
+{
+    auto it = asid_occ_.find(pid);
+    return it != asid_occ_.end() ? it->second.current : 0;
+}
+
+std::uint64_t
+Tlb::peakOccupancy(ProcessId pid) const
+{
+    auto it = asid_occ_.find(pid);
+    return it != asid_occ_.end() ? it->second.peak : 0;
 }
 
 Tlb::Way *
@@ -70,9 +107,20 @@ Tlb::insert(const TlbEntry &entry)
         return;
     }
 
+    // Fill-candidate ways: the whole set, or — under per-tenant way
+    // partitioning — only this process's static slice of it.
+    std::uint32_t w_lo = 0;
+    std::uint32_t w_hi = params_.ways;
+    if (params_.asid_partitions > 0) {
+        const std::uint32_t per =
+            params_.ways / params_.asid_partitions;
+        w_lo = (entry.pid % params_.asid_partitions) * per;
+        w_hi = w_lo + per;
+    }
+
     std::uint32_t set = setOf(entry.vpn);
     Way *victim = nullptr;
-    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+    for (std::uint32_t w = w_lo; w < w_hi; ++w) {
         Way &way = ways_[std::size_t{set} * params_.ways + w];
         if (!way.entry.valid) {
             victim = &way;
@@ -85,12 +133,14 @@ Tlb::insert(const TlbEntry &entry)
     if (victim->entry.valid) {
         ++evictions_;
         --valid_count_;
+        occRemove(victim->entry.pid);
         if (on_evict_)
             on_evict_(victim->entry);
     }
     victim->entry = entry;
     victim->lru = ++stamp_;
     ++valid_count_;
+    occInsert(entry.pid);
     if (on_insert_)
         on_insert_(victim->entry);
 }
@@ -103,6 +153,7 @@ Tlb::invalidate(ProcessId pid, Vpn vpn)
         TlbEntry gone = way->entry;
         way->entry = TlbEntry{};
         --valid_count_;
+        occRemove(gone.pid);
         if (on_evict_)
             on_evict_(gone);
         return true;
@@ -121,7 +172,41 @@ Tlb::shootdown()
         }
         way.lru = 0;
     }
+    for (auto &[pid, occ] : asid_occ_)
+        occ.current = 0;
     barre_assert(valid_count_ == 0, "shootdown accounting broke");
+}
+
+std::uint64_t
+Tlb::invalidateAsid(ProcessId pid)
+{
+    domainCheck("invalidateAsid");
+    std::uint64_t removed = 0;
+    for (Way &way : ways_) {
+        if (way.entry.valid && way.entry.pid == pid) {
+            TlbEntry gone = way.entry;
+            way.entry = TlbEntry{};
+            way.lru = 0;
+            --valid_count_;
+            ++removed;
+            if (on_evict_)
+                on_evict_(gone);
+        }
+    }
+    auto it = asid_occ_.find(pid);
+    if (it != asid_occ_.end()) {
+        barre_assert(it->second.current == removed,
+                     "ASID %u occupancy (%llu) disagrees with its live "
+                     "entries (%llu)",
+                     pid,
+                     static_cast<unsigned long long>(it->second.current),
+                     static_cast<unsigned long long>(removed));
+        it->second.current = 0;
+    } else {
+        barre_assert(removed == 0,
+                     "untracked ASID %u had live entries", pid);
+    }
+    return removed;
 }
 
 } // namespace barre

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -33,6 +34,15 @@ struct TlbParams
     std::uint32_t ways = 16;
     Cycles lookup_latency = 10;
     std::uint32_t mshrs = 16;
+
+    /**
+     * Per-tenant way partitioning: 0 (default) shares all ways, N > 0
+     * statically carves the ways of each set into N partitions and
+     * restricts fills for process p to partition p % N. Lookups still
+     * search the whole set, so 0 is bitwise-identical to the historic
+     * shared policy.
+     */
+    std::uint32_t asid_partitions = 0;
 
     bool operator==(const TlbParams &) const = default;
 };
@@ -80,6 +90,13 @@ class Tlb : public DomainOwned
     /** Invalidate everything (TLB shootdown). */
     void shootdown();
 
+    /**
+     * Invalidate every entry owned by @p pid (process-exit shootdown).
+     * Fires the evict listener per removed entry so filter mirrors stay
+     * coherent. @return the number of entries removed.
+     */
+    std::uint64_t invalidateAsid(ProcessId pid);
+
     void setEvictListener(EvictListener l) { on_evict_ = std::move(l); }
     void setInsertListener(InsertListener l) { on_insert_ = std::move(l); }
 
@@ -99,6 +116,11 @@ class Tlb : public DomainOwned
     std::uint64_t evictions() const { return evictions_.value(); }
     std::uint64_t validEntries() const { return valid_count_; }
 
+    /** Current number of valid entries owned by @p pid. */
+    std::uint64_t occupancy(ProcessId pid) const;
+    /** High-water mark of @p pid's occupancy over the run. */
+    std::uint64_t peakOccupancy(ProcessId pid) const;
+
     /** Storage cost in bits, for the §VII-K overhead model. */
     std::uint64_t storageBits(std::uint32_t bits_per_entry = 89) const
     {
@@ -112,15 +134,24 @@ class Tlb : public DomainOwned
         std::uint64_t lru = 0; ///< last-touch stamp; smaller = older
     };
 
+    struct AsidOcc
+    {
+        std::uint64_t current = 0;
+        std::uint64_t peak = 0;
+    };
+
     std::uint32_t setOf(Vpn vpn) const { return vpn % sets_; }
     Way *findWay(ProcessId pid, Vpn vpn);
     const Way *findWay(ProcessId pid, Vpn vpn) const;
+    void occInsert(ProcessId pid);
+    void occRemove(ProcessId pid);
 
     TlbParams params_;
     std::uint32_t sets_;
     std::vector<Way> ways_; ///< sets_ x params_.ways, row-major
     std::uint64_t stamp_ = 0;
     std::uint64_t valid_count_ = 0;
+    std::map<ProcessId, AsidOcc> asid_occ_; ///< per-tenant accounting
 
     Counter hits_;
     Counter misses_;

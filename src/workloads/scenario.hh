@@ -1,0 +1,124 @@
+/**
+ * @file
+ * First-class workload-selection API: the ScenarioSpec value type and
+ * its string grammar.
+ *
+ * A scenario names the tenants of one simulated machine — which
+ * application each runs (resolved through a string-keyed registry over
+ * standardSuite(), extensible for tests), a per-tenant workload scale,
+ * and an arrival schedule. Two schedule forms compose:
+ *
+ *  - a fixed tenant list, each with an explicit arrival tick
+ *    (arrival 0 = launched before the simulation starts — the historic
+ *    single-app and multi-app paths are the trivial specs solo() and
+ *    pair());
+ *  - a seeded-Poisson churn clause: N additional tenants drawn
+ *    uniformly from the standard suite, arriving as a Poisson process
+ *    of `rate` tenants per 100k-cycle window. Deterministic: the same
+ *    seed always yields the same apps and arrival ticks.
+ *
+ * Spec grammar (parseScenarioSpec; strict — garbage is fatal):
+ *
+ *   spec    := term ('+' term)*            e.g.  "cov+atax"
+ *   term    := name['*'SCALE]['@'ARRIVAL]  e.g.  "mvt*0.5@2000"
+ *            | "poisson:" N ":" RATE [":" SEED]
+ *   "@file" := read terms from a file (whitespace-separated,
+ *              '#' comments)
+ *
+ * Tenants with any non-zero arrival — and any poisson clause — make
+ * the scenario *dynamic*: the System runs it through the scenario
+ * engine (launch/exit churn) instead of the static preload path.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workloads/workload.hh"
+
+namespace barre
+{
+
+/// @name Scenario application registry
+/// A string-keyed registry over standardSuite(). Lookups of unknown
+/// names are fatal with the known names listed; tests and embedders
+/// can registerScenarioApp() custom AppParams (same-name re-register
+/// replaces).
+/// @{
+void registerScenarioApp(const AppParams &app);
+const AppParams &scenarioApp(const std::string &name);
+std::vector<std::string> scenarioAppNames();
+/// @}
+
+/** One named tenant in a scenario. */
+struct TenantSpec
+{
+    std::string app;     ///< registry name
+    double scale = 1.0;  ///< per-tenant CTA-count multiplier
+    Tick arrival = 0;    ///< launch tick (0 = preloaded)
+
+    friend bool operator==(const TenantSpec &, const TenantSpec &) =
+        default;
+};
+
+/** A tenant with its application resolved from the registry. */
+struct ResolvedTenant
+{
+    AppParams app;
+    double scale = 1.0;
+    Tick arrival = 0;
+};
+
+struct ScenarioSpec
+{
+    /** Churn-rate denominator: arrivals per this many cycles. */
+    static constexpr double kChurnWindow = 100000.0;
+
+    std::vector<TenantSpec> tenants;
+
+    /// @name Seeded-Poisson churn clause (0 tenants = none)
+    /// @{
+    std::uint32_t churn_tenants = 0;
+    double churn_rate = 0.0; ///< arrivals per kChurnWindow cycles
+    std::uint64_t seed = 1;
+    /// @}
+
+    friend bool operator==(const ScenarioSpec &, const ScenarioSpec &) =
+        default;
+
+    /** The historic single-app run. */
+    static ScenarioSpec solo(const std::string &name);
+    /** The historic two-app multi-programmed run (Fig 27a). */
+    static ScenarioSpec pair(const std::string &a, const std::string &b);
+    /** Pure churn: @p n Poisson arrivals at @p rate per 100k cycles. */
+    static ScenarioSpec poisson(std::uint32_t n, double rate,
+                                std::uint64_t seed);
+
+    /** True when any tenant arrives after tick 0 (engine required). */
+    bool dynamicArrivals() const;
+
+    /** Human/CSV label ("cov", "cov+atax", "poisson:64:2:7", ...). */
+    std::string label() const;
+
+    /**
+     * Materialize the tenant list: explicit tenants first (registry
+     * lookups are fatal on unknown names), then the churn clause
+     * expanded deterministically from the seed. Process ids are
+     * assigned by the System in this order (1-based).
+     */
+    std::vector<ResolvedTenant> resolve() const;
+};
+
+/** Parse the spec grammar above; fatal on any malformed input. */
+ScenarioSpec parseScenarioSpec(const std::string &text);
+
+/**
+ * One solo() spec per app — the bridge from suite subsets
+ * (standardSuite(), appsByCategory()) to the benches' scenario grids.
+ */
+std::vector<ScenarioSpec> soloSpecs(const std::vector<AppParams> &apps);
+
+} // namespace barre

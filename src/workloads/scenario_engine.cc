@@ -1,0 +1,184 @@
+#include "workloads/scenario_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace barre
+{
+
+ScenarioEngine::ScenarioEngine(EventQueue &eq, std::string name,
+                               Pcie &pcie, std::uint32_t chiplets,
+                               const ScenarioEngineParams &params)
+    : SimObject(eq, std::move(name)), pcie_(pcie), params_(params),
+      shards_(chiplets)
+{
+    barre_assert(chiplets > 0, "scenario engine with no chiplets");
+}
+
+void
+ScenarioEngine::bindDomains(DomainGuard *guard)
+{
+    bindDomain(guard, kHostTag, "scenario");
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+        shards_[c].bindDomain(guard,
+                              chipletTag(static_cast<ChipletId>(c)),
+                              "scenario.chip" + std::to_string(c));
+    }
+}
+
+void
+ScenarioEngine::addTenant(AppParams app, Tick arrival)
+{
+    barre_assert(!begun_, "addTenant after begin()");
+    TenantState ts;
+    ts.app = std::move(app);
+    ts.arrival = arrival;
+    ts.pid = static_cast<ProcessId>(tenants_.size() + 1);
+    tenants_.push_back(std::move(ts));
+}
+
+void
+ScenarioEngine::begin()
+{
+    barre_assert(!begun_, "begin() is one-shot");
+    barre_assert(launch_ && start_ && shoot_ && teardown_,
+                 "scenario engine hooks not wired");
+    barre_assert(!tenants_.empty(), "scenario with no tenants");
+    begun_ = true;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        after(tenants_[i].arrival, [this, i] { onArrival(i); });
+    }
+}
+
+void
+ScenarioEngine::onArrival(std::size_t idx)
+{
+    domainCheck("onArrival");
+    TenantState &ts = tenants_[idx];
+    ts.launched = curTick();
+    ++launches_;
+
+    LaunchPlan plan = launch_(ts.app, ts.pid);
+    barre_assert(plan.size() == shards_.size(),
+                 "launch plan covers %zu chiplets, machine has %zu",
+                 plan.size(), shards_.size());
+
+    for (const auto &jobs : plan) {
+        if (!jobs.empty())
+            ++ts.shares_left;
+        for (const CuJob &job : jobs)
+            ts.accesses += job.accesses.size();
+    }
+    barre_assert(ts.shares_left > 0,
+                 "tenant %u (%s) planned zero work", ts.pid,
+                 ts.app.name.c_str());
+
+    // One kernel-launch packet per participating chiplet; the jobs
+    // start when the packet lands on the chiplet's own context.
+    for (std::size_t c = 0; c < plan.size(); ++c) {
+        if (plan[c].empty())
+            continue;
+        const ChipletId chip = static_cast<ChipletId>(c);
+        pcie_.toDevice(
+            chipletTag(chip), params_.launch_bytes,
+            [this, chip, idx, jobs = std::move(plan[c])]() mutable {
+                Shard &shard = shards_[chip];
+                shard.domainCheck("launch");
+                const ProcessId pid = tenants_[idx].pid;
+                auto [it, fresh] = shard.outstanding.emplace(
+                    pid, static_cast<std::uint32_t>(jobs.size()));
+                barre_assert(fresh, "tenant %u double-launched on "
+                                    "chiplet %u",
+                             pid, chip);
+                for (CuJob &job : jobs) {
+                    start_(chip, job.cu, std::move(job.accesses),
+                           [this, chip, idx] { onJobDone(chip, idx); });
+                }
+            });
+    }
+}
+
+void
+ScenarioEngine::onJobDone(ChipletId c, std::size_t idx)
+{
+    Shard &shard = shards_[c];
+    shard.domainCheck("jobDone");
+    const ProcessId pid = tenants_[idx].pid;
+    auto it = shard.outstanding.find(pid);
+    barre_assert(it != shard.outstanding.end() && it->second > 0,
+                 "job completion for tenant %u not running on "
+                 "chiplet %u",
+                 pid, c);
+    if (--it->second > 0)
+        return;
+    shard.outstanding.erase(it);
+    pcie_.toHost(params_.done_bytes,
+                 [this, idx] { onShareDone(idx); });
+}
+
+void
+ScenarioEngine::onShareDone(std::size_t idx)
+{
+    domainCheck("shareDone");
+    TenantState &ts = tenants_[idx];
+    barre_assert(ts.shares_left > 0, "stray share-done for tenant %u",
+                 ts.pid);
+    if (--ts.shares_left > 0)
+        return;
+
+    // The tenant's last access drained: exit. Host-side teardown is
+    // immediate (driver frees pages, IOMMU detaches); the stale GPU
+    // TLB state is collected by a shootdown storm over PCIe.
+    ts.finished = curTick();
+    teardown_(ts.pid);
+    ts.acks_left = static_cast<std::uint32_t>(shards_.size());
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+        const ChipletId chip = static_cast<ChipletId>(c);
+        pcie_.toDevice(
+            chipletTag(chip), params_.shootdown_bytes,
+            [this, chip, idx] {
+                shards_[chip].domainCheck("shootdown");
+                shoot_(chip, tenants_[idx].pid);
+                pcie_.toHost(params_.ack_bytes,
+                             [this, idx] { onAck(idx); });
+            });
+    }
+}
+
+void
+ScenarioEngine::onAck(std::size_t idx)
+{
+    domainCheck("ack");
+    TenantState &ts = tenants_[idx];
+    barre_assert(ts.acks_left > 0, "stray shootdown ack for tenant %u",
+                 ts.pid);
+    if (--ts.acks_left > 0)
+        return;
+    ts.retired = curTick();
+    ts.done = true;
+    ++retired_;
+    ++retires_;
+    if (ts.retired > last_retire_)
+        last_retire_ = ts.retired;
+}
+
+void
+ScenarioEngine::recordLatency(ChipletId c, ProcessId pid, Cycles lat)
+{
+    Shard &shard = shards_[c];
+    shard.domainCheck("recordLatency");
+    shard.latency[pid].sample(lat);
+}
+
+LogHistogram
+ScenarioEngine::mergedLatency(ProcessId pid) const
+{
+    LogHistogram merged;
+    for (const Shard &shard : shards_) {
+        auto it = shard.latency.find(pid);
+        if (it != shard.latency.end())
+            merged.merge(it->second);
+    }
+    return merged;
+}
+
+} // namespace barre

@@ -18,7 +18,7 @@ TEST(SharedL2Tlb, SaturatedSharedMshrsDoNotDeadlock)
     // Tiny MSHR file so parking is constant (x4 by the share scaling).
     cfg.chiplet.l2_tlb.mshrs = 2;
     cfg.workload_scale = 0.1;
-    RunMetrics m = runApp(cfg, appByName("gups"));
+    RunMetrics m = runScenario(cfg, ScenarioSpec::solo("gups"));
     EXPECT_GT(m.runtime, 0u);
     EXPECT_GT(m.mshr_retries, 0u); // parking actually happened
 }
@@ -28,7 +28,7 @@ TEST(SharedL2Tlb, HighIntensityAppCompletesAtModerateScale)
     SystemConfig cfg = SystemConfig::baselineAts();
     cfg.shared_l2_tlb = true;
     cfg.workload_scale = 0.2;
-    RunMetrics m = runApp(cfg, appByName("bicg"));
+    RunMetrics m = runScenario(cfg, ScenarioSpec::solo("bicg"));
     EXPECT_GT(m.runtime, 0u);
     EXPECT_EQ(m.accesses, 26112u); // 204 CTAs x 128
 }

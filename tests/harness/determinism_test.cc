@@ -32,8 +32,8 @@ class DeterminismSweep : public ::testing::TestWithParam<TranslationMode>
 
 TEST_P(DeterminismSweep, IdenticalRunsProduceIdenticalResults)
 {
-    RunMetrics a = runApp(smallCfg(GetParam()), appByName("cov"));
-    RunMetrics b = runApp(smallCfg(GetParam()), appByName("cov"));
+    RunMetrics a = runScenario(smallCfg(GetParam()), ScenarioSpec::solo("cov"));
+    RunMetrics b = runScenario(smallCfg(GetParam()), ScenarioSpec::solo("cov"));
     EXPECT_EQ(a.runtime, b.runtime);
     EXPECT_EQ(a.ats_packets, b.ats_packets);
     EXPECT_EQ(a.l2_tlb_misses, b.l2_tlb_misses);
@@ -53,8 +53,8 @@ TEST(Determinism, MigrationRunsAreReproducible)
     cfg.migration.enabled = true;
     cfg.migration.threshold = 4;
     cfg.driver.policy = MappingPolicyKind::round_robin;
-    RunMetrics a = runApp(cfg, appByName("cov"));
-    RunMetrics b = runApp(cfg, appByName("cov"));
+    RunMetrics a = runScenario(cfg, ScenarioSpec::solo("cov"));
+    RunMetrics b = runScenario(cfg, ScenarioSpec::solo("cov"));
     EXPECT_EQ(a.runtime, b.runtime);
     EXPECT_EQ(a.migrations, b.migrations);
 }
@@ -67,15 +67,13 @@ TEST(Isolation, ProcessesNeverShareTranslations)
     SystemConfig cfg = smallCfg(TranslationMode::fbarre);
     cfg.validate_translations = true;
     System sys(cfg);
-    const AppParams &app = appByName("cov");
-    auto a1 = sys.allocate(app, 1);
-    sys.loadWorkload(app, a1);
-    auto a2 = sys.allocate(app, 2);
-    AppParams app2 = app;
+    AppParams app2 = appByName("cov");
+    app2.name = "cov-var";
     app2.seed ^= 0x1234;
-    // Overwrite pids in app2's streams via a second workload load: the
-    // generator stamps accesses with the allocation's pid.
-    sys.loadWorkload(app2, a2);
+    registerScenarioApp(app2);
+    // Tenants get distinct pids (1, 2) in spec order; the generator
+    // stamps each tenant's accesses with its own pid.
+    sys.loadScenario(ScenarioSpec::pair("cov", "cov-var"));
     RunMetrics m = sys.run();
     EXPECT_GT(m.accesses, 0u);
 }
@@ -84,21 +82,18 @@ TEST(Isolation, SamePidBuffersDoNotOverlapAcrossProcesses)
 {
     SystemConfig cfg = smallCfg(TranslationMode::barre);
     System sys(cfg);
-    const AppParams &app = appByName("fft");
-    auto a1 = sys.allocate(app, 1);
-    auto a2 = sys.allocate(app, 2);
+    // Two tenants of the same app allocate as pids 1 and 2.
+    sys.loadScenario(ScenarioSpec::pair("fft", "fft"));
     // Physical frames of different processes never alias: walk all
     // pages and check global PFN uniqueness.
     std::set<Pfn> seen;
-    for (const auto &allocs : {a1, a2}) {
-        for (const auto &a : allocs) {
-            PageTable &pt = sys.driver().pageTable(a.pid);
-            for (std::uint64_t p = 0; p < a.pages; ++p) {
-                auto pte = pt.walk(a.start_vpn + p);
-                ASSERT_TRUE(pte.has_value());
-                EXPECT_TRUE(seen.insert(pte->pfn()).second)
-                    << "frame shared across processes";
-            }
+    for (const auto &a : sys.allocations()) {
+        PageTable &pt = sys.driver().pageTable(a.pid);
+        for (std::uint64_t p = 0; p < a.pages; ++p) {
+            auto pte = pt.walk(a.start_vpn + p);
+            ASSERT_TRUE(pte.has_value());
+            EXPECT_TRUE(seen.insert(pte->pfn()).second)
+                << "frame shared across processes";
         }
     }
 }

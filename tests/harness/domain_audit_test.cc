@@ -121,9 +121,7 @@ auditRun(SystemConfig cfg)
     cfg.workload_scale = 0.02;
     System sys(std::move(cfg));
     sys.domainGuard().setMode(DomainAuditMode::report);
-    const AppParams &app = appByName("cov");
-    auto allocs = sys.allocate(app, /*pid=*/1);
-    sys.loadWorkload(app, allocs);
+    sys.loadScenario(ScenarioSpec::solo("cov"));
     (void)sys.run();
     return sys.domainGuard().goldenLines();
 }
@@ -254,9 +252,7 @@ cleanRun(SystemConfig cfg, std::uint32_t domains)
     cfg.sim_threads = 1;
     System sys(std::move(cfg));
     sys.domainGuard().setMode(DomainAuditMode::report);
-    const AppParams &app = appByName("cov");
-    auto allocs = sys.allocate(app, /*pid=*/1);
-    sys.loadWorkload(app, allocs);
+    sys.loadScenario(ScenarioSpec::solo("cov"));
     RunMetrics m = sys.run();
 
     CleanRun out;

@@ -45,7 +45,7 @@ TEST_P(PageSizeSweep, CompletesWithValidTranslations)
     cfg.page_size = c.ps;
     cfg.workload_scale = 0.04;
     cfg.validate_translations = true;
-    RunMetrics m = runApp(cfg, appByName("cov"));
+    RunMetrics m = runScenario(cfg, ScenarioSpec::solo("cov"));
     EXPECT_GT(m.runtime, 0u);
     EXPECT_GT(m.accesses, 1000u);
 }
@@ -69,7 +69,7 @@ TEST(PageSizeOrdering, LargerPagesCutAtsTraffic)
         SystemConfig cfg = SystemConfig::baselineAts();
         cfg.page_size = ps;
         cfg.workload_scale = 0.06;
-        RunMetrics m = runApp(cfg, appByName("atax"));
+        RunMetrics m = runScenario(cfg, ScenarioSpec::solo("atax"));
         EXPECT_LT(m.ats_packets, prev);
         prev = m.ats_packets;
     }
@@ -81,7 +81,7 @@ TEST(PageSizeOrdering, FBarreStillSoundAt64k)
     cfg.page_size = PageSize::size64k;
     cfg.workload_scale = 0.06;
     cfg.validate_translations = true; // panics on any wrong calc
-    RunMetrics m = runApp(cfg, appByName("matr"));
+    RunMetrics m = runScenario(cfg, ScenarioSpec::solo("matr"));
     EXPECT_GT(m.iommu_coalesced + m.local_calc_hits + m.remote_hits,
               0u);
 }

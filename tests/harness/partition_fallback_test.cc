@@ -46,9 +46,7 @@ runCfg(SystemConfig cfg, std::uint32_t domains)
         if (line.text.find("ignored:") != std::string::npos)
             ++out.warnings;
 
-    const AppParams &app = appByName("cov");
-    auto allocs = sys.allocate(app, /*pid=*/1);
-    sys.loadWorkload(app, allocs);
+    sys.loadScenario(ScenarioSpec::solo("cov"));
     RunMetrics m = sys.run();
 
     out.csv = csvRow(m);

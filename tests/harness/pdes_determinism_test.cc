@@ -37,11 +37,9 @@ RunOut
 runCfg(SystemConfig cfg, const char *app_name = "cov")
 {
     System sys(std::move(cfg));
-    const AppParams &app = appByName(app_name);
-    auto allocs = sys.allocate(app, /*pid=*/1);
-    sys.loadWorkload(app, allocs);
+    sys.loadScenario(ScenarioSpec::solo(app_name));
     RunMetrics m = sys.run();
-    m.app = app.name;
+    m.app = app_name;
 
     RunOut out;
     out.csv = csvRow(m);
@@ -278,9 +276,7 @@ TEST(PdesDeterminism, MigrationShootdownTrafficIsModeled)
 
     System sys(cfg);
     ASSERT_TRUE(sys.partitioned());
-    const AppParams &app = appByName("cov");
-    auto allocs = sys.allocate(app, /*pid=*/1);
-    sys.loadWorkload(app, allocs);
+    sys.loadScenario(ScenarioSpec::solo("cov"));
     (void)sys.run();
 
     AcudMigrator *mig = sys.migrator();

@@ -31,10 +31,11 @@ testConfigs()
     return {{"baseline", base}, {"fbarre", fb}};
 }
 
-std::vector<AppParams>
-testApps()
+std::vector<ScenarioSpec>
+testSpecs()
 {
-    return {appByName("fft"), appByName("atax"), appByName("gups")};
+    return {ScenarioSpec::solo("fft"), ScenarioSpec::solo("atax"),
+            ScenarioSpec::solo("gups")};
 }
 
 } // namespace
@@ -42,19 +43,19 @@ testApps()
 TEST(RunMany, MatchesSerialLoopCellForCell)
 {
     auto cfgs = testConfigs();
-    auto apps = testApps();
+    auto specs = testSpecs();
 
     // Hand-rolled serial reference, config-major like runMany.
     std::vector<RunMetrics> expect;
     for (const auto &nc : cfgs) {
-        for (const auto &app : apps) {
-            RunMetrics m = runApp(nc.cfg, app);
+        for (const auto &spec : specs) {
+            RunMetrics m = runScenario(nc.cfg, spec);
             m.config = nc.name;
             expect.push_back(m);
         }
     }
 
-    std::vector<RunMetrics> got = runMany(cfgs, apps, /*jobs=*/1);
+    std::vector<RunMetrics> got = runMany(cfgs, specs, /*jobs=*/1);
     ASSERT_EQ(got.size(), expect.size());
     for (std::size_t i = 0; i < got.size(); ++i)
         EXPECT_EQ(got[i], expect[i]) << "cell " << i;
@@ -63,12 +64,12 @@ TEST(RunMany, MatchesSerialLoopCellForCell)
 TEST(RunMany, ResultsIndependentOfThreadCount)
 {
     auto cfgs = testConfigs();
-    auto apps = testApps();
+    auto specs = testSpecs();
 
-    std::vector<RunMetrics> serial = runMany(cfgs, apps, 1);
-    ASSERT_EQ(serial.size(), cfgs.size() * apps.size());
+    std::vector<RunMetrics> serial = runMany(cfgs, specs, 1);
+    ASSERT_EQ(serial.size(), cfgs.size() * specs.size());
     for (unsigned jobs : {2u, 8u}) {
-        std::vector<RunMetrics> par = runMany(cfgs, apps, jobs);
+        std::vector<RunMetrics> par = runMany(cfgs, specs, jobs);
         ASSERT_EQ(par.size(), serial.size()) << jobs << " jobs";
         for (std::size_t i = 0; i < serial.size(); ++i)
             EXPECT_EQ(par[i], serial[i])
@@ -79,14 +80,14 @@ TEST(RunMany, ResultsIndependentOfThreadCount)
 TEST(RunMany, ConfigAndAppLabelsFollowGridOrder)
 {
     auto cfgs = testConfigs();
-    auto apps = testApps();
-    std::vector<RunMetrics> got = runMany(cfgs, apps, 2);
+    auto specs = testSpecs();
+    std::vector<RunMetrics> got = runMany(cfgs, specs, 2);
     ASSERT_EQ(got.size(), 6u);
     for (std::size_t c = 0; c < cfgs.size(); ++c) {
-        for (std::size_t a = 0; a < apps.size(); ++a) {
-            const RunMetrics &m = got[c * apps.size() + a];
+        for (std::size_t a = 0; a < specs.size(); ++a) {
+            const RunMetrics &m = got[c * specs.size() + a];
             EXPECT_EQ(m.config, cfgs[c].name);
-            EXPECT_EQ(m.app, apps[a].name);
+            EXPECT_EQ(m.app, specs[a].label());
         }
     }
 }
@@ -98,7 +99,9 @@ TEST(RunManyJobs, ArbitraryThunksKeepArgumentOrder)
     std::vector<std::function<RunMetrics()>> sims;
     std::vector<std::string> names{"gups", "fft", "atax"};
     for (const auto &n : names)
-        sims.push_back([cfg, n] { return runApp(cfg, appByName(n)); });
+        sims.push_back([cfg, n] {
+            return runScenario(cfg, ScenarioSpec::solo(n));
+        });
 
     std::vector<RunMetrics> got = runManyJobs(sims, 4);
     ASSERT_EQ(got.size(), names.size());
@@ -114,7 +117,9 @@ TEST(RunManyJobs, LongestFirstHintsKeepResultsBitwiseIdentical)
     std::vector<std::function<RunMetrics()>> sims;
     std::vector<double> hints;
     for (const auto &n : names) {
-        sims.push_back([cfg, n] { return runApp(cfg, appByName(n)); });
+        sims.push_back([cfg, n] {
+            return runScenario(cfg, ScenarioSpec::solo(n));
+        });
         hints.push_back(cellCostHint(appByName(n)));
     }
 
@@ -162,18 +167,19 @@ TEST(RunMany, SpareWorkersHandedToPartitionedCellsStayBitwise)
     cfg.workload_scale = 0.04;
     cfg.sim_domains = 4;
     std::vector<NamedConfig> cfgs{{"fbarre_pdes", cfg}};
-    std::vector<AppParams> apps{appByName("fft"), appByName("gups")};
+    std::vector<ScenarioSpec> specs{ScenarioSpec::solo("fft"),
+                                    ScenarioSpec::solo("gups")};
 
     SystemConfig ref_cfg = cfg;
     ref_cfg.sim_threads = 1;
     std::vector<RunMetrics> expect;
-    for (const auto &app : apps) {
-        RunMetrics m = runApp(ref_cfg, app);
+    for (const auto &spec : specs) {
+        RunMetrics m = runScenario(ref_cfg, spec);
         m.config = "fbarre_pdes";
         expect.push_back(m);
     }
 
-    std::vector<RunMetrics> got = runMany(cfgs, apps, /*jobs=*/8);
+    std::vector<RunMetrics> got = runMany(cfgs, specs, /*jobs=*/8);
     ASSERT_EQ(got.size(), expect.size());
     for (std::size_t i = 0; i < got.size(); ++i)
         EXPECT_EQ(got[i], expect[i]) << "cell " << i;
@@ -186,8 +192,8 @@ TEST(RunMany, CostCachePersistsWallTimesAndStaysDeterministic)
     setenv("BARRE_COST_CACHE", path.c_str(), 1);
 
     auto cfgs = testConfigs();
-    auto apps = testApps();
-    std::vector<RunMetrics> first = runMany(cfgs, apps, 2);
+    auto specs = testSpecs();
+    std::vector<RunMetrics> first = runMany(cfgs, specs, 2);
 
     // The cache file now holds one "config/app  seconds" line per cell.
     std::ifstream is(path);
@@ -197,14 +203,14 @@ TEST(RunMany, CostCachePersistsWallTimesAndStaysDeterministic)
     double secs;
     while (is >> key >> secs)
         cache[key] = secs;
-    EXPECT_EQ(cache.size(), cfgs.size() * apps.size());
+    EXPECT_EQ(cache.size(), cfgs.size() * specs.size());
     EXPECT_TRUE(cache.count("baseline/gups"));
     for (const auto &[k, v] : cache)
         EXPECT_GT(v, 0.0) << k;
 
     // A second sweep consumes the cached costs as scheduling hints;
     // results must be unaffected.
-    std::vector<RunMetrics> second = runMany(cfgs, apps, 2);
+    std::vector<RunMetrics> second = runMany(cfgs, specs, 2);
     unsetenv("BARRE_COST_CACHE");
     std::remove(path.c_str());
     EXPECT_EQ(first, second);

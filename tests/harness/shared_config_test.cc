@@ -73,9 +73,9 @@ TEST(SharedConfig, HandleRunMatchesValueRun)
     SystemConfig cfg;
     cfg.mode = TranslationMode::barre;
     cfg.workload_scale = 0.04;
-    const AppParams &app = appByName("cov");
-    RunMetrics by_value = runApp(cfg, app);
-    RunMetrics by_handle = runApp(freezeConfig(cfg), app);
+    const ScenarioSpec spec = ScenarioSpec::solo("cov");
+    RunMetrics by_value = runScenario(cfg, spec);
+    RunMetrics by_handle = runScenario(freezeConfig(cfg), spec);
     EXPECT_TRUE(by_value == by_handle);
 }
 
@@ -87,16 +87,23 @@ TEST(SharedConfig, RunManyCellsAgreeWithPerCellCopies)
     cfg.mode = TranslationMode::barre;
     cfg.workload_scale = 0.02;
     std::vector<NamedConfig> cols = {{"barre", cfg}};
-    std::vector<AppParams> apps = {appByName("cov"), appByName("gups")};
-    for (auto &app : apps)
+    // Shrunk copies registered under fresh names: the registry is
+    // process-wide, so tests must not shadow the suite entries.
+    std::vector<ScenarioSpec> specs;
+    for (const char *name : {"cov", "gups"}) {
+        AppParams app = appByName(name);
+        app.name = std::string(name) + "-small";
         app.ctas = std::max<std::uint32_t>(1, app.ctas / 8);
+        registerScenarioApp(app);
+        specs.push_back(ScenarioSpec::solo(app.name));
+    }
 
-    std::vector<RunMetrics> grid = runMany(cols, apps, 2);
+    std::vector<RunMetrics> grid = runMany(cols, specs, 2);
     ASSERT_EQ(grid.size(), 2u);
-    for (std::size_t i = 0; i < apps.size(); ++i) {
-        RunMetrics solo = runApp(cfg, apps[i]);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        RunMetrics solo = runScenario(cfg, specs[i]);
         solo.config = "barre";
-        EXPECT_TRUE(grid[i] == solo) << apps[i].name;
+        EXPECT_TRUE(grid[i] == solo) << specs[i].label();
     }
 }
 

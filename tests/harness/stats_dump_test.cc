@@ -31,8 +31,7 @@ TEST(StatsDump, CoversCoreComponentsAndMatchesMetrics)
     SystemConfig cfg = SystemConfig::fbarreCfg(2);
     cfg.workload_scale = 0.04;
     System sys(cfg);
-    auto allocs = sys.allocate(appByName("cov"), 1);
-    sys.loadWorkload(appByName("cov"), allocs);
+    sys.loadScenario(ScenarioSpec::solo("cov"));
     RunMetrics m = sys.run();
 
     std::ostringstream os;
@@ -57,11 +56,12 @@ TEST(StatsDump, BaselineOmitsFBarreSection)
     SystemConfig cfg = SystemConfig::baselineAts();
     cfg.workload_scale = 0.04;
     System sys(cfg);
-    auto allocs = sys.allocate(appByName("fft"), 1);
-    sys.loadWorkload(appByName("fft"), allocs);
+    sys.loadScenario(ScenarioSpec::solo("fft"));
     sys.run();
     std::ostringstream os;
     sys.dumpStats(os);
     EXPECT_EQ(os.str().find("fbarre."), std::string::npos);
     EXPECT_EQ(os.str().find("gmmu."), std::string::npos);
+    // Static runs have no scenario engine, hence no scenario section.
+    EXPECT_EQ(os.str().find("scenario."), std::string::npos);
 }

@@ -39,7 +39,7 @@ TEST_P(ModeSweep, RunsToCompletionWithValidatedTranslations)
     }
     cfg = withScale(cfg);
 
-    RunMetrics m = runApp(cfg, appByName("cov"));
+    RunMetrics m = runScenario(cfg, ScenarioSpec::solo("cov"));
     EXPECT_GT(m.runtime, 0u);
     EXPECT_GT(m.accesses, 1000u);
     EXPECT_GT(m.l2_tlb_misses, 0u);
@@ -59,17 +59,17 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(SystemIntegration, BarreCoalescesAtTheIommu)
 {
     RunMetrics m =
-        runApp(withScale(SystemConfig::barreCfg()), appByName("atax"));
+        runScenario(withScale(SystemConfig::barreCfg()), ScenarioSpec::solo("atax"));
     EXPECT_GT(m.iommu_coalesced, 0u);
     EXPECT_LT(m.walks, m.ats_packets);
 }
 
 TEST(SystemIntegration, FBarreCutsAtsTraffic)
 {
-    RunMetrics base = runApp(withScale(SystemConfig::baselineAts()),
-                             appByName("atax"));
+    RunMetrics base = runScenario(withScale(SystemConfig::baselineAts()),
+                                  ScenarioSpec::solo("atax"));
     RunMetrics fb =
-        runApp(withScale(SystemConfig::fbarreCfg(2)), appByName("atax"));
+        runScenario(withScale(SystemConfig::fbarreCfg(2)), ScenarioSpec::solo("atax"));
     EXPECT_LT(fb.ats_packets, base.ats_packets);
     EXPECT_GT(fb.local_calc_hits + fb.remote_hits, 0u);
     EXPECT_LE(fb.runtime, base.runtime); // should not be slower
@@ -79,7 +79,7 @@ TEST(SystemIntegration, GmmuPlatformRuns)
 {
     SystemConfig cfg = withScale(SystemConfig::fbarreCfg(2));
     cfg.use_gmmu = true;
-    RunMetrics m = runApp(cfg, appByName("cov"));
+    RunMetrics m = runScenario(cfg, ScenarioSpec::solo("cov"));
     EXPECT_GT(m.gmmu_local_walks + m.gmmu_remote_walks +
                   m.gmmu_coalesced, 0u);
     EXPECT_EQ(m.ats_packets, 0u); // the IOMMU is out of the loop
@@ -93,7 +93,7 @@ TEST(SystemIntegration, MigrationRunsAndMigrates)
     cfg.migration.threshold = 4;
     // Round-robin CTAs force remote accesses that trigger ACUD.
     cfg.driver.policy = MappingPolicyKind::round_robin;
-    RunMetrics m = runApp(cfg, appByName("cov"));
+    RunMetrics m = runScenario(cfg, ScenarioSpec::solo("cov"));
     EXPECT_GT(m.migrations, 0u);
     EXPECT_GT(m.runtime, 0u);
 }
@@ -102,9 +102,9 @@ TEST(SystemIntegration, SharedL2TlbHypothetical)
 {
     SystemConfig cfg = withScale(SystemConfig::baselineAts());
     cfg.shared_l2_tlb = true;
-    RunMetrics shared = runApp(cfg, appByName("cov"));
+    RunMetrics shared = runScenario(cfg, ScenarioSpec::solo("cov"));
     RunMetrics priv =
-        runApp(withScale(SystemConfig::baselineAts()), appByName("cov"));
+        runScenario(withScale(SystemConfig::baselineAts()), ScenarioSpec::solo("cov"));
     // The shared TLB merges duplicate translations across chiplets.
     EXPECT_LE(shared.ats_packets, priv.ats_packets);
 }
@@ -113,11 +113,11 @@ TEST(SystemIntegration, SuperPageModeRuns)
 {
     SystemConfig cfg = withScale(SystemConfig::baselineAts());
     cfg.page_size = PageSize::size2m;
-    RunMetrics m = runApp(cfg, appByName("cov"));
+    RunMetrics m = runScenario(cfg, ScenarioSpec::solo("cov"));
     EXPECT_GT(m.runtime, 0u);
     // 2 MB pages slash the translation count.
     RunMetrics small =
-        runApp(withScale(SystemConfig::baselineAts()), appByName("cov"));
+        runScenario(withScale(SystemConfig::baselineAts()), ScenarioSpec::solo("cov"));
     EXPECT_LT(m.ats_packets, small.ats_packets);
 }
 
@@ -126,7 +126,7 @@ TEST(SystemIntegration, ChipletCountSweepRuns)
     for (std::uint32_t n : {2u, 8u}) {
         SystemConfig cfg = withScale(SystemConfig::fbarreCfg(1));
         cfg.chiplets = n;
-        RunMetrics m = runApp(cfg, appByName("fwt"));
+        RunMetrics m = runScenario(cfg, ScenarioSpec::solo("fwt"));
         EXPECT_GT(m.runtime, 0u) << n;
     }
 }
@@ -134,7 +134,7 @@ TEST(SystemIntegration, ChipletCountSweepRuns)
 TEST(SystemIntegration, MultiProgrammedPairRuns)
 {
     SystemConfig cfg = withScale(SystemConfig::fbarreCfg(2));
-    RunMetrics m = runApps(cfg, {appByName("cov"), appByName("atax")});
+    RunMetrics m = runScenario(cfg, ScenarioSpec::pair("cov", "atax"));
     EXPECT_EQ(m.app, "cov+atax");
     EXPECT_GT(m.accesses, 2000u);
 }
@@ -144,15 +144,15 @@ TEST(SystemIntegration, MpkiBandsRoughlyOrdered)
     // Class ordering must hold even at small scale: a high app misses
     // far more than a low app.
     SystemConfig cfg = withScale(SystemConfig::baselineAts());
-    RunMetrics low = runApp(cfg, appByName("gemv"));
-    RunMetrics high = runApp(cfg, appByName("gups"));
+    RunMetrics low = runScenario(cfg, ScenarioSpec::solo("gemv"));
+    RunMetrics high = runScenario(cfg, ScenarioSpec::solo("gups"));
     EXPECT_GT(high.l2_mpki, 10 * low.l2_mpki);
 }
 
 TEST(SystemIntegration, InstructionAccountingConsistent)
 {
     SystemConfig cfg = withScale(SystemConfig::baselineAts());
-    RunMetrics m = runApp(cfg, appByName("fft"));
+    RunMetrics m = runScenario(cfg, ScenarioSpec::solo("fft"));
     // instructions = accesses * instr_per_access for a single app.
     EXPECT_NEAR(m.instructions,
                 m.accesses * appByName("fft").instr_per_access,
@@ -162,8 +162,7 @@ TEST(SystemIntegration, InstructionAccountingConsistent)
 TEST(SystemIntegration, RunIsOneShot)
 {
     System sys(withScale(SystemConfig::baselineAts()));
-    auto allocs = sys.allocate(appByName("fft"), 1);
-    sys.loadWorkload(appByName("fft"), allocs);
+    sys.loadScenario(ScenarioSpec::solo("fft"));
     sys.run();
     EXPECT_THROW(sys.run(), std::logic_error);
 }

@@ -104,13 +104,14 @@ TEST(RunManyStress, EightWorkersMatchSerial)
         {"barre", tinyCfg(TranslationMode::barre)},
         {"fbarre", tinyCfg(TranslationMode::fbarre)},
     };
-    std::vector<AppParams> apps = {appByName("cov"), appByName("fft"),
-                                   appByName("atax")};
+    std::vector<ScenarioSpec> specs = {ScenarioSpec::solo("cov"),
+                                       ScenarioSpec::solo("fft"),
+                                       ScenarioSpec::solo("atax")};
 
-    std::vector<RunMetrics> par = runMany(cfgs, apps, kWorkers);
-    std::vector<RunMetrics> ser = runMany(cfgs, apps, 1);
+    std::vector<RunMetrics> par = runMany(cfgs, specs, kWorkers);
+    std::vector<RunMetrics> ser = runMany(cfgs, specs, 1);
 
-    ASSERT_EQ(par.size(), cfgs.size() * apps.size());
+    ASSERT_EQ(par.size(), cfgs.size() * specs.size());
     ASSERT_EQ(ser.size(), par.size());
     for (std::size_t i = 0; i < par.size(); ++i) {
         EXPECT_EQ(par[i].config, ser[i].config) << "cell " << i;
@@ -128,10 +129,10 @@ TEST(RunManyStress, OversubscribedPoolSurvivesRepeatedSweeps)
     // workers present.
     std::vector<NamedConfig> cfgs = {
         {"barre", tinyCfg(TranslationMode::barre)}};
-    std::vector<AppParams> apps = {appByName("cov")};
-    std::vector<RunMetrics> first = runMany(cfgs, apps, kWorkers * 2);
+    std::vector<ScenarioSpec> specs = {ScenarioSpec::solo("cov")};
+    std::vector<RunMetrics> first = runMany(cfgs, specs, kWorkers * 2);
     for (int rep = 0; rep < 3; ++rep) {
-        std::vector<RunMetrics> again = runMany(cfgs, apps, kWorkers * 2);
+        std::vector<RunMetrics> again = runMany(cfgs, specs, kWorkers * 2);
         ASSERT_EQ(again.size(), first.size());
         EXPECT_EQ(again[0].runtime, first[0].runtime);
     }

@@ -172,9 +172,9 @@ TEST(EventQueueDiff, FullSystemRunMetricsAreBitwiseIdentical)
     SystemConfig heap_cfg = cfg;
     heap_cfg.heap_only_queue = true;
 
-    const AppParams &app = appByName("cov");
-    RunMetrics ladder = runApp(cfg, app);
-    RunMetrics heap = runApp(heap_cfg, app);
+    const ScenarioSpec spec = ScenarioSpec::solo("cov");
+    RunMetrics ladder = runScenario(cfg, spec);
+    RunMetrics heap = runScenario(heap_cfg, spec);
     // The config label differs only through fields that don't reach
     // RunMetrics; everything measured must match exactly.
     EXPECT_TRUE(ladder == heap);

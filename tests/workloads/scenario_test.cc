@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the ScenarioSpec value type: the string grammar, the
+ * application registry, labels, and deterministic churn expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "workloads/scenario.hh"
+#include "workloads/suite.hh"
+
+using namespace barre;
+
+TEST(ScenarioSpec, SoloAndPairMatchHistoricShapes)
+{
+    ScenarioSpec solo = ScenarioSpec::solo("cov");
+    EXPECT_EQ(solo.label(), "cov");
+    EXPECT_FALSE(solo.dynamicArrivals());
+    auto rt = solo.resolve();
+    ASSERT_EQ(rt.size(), 1u);
+    EXPECT_EQ(rt[0].app.name, "cov");
+    EXPECT_EQ(rt[0].arrival, 0u);
+
+    ScenarioSpec pair = ScenarioSpec::pair("cov", "atax");
+    EXPECT_EQ(pair.label(), "cov+atax");
+    EXPECT_FALSE(pair.dynamicArrivals());
+    EXPECT_EQ(pair.resolve().size(), 2u);
+}
+
+TEST(ScenarioSpec, GrammarParsesScaleArrivalAndChurn)
+{
+    ScenarioSpec spec =
+        parseScenarioSpec("gemv*0.5@2000+cov+poisson:8:2:7");
+    ASSERT_EQ(spec.tenants.size(), 2u);
+    EXPECT_EQ(spec.tenants[0].app, "gemv");
+    EXPECT_DOUBLE_EQ(spec.tenants[0].scale, 0.5);
+    EXPECT_EQ(spec.tenants[0].arrival, 2000u);
+    EXPECT_EQ(spec.tenants[1].app, "cov");
+    EXPECT_EQ(spec.churn_tenants, 8u);
+    EXPECT_DOUBLE_EQ(spec.churn_rate, 2.0);
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_TRUE(spec.dynamicArrivals());
+    // label() round-trips through the parser.
+    EXPECT_EQ(parseScenarioSpec(spec.label()), spec);
+}
+
+TEST(ScenarioSpec, FileFormReadsTermsWithComments)
+{
+    std::string path = testing::TempDir() + "scenario_spec_test.txt";
+    {
+        std::ofstream os(path);
+        os << "# two tenants plus churn\n"
+           << "cov atax*2  # inline comment\n"
+           << "poisson:4:1:3\n";
+    }
+    ScenarioSpec spec = parseScenarioSpec("@" + path);
+    std::remove(path.c_str());
+    ASSERT_EQ(spec.tenants.size(), 2u);
+    EXPECT_EQ(spec.tenants[0].app, "cov");
+    EXPECT_DOUBLE_EQ(spec.tenants[1].scale, 2.0);
+    EXPECT_EQ(spec.churn_tenants, 4u);
+}
+
+TEST(ScenarioSpec, GarbageIsFatalNotSilent)
+{
+    // Unknown application names die at parse time with the known list.
+    EXPECT_THROW(parseScenarioSpec("nonesuch"), std::runtime_error);
+    // Malformed numerics must never silently become 0 or 1.
+    EXPECT_THROW(parseScenarioSpec("cov*0x"), std::runtime_error);
+    EXPECT_THROW(parseScenarioSpec("cov@12q"), std::runtime_error);
+    EXPECT_THROW(parseScenarioSpec("cov*-1"), std::runtime_error);
+    EXPECT_THROW(parseScenarioSpec("poisson:0:2"), std::runtime_error);
+    EXPECT_THROW(parseScenarioSpec("poisson:8"), std::runtime_error);
+    EXPECT_THROW(parseScenarioSpec("poisson:8:0"), std::runtime_error);
+    EXPECT_THROW(parseScenarioSpec(""), std::runtime_error);
+    EXPECT_THROW(parseScenarioSpec("cov++atax"), std::runtime_error);
+    EXPECT_THROW(parseScenarioSpec("@/nonexistent/file"),
+                 std::runtime_error);
+    // Duplicate churn clauses would silently drop one schedule.
+    EXPECT_THROW(parseScenarioSpec("poisson:4:1+poisson:8:2"),
+                 std::runtime_error);
+}
+
+TEST(ScenarioRegistry, UnknownLookupIsFatalWithKnownNames)
+{
+    try {
+        scenarioApp("definitely-not-an-app");
+        FAIL() << "lookup should have thrown";
+    } catch (const std::runtime_error &e) {
+        // The message must name the unknown app and list the suite so
+        // a typo is a one-glance fix.
+        EXPECT_NE(std::string(e.what()).find("definitely-not-an-app"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("cov"), std::string::npos);
+    }
+}
+
+TEST(ScenarioRegistry, RegisteredAppsResolveAndReplace)
+{
+    AppParams app = appByName("cov");
+    app.name = "cov-reg-test";
+    app.ctas = 7;
+    registerScenarioApp(app);
+    EXPECT_EQ(scenarioApp("cov-reg-test").ctas, 7u);
+
+    app.ctas = 9; // same-name re-register replaces
+    registerScenarioApp(app);
+    EXPECT_EQ(scenarioApp("cov-reg-test").ctas, 9u);
+
+    auto names = scenarioAppNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "cov-reg-test"),
+              names.end());
+}
+
+TEST(ScenarioChurn, ExpansionIsAPureFunctionOfTheSeed)
+{
+    ScenarioSpec spec = ScenarioSpec::poisson(64, 2.0, 7);
+    auto a = spec.resolve();
+    auto b = spec.resolve();
+    ASSERT_EQ(a.size(), 64u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].app.name, b[i].app.name) << i;
+        EXPECT_EQ(a[i].arrival, b[i].arrival) << i;
+    }
+    // Arrivals are strictly increasing (the +1 floor) and non-trivial.
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_GT(a[i].arrival, a[i - 1].arrival) << i;
+
+    // A different seed yields a different schedule.
+    ScenarioSpec other = ScenarioSpec::poisson(64, 2.0, 8);
+    auto c = other.resolve();
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs |= a[i].arrival != c[i].arrival ||
+                   a[i].app.name != c[i].app.name;
+    EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioChurn, RateScalesArrivalDensity)
+{
+    auto slow = ScenarioSpec::poisson(32, 0.5, 3).resolve();
+    auto fast = ScenarioSpec::poisson(32, 8.0, 3).resolve();
+    // 16x the rate compresses the same seed's schedule ~16x.
+    EXPECT_GT(slow.back().arrival, 4 * fast.back().arrival);
+}
+
+TEST(ScenarioSolo, SoloSpecsRegistersModifiedApps)
+{
+    // Benches hand soloSpecs() modified suite apps (e.g. 16x-scaled)
+    // under the suite names; the specs must resolve to those params.
+    AppParams app = appByName("gemv");
+    app.name = "gemv-solospec";
+    app.ctas *= 3;
+    auto specs = soloSpecs({app});
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].label(), "gemv-solospec");
+    EXPECT_EQ(specs[0].resolve()[0].app.ctas, app.ctas);
+}

@@ -74,16 +74,13 @@ TEST(Trace, ReplayReproducesGeneratedRun)
     cfg.workload_scale = 0.04;
 
     System direct(cfg);
-    auto a1 = direct.allocate(app, 1);
-    direct.loadWorkload(app, a1);
+    direct.loadScenario(ScenarioSpec::solo(app.name));
     RunMetrics m1 = direct.run();
 
+    // recordAppTrace() applies workload_scale the same way the
+    // scenario preload path does.
     System replay(cfg);
-    auto a2 = replay.allocate(app, 1);
-    AppParams eff = app;
-    eff.ctas = std::max<std::uint32_t>(
-        16, static_cast<std::uint32_t>(app.ctas * cfg.workload_scale));
-    Trace t = recordTrace(eff, a2, cfg.page_size);
+    Trace t = replay.recordAppTrace(app);
     replay.loadTrace(t, app.instr_per_access);
     RunMetrics m2 = replay.run();
 

@@ -7,6 +7,9 @@
  *
  *   barre_sim --app atax --mode fbarre --merge 2
  *   barre_sim --app gups --mode baseline --ptws 32 --stats
+ *   barre_sim --scenario cov+atax --mode fbarre
+ *   barre_sim --scenario 'mvt*0.5@2000+poisson:8:2:7'
+ *   barre_sim --tenants 64 --churn 2 --seed 7 --mode barre
  *   barre_sim --trace my.trace --mode barre
  *   barre_sim --app fft --record-trace fft.trace
  *   barre_sim --list
@@ -34,6 +37,11 @@ usage()
     std::puts(
         "usage: barre_sim [options]\n"
         "  --app NAME          Table-I application (default atax)\n"
+        "  --scenario SPEC     multi-tenant scenario (grammar in\n"
+        "                      workloads/scenario.hh; @FILE reads one)\n"
+        "  --tenants N         Poisson churn: N arriving tenants\n"
+        "  --churn R           arrivals per 100k cycles (default 1)\n"
+        "  --seed S            churn RNG seed (default 1)\n"
         "  --trace FILE        replay an access trace instead\n"
         "  --record-trace FILE write the app's trace and exit\n"
         "  --mode M            baseline|valkyrie|least|barre|fbarre\n"
@@ -103,6 +111,11 @@ int
 main(int argc, char **argv)
 {
     std::string app_name = "atax";
+    bool app_given = false;
+    std::string scenario_text;
+    unsigned tenants = 0;
+    double churn = 1.0;
+    std::uint64_t seed = 1;
     std::string trace_file;
     std::string record_file;
     SystemConfig cfg = SystemConfig::baselineAts();
@@ -127,6 +140,15 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--app") {
             app_name = next();
+            app_given = true;
+        } else if (arg == "--scenario") {
+            scenario_text = next();
+        } else if (arg == "--tenants") {
+            tenants = parseUnsignedArg(next(), "--tenants");
+        } else if (arg == "--churn") {
+            churn = parseScaleArg(next(), "--churn");
+        } else if (arg == "--seed") {
+            seed = parseUnsignedArg(next(), "--seed");
         } else if (arg == "--trace") {
             trace_file = next();
         } else if (arg == "--record-trace") {
@@ -189,15 +211,28 @@ main(int argc, char **argv)
         }
     }
 
-    const AppParams &app = appByName(app_name);
+    // Workload selection: --scenario / --tenants are whole-machine
+    // specs; mixing them with each other or with --app would silently
+    // drop one, so it is fatal instead.
+    if (!scenario_text.empty() && (app_given || tenants > 0))
+        barre_fatal("--scenario conflicts with --app/--tenants");
+    if (tenants > 0 && app_given)
+        barre_fatal("--tenants conflicts with --app");
+
+    const ScenarioSpec spec =
+        !scenario_text.empty()
+            ? parseScenarioSpec(scenario_text)
+            : (tenants > 0 ? ScenarioSpec::poisson(tenants, churn, seed)
+                           : ScenarioSpec::solo(app_name));
+
     System sys(cfg);
-    auto allocs = sys.allocate(app, 1);
 
     if (!record_file.empty()) {
+        const AppParams &app = appByName(app_name);
         std::ofstream os(record_file);
         if (!os)
             barre_fatal("cannot write %s", record_file.c_str());
-        writeTrace(os, recordTrace(app, allocs, cfg.page_size));
+        writeTrace(os, sys.recordAppTrace(app));
         std::printf("wrote trace of %s to %s\n", app.name.c_str(),
                     record_file.c_str());
         return 0;
@@ -207,16 +242,17 @@ main(int argc, char **argv)
         std::ifstream is(trace_file);
         if (!is)
             barre_fatal("cannot read %s", trace_file.c_str());
-        sys.loadTrace(readTrace(is), app.instr_per_access);
+        sys.loadTrace(readTrace(is),
+                      appByName(app_name).instr_per_access);
     } else {
-        sys.loadWorkload(app, allocs);
+        sys.loadScenario(spec);
     }
 
     RunMetrics m = sys.run();
 
     TextTable t({"metric", "value"});
     t.addRow({"config", to_string(cfg.mode)});
-    t.addRow({"app", trace_file.empty() ? app.name : trace_file});
+    t.addRow({"app", trace_file.empty() ? spec.label() : trace_file});
     t.addRow({"runtime (cycles)", std::to_string(m.runtime)});
     t.addRow({"accesses", std::to_string(m.accesses)});
     t.addRow({"L2 TLB MPKI", fmt(m.l2_mpki)});
@@ -228,6 +264,22 @@ main(int argc, char **argv)
     t.addRow({"remote data accesses", std::to_string(m.remote_data)});
     t.addRow({"migrations", std::to_string(m.migrations)});
     t.print("barre_sim");
+
+    if (!m.tenants.empty()) {
+        TextTable tt({"tenant", "pid", "arrival", "finish", "runtime",
+                      "lat p50", "p95", "p99", "peak L2 TLB"});
+        for (const auto &ten : m.tenants) {
+            tt.addRow({ten.app, std::to_string(ten.pid),
+                       std::to_string(ten.arrival),
+                       std::to_string(ten.finish),
+                       std::to_string(ten.runtime()),
+                       std::to_string(ten.lat_p50),
+                       std::to_string(ten.lat_p95),
+                       std::to_string(ten.lat_p99),
+                       std::to_string(ten.peak_l2_tlb)});
+        }
+        tt.print("tenants");
+    }
 
     // Under BARRE_DOMAIN_AUDIT=report the run collects cross-domain
     // touches instead of throwing; surface the deduplicated table.

@@ -24,7 +24,7 @@ main(int argc, char **argv)
         SystemConfig cfg = SystemConfig::baselineAts();
         cfg.workload_scale = scale;
         auto t0 = std::chrono::steady_clock::now();
-        RunMetrics m = runApp(cfg, app);
+        RunMetrics m = runScenario(cfg, ScenarioSpec::solo(app.name));
         double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

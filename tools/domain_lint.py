@@ -53,6 +53,7 @@ COMPONENT_DIRS = [
     "src/gpu",
     "src/baselines",
     "src/filters",
+    "src/workloads",
 ]
 
 OWNER_RE = re.compile(r"domain-owner:(host|chiplet|shared)\b")

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Build Release and run the self-benchmarks (parallel runner + event
-# queue + partitioned sim); writes one schema-versioned
+# queue + partitioned sim + multi-tenant churn); writes one
+# schema-versioned
 # BENCH_<family>.json per bench family at the repo root. Used to track
 # the perf trajectory PR over PR (tools/perf_diff refuses to compare
 # files whose schema_version differs).
@@ -18,7 +19,7 @@ build=${BUILD_DIR:-"$root/build-release"}
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j "$(nproc)" --target bench_runner_speedup \
-    bench_event_queue bench_pdes_speedup
+    bench_event_queue bench_pdes_speedup bench_tenants
 
 # One file per bench family; each carries its own schema_version so a
 # stale baseline from an older schema is rejected rather than
@@ -26,7 +27,8 @@ cmake --build "$build" -j "$(nproc)" --target bench_runner_speedup \
 "$build/bench/bench_runner_speedup" "$root/BENCH_runner.json"
 "$build/bench/bench_event_queue" "$root/BENCH_event_queue.json"
 "$build/bench/bench_pdes_speedup" "$root/BENCH_pdes.json"
-for family in runner event_queue pdes; do
+"$build/bench/bench_tenants" "$root/BENCH_tenants.json"
+for family in runner event_queue pdes tenants; do
     echo "--- BENCH_$family.json"
     cat "$root/BENCH_$family.json"
 done

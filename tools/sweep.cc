@@ -128,14 +128,16 @@ main(int argc, char **argv)
         cfg.workload_scale = scale;
         cfgs.push_back({mode, cfg});
     }
-    std::vector<AppParams> app_params;
-    for (const auto &name : apps)
-        app_params.push_back(appByName(name));
+    std::vector<ScenarioSpec> specs;
+    for (const auto &name : apps) {
+        scenarioApp(name); // unknown names die here, not mid-sweep
+        specs.push_back(ScenarioSpec::solo(name));
+    }
 
-    const std::size_t total = cfgs.size() * app_params.size();
+    const std::size_t total = cfgs.size() * specs.size();
 
     if (!sharded) {
-        std::vector<RunMetrics> rows = runMany(cfgs, app_params, jobs);
+        std::vector<RunMetrics> rows = runMany(cfgs, specs, jobs);
         for (std::size_t m = 0; m < modes.size(); ++m) {
             for (std::size_t a = 0; a < apps.size(); ++a) {
                 const RunMetrics &r = rows[m * apps.size() + a];
@@ -162,14 +164,14 @@ main(int argc, char **argv)
     std::vector<std::function<RunMetrics()>> sims;
     std::vector<double> hints;
     for (std::size_t cell : cells) {
-        const NamedConfig &nc = cfgs[cell / app_params.size()];
-        const AppParams &app = app_params[cell % app_params.size()];
-        sims.push_back([&nc, &app] {
-            RunMetrics m = runApp(nc.cfg, app);
+        const NamedConfig &nc = cfgs[cell / specs.size()];
+        const ScenarioSpec &spec = specs[cell % specs.size()];
+        sims.push_back([&nc, &spec] {
+            RunMetrics m = runScenario(nc.cfg, spec);
             m.config = nc.name;
             return m;
         });
-        hints.push_back(cellCostHint(app));
+        hints.push_back(cellCostHint(spec));
     }
     std::vector<RunMetrics> results = runManyJobs(sims, hints, jobs);
 
