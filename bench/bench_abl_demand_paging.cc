@@ -27,11 +27,10 @@ main(int argc, char **argv)
     std::vector<AppParams> apps{appByName("fft"), appByName("pr"),
                                 appByName("cov"), appByName("atax"),
                                 appByName("matr"), appByName("gups")};
+    (void)argc;
+    (void)argv;
     const auto specs = soloSpecs(apps);
-    registerRuns(store, configs, specs, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, specs, envScale());
 
     store.printSpeedupTable(
         "Ablation: on-demand paging (group-unit fault-in)",

@@ -26,12 +26,11 @@ main(int argc, char **argv)
 
     std::vector<NamedConfig> configs{{"Barre", barre},
                                      {"Barre+multicast", mcast}};
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
     const auto specs = soloSpecs(apps);
-    registerRuns(store, configs, specs, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, specs, envScale());
 
     store.printSpeedupTable(
         "Ablation: speculative multicast (§IV-B design probe)", "Barre",

@@ -25,12 +25,11 @@ main(int argc, char **argv)
 
     std::vector<NamedConfig> configs{{"SuperPage-2MB", super},
                                      {"BarreChord-4KB", bc}};
+    (void)argc;
+    (void)argv;
     const auto &apps = standardSuite();
     const auto specs = soloSpecs(apps);
-    registerRuns(store, configs, specs, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, specs, envScale());
 
     store.printSpeedupTable(
         "Fig 25: Barre Chord (4KB) vs super page (2MB), migration on",

@@ -4,31 +4,35 @@
  * row per partitionable configuration — the F-Barre flagship plus
  * every configuration the message-path conversions unblocked
  * (valkyrie, least, shared_l2_tlb, migration, fbarre_oracle). Each row
- * runs three ways —
+ * runs the references —
  *
  *   - legacy:       sim_domains=0, the serial global event queue;
  *   - tagged 1-dom: sim_domains=1, the tagged engine on one thread
  *                   (the identity reference for partitioned runs);
- *   - partitioned:  sim_domains=chiplets+1 with min(jobs, domains)
- *                   worker threads advancing the domains in lock-step
- *                   link-lookahead epochs.
  *
- * The tagged serial and partitioned runs must be bitwise identical
- * (csv metrics row and per-tag firing digests); the bench exits
- * non-zero otherwise. Wall times, simulated events/s, and the speedup
- * ratios land in a schema-versioned BENCH_pdes.json; the flagship row
- * is additionally spliced into the perf-trajectory JSON as its
- * "pdes_speedup" member:
+ * — and then the full partitioned matrix: both schedulers (async =
+ * per-channel conservative clocks, epoch = lock-step global-lookahead
+ * barriers) × a thread sweep up to min($BARRE_JOBS, domains). Every
+ * partitioned run must be bitwise identical to the tagged serial
+ * reference (csv metrics row and per-tag firing digests); the bench
+ * exits non-zero otherwise. Wall times, simulated events/s, and the
+ * speedup ratios land in a schema-versioned BENCH_pdes.json; the
+ * flagship async row is additionally spliced into the perf-trajectory
+ * JSON as its "pdes_speedup" member:
  *
  *   build/bench/bench_pdes_speedup [out.json]  # BENCH_runner.json
  *   build/bench/bench_pdes_speedup --smoke     # small, no file writes
  *
  * $BARRE_SCALE scales the workload; $BARRE_JOBS caps the worker count.
- * Speedup is only expected when the host grants the process >= 2
- * cores — host_cores is recorded so trajectory diffs can tell "code
- * got slower" from "CI got smaller".
+ * The headline number is async_vs_epoch at the top thread count
+ * (target: >= 1.5x on hosts granting >= 4 cores — the async scheduler
+ * exists to stop NoC-coupled domains from syncing at PCIe granularity,
+ * and that only shows once domains actually run concurrently).
+ * host_cores is recorded so trajectory diffs can tell "code got
+ * slower" from "CI got smaller".
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -75,11 +79,12 @@ struct RunOut
 
 RunOut
 runOne(SystemConfig cfg, std::uint32_t domains, std::uint32_t threads,
-       double scale)
+       bool async, double scale)
 {
     cfg.workload_scale = scale;
     cfg.sim_domains = domains;
     cfg.sim_threads = threads;
+    cfg.sim_async = async;
 
     System sys(std::move(cfg));
     sys.loadScenario(ScenarioSpec::solo("cov"));
@@ -120,25 +125,56 @@ benchConfigs()
     return out;
 }
 
+/** One partitioned cell of the scheduler × thread matrix. */
+struct PartRun
+{
+    bool async = true;
+    std::uint32_t threads = 1;
+    RunOut out;
+    bool identical = false;
+};
+
 struct Row
 {
     std::string name;
     RunOut legacy;
     RunOut serial;
-    RunOut part;
-    bool identical = false;
+    std::vector<PartRun> parts;
 
-    double
-    vsSerial() const
+    const PartRun *
+    find(bool async, std::uint32_t threads) const
     {
-        return part.wall > 0 ? serial.wall / part.wall : 0.0;
+        for (const PartRun &p : parts)
+            if (p.async == async && p.threads == threads)
+                return &p;
+        return nullptr;
     }
-    double
-    vsLegacy() const
+
+    /** The headline cell: async at the top thread count. */
+    const PartRun &
+    best() const
     {
-        return part.wall > 0 ? legacy.wall / part.wall : 0.0;
+        return parts.back().async ? parts.back()
+                                  : parts[parts.size() - 2];
+    }
+
+    /** async wall vs epoch wall at the top thread count. */
+    double
+    asyncVsEpoch() const
+    {
+        const std::uint32_t top = parts.back().threads;
+        const PartRun *a = find(true, top);
+        const PartRun *e = find(false, top);
+        return a && e && a->out.wall > 0 ? e->out.wall / a->out.wall
+                                         : 0.0;
     }
 };
+
+double
+speedup(const RunOut &base, const RunOut &x)
+{
+    return x.wall > 0 ? base.wall / x.wall : 0.0;
+}
 
 /** Splice "pdes_speedup": {...} into @p path (see bench_event_queue). */
 bool
@@ -177,41 +213,50 @@ mergeJson(const std::string &path, const std::string &member)
 
 bool
 writePdesJson(const std::string &path, const std::vector<Row> &rows,
-              unsigned cores, std::uint32_t domains,
-              std::uint32_t threads, double scale)
+              unsigned cores, std::uint32_t domains, double scale)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return false;
     std::fprintf(f,
                  "{\n"
-                 "  \"schema_version\": 1,\n"
+                 "  \"schema_version\": 2,\n"
+                 "  \"family\": \"pdes\",\n"
                  "  \"host_cores\": %u,\n"
                  "  \"domains\": %u,\n"
-                 "  \"threads\": %u,\n"
                  "  \"workload_scale\": %g,\n"
                  "  \"configs\": [\n",
-                 cores, domains, threads, scale);
+                 cores, domains, scale);
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
-        std::fprintf(
-            f,
-            "    {\n"
-            "      \"name\": \"%s\",\n"
-            "      \"legacy_wall_s\": %.6f,\n"
-            "      \"tagged_serial_wall_s\": %.6f,\n"
-            "      \"partitioned_wall_s\": %.6f,\n"
-            "      \"legacy_events_per_s\": %.0f,\n"
-            "      \"tagged_serial_events_per_s\": %.0f,\n"
-            "      \"partitioned_events_per_s\": %.0f,\n"
-            "      \"speedup_vs_tagged_serial\": %.3f,\n"
-            "      \"speedup_vs_legacy\": %.3f,\n"
-            "      \"identical_results\": %s\n"
-            "    }%s\n",
-            r.name.c_str(), r.legacy.wall, r.serial.wall, r.part.wall,
-            r.legacy.eps(), r.serial.eps(), r.part.eps(), r.vsSerial(),
-            r.vsLegacy(), r.identical ? "true" : "false",
-            i + 1 < rows.size() ? "," : "");
+        std::fprintf(f,
+                     "    {\n"
+                     "      \"name\": \"%s\",\n"
+                     "      \"legacy_wall_s\": %.6f,\n"
+                     "      \"tagged_serial_wall_s\": %.6f,\n"
+                     "      \"legacy_events_per_s\": %.0f,\n"
+                     "      \"tagged_serial_events_per_s\": %.0f,\n"
+                     "      \"async_vs_epoch\": %.3f,\n"
+                     "      \"runs\": [\n",
+                     r.name.c_str(), r.legacy.wall, r.serial.wall,
+                     r.legacy.eps(), r.serial.eps(), r.asyncVsEpoch());
+        for (std::size_t j = 0; j < r.parts.size(); ++j) {
+            const PartRun &p = r.parts[j];
+            std::fprintf(
+                f,
+                "        {\"scheduler\": \"%s\", \"threads\": %u, "
+                "\"wall_s\": %.6f, \"events_per_s\": %.0f, "
+                "\"speedup_vs_tagged_serial\": %.3f, "
+                "\"speedup_vs_legacy\": %.3f, "
+                "\"identical_results\": %s}%s\n",
+                p.async ? "async" : "epoch", p.threads, p.out.wall,
+                p.out.eps(), speedup(r.serial, p.out),
+                speedup(r.legacy, p.out),
+                p.identical ? "true" : "false",
+                j + 1 < r.parts.size() ? "," : "");
+        }
+        std::fprintf(f, "      ]\n    }%s\n",
+                     i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -237,47 +282,70 @@ main(int argc, char **argv)
 
     std::vector<Row> rows;
     bool all_identical = true;
-    std::uint32_t domains = 0, threads = 0;
+    std::uint32_t domains = 0;
     for (const NamedConfig &nc : benchConfigs()) {
         domains = nc.cfg.chiplets + 1;
-        threads = std::min<std::uint32_t>(ThreadPool::defaultWorkers(),
-                                          domains);
+        const std::uint32_t top = std::min<std::uint32_t>(
+            ThreadPool::defaultWorkers(), domains);
+        // Thread sweep: 1, 2, top (deduplicated, ascending). Smoke
+        // keeps only the endpoints — it gates identity, not speed.
+        std::vector<std::uint32_t> sweep{1};
+        if (!smoke && top > 2)
+            sweep.push_back(2);
+        if (top > 1)
+            sweep.push_back(top);
+
         std::fprintf(stderr,
                      "pdes speedup bench: %s, scale %.3g, %u domains, "
-                     "%u threads, %u host cores%s\n",
-                     nc.name.c_str(), scale, domains, threads, cores,
+                     "threads up to %u, %u host cores%s\n",
+                     nc.name.c_str(), scale, domains, top, cores,
                      smoke ? " (smoke)" : "");
 
         Row r;
         r.name = nc.name;
-        r.legacy = runOne(nc.cfg, 0, 0, scale);
-        r.serial = runOne(nc.cfg, 1, 1, scale);
-        r.part = runOne(nc.cfg, domains, threads, scale);
-        r.identical = r.serial.csv == r.part.csv &&
-                      r.serial.digests == r.part.digests;
-        if (!r.identical) {
-            all_identical = false;
-            std::fprintf(stderr,
-                         "ERROR: %s partitioned run differs from the "
-                         "tagged serial reference!\n",
-                         nc.name.c_str());
+        r.legacy = runOne(nc.cfg, 0, 0, true, scale);
+        r.serial = runOne(nc.cfg, 1, 1, true, scale);
+        for (const std::uint32_t threads : sweep) {
+            for (const bool async : {false, true}) {
+                PartRun p;
+                p.async = async;
+                p.threads = threads;
+                p.out = runOne(nc.cfg, domains, threads, async, scale);
+                p.identical = r.serial.csv == p.out.csv &&
+                              r.serial.digests == p.out.digests;
+                if (!p.identical) {
+                    all_identical = false;
+                    std::fprintf(stderr,
+                                 "ERROR: %s %s/%u-thread run differs "
+                                 "from the tagged serial reference!\n",
+                                 nc.name.c_str(),
+                                 async ? "async" : "epoch", threads);
+                }
+                r.parts.push_back(std::move(p));
+            }
         }
         rows.push_back(std::move(r));
     }
 
-    TextTable table({"config", "legacy-s", "tagged-s", "part-s",
+    TextTable table({"config", "sched", "threads", "wall-s",
                      "vs-tagged", "vs-legacy", "identity"});
     for (const Row &r : rows) {
-        table.addRow({r.name, fmt(r.legacy.wall, 3),
-                      fmt(r.serial.wall, 3), fmt(r.part.wall, 3),
-                      fmt(r.vsSerial()), fmt(r.vsLegacy()),
-                      r.identical ? "bitwise" : "BROKEN"});
+        for (const PartRun &p : r.parts) {
+            table.addRow({r.name, p.async ? "async" : "epoch",
+                          std::to_string(p.threads), fmt(p.out.wall, 3),
+                          fmt(speedup(r.serial, p.out)),
+                          fmt(speedup(r.legacy, p.out)),
+                          p.identical ? "bitwise" : "BROKEN"});
+        }
+        table.addRow({r.name, "async/epoch", "top",
+                      fmt(r.asyncVsEpoch()), "-", "-", "-"});
     }
-    table.print("PDES speedup per partitionable config");
+    table.print("PDES scheduler matrix per partitionable config");
 
     if (!smoke) {
         const Row &flag = rows.front(); // fbarre: the trajectory row
-        char member[640];
+        const PartRun &fp = flag.best();
+        char member[704];
         std::snprintf(member, sizeof member,
                       "{\n"
                       "    \"host_cores\": %u,\n"
@@ -292,19 +360,21 @@ main(int argc, char **argv)
                       "    \"partitioned_events_per_s\": %.0f,\n"
                       "    \"speedup_vs_tagged_serial\": %.3f,\n"
                       "    \"speedup_vs_legacy\": %.3f,\n"
+                      "    \"async_vs_epoch\": %.3f,\n"
                       "    \"identical_results\": %s\n"
                       "  }",
-                      cores, domains, threads, scale, flag.legacy.wall,
-                      flag.serial.wall, flag.part.wall,
+                      cores, domains, fp.threads, scale,
+                      flag.legacy.wall, flag.serial.wall, fp.out.wall,
                       flag.legacy.eps(), flag.serial.eps(),
-                      flag.part.eps(), flag.vsSerial(), flag.vsLegacy(),
-                      flag.identical ? "true" : "false");
+                      fp.out.eps(), speedup(flag.serial, fp.out),
+                      speedup(flag.legacy, fp.out), flag.asyncVsEpoch(),
+                      fp.identical ? "true" : "false");
         if (!mergeJson(out_path, member))
             std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
         else
             std::printf("wrote %s\n", out_path.c_str());
         if (!writePdesJson("BENCH_pdes.json", rows, cores, domains,
-                           threads, scale))
+                           scale))
             std::fprintf(stderr, "cannot write BENCH_pdes.json\n");
         else
             std::printf("wrote BENCH_pdes.json\n");

@@ -6,8 +6,6 @@
  * of an L2 TLB; the abstract rounds to 4.22%).
  */
 
-#include <benchmark/benchmark.h>
-
 #include "bench/common.hh"
 #include "core/filter_engine.hh"
 #include "gpu/fbarre_service.hh"
@@ -15,30 +13,11 @@
 using namespace barre;
 using namespace barre::bench;
 
-namespace
-{
-
-void
-BM_OverheadModel(benchmark::State &state)
-{
-    for (auto _ : state) {
-        FilterEngine fe(0, 4, CuckooFilterParams{});
-        PecBuffer buf(5);
-        std::uint64_t bits = fe.storageBits() + buf.storageBits();
-        benchmark::DoNotOptimize(bits);
-        state.counters["per_chiplet_bits"] = static_cast<double>(bits);
-    }
-}
-BENCHMARK(BM_OverheadModel)->Iterations(1);
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    (void)argc;
+    (void)argv;
 
     // Per-chiplet F-Barre state: 1 LCF + 3 RCFs + 5-entry PEC buffer.
     FilterEngine fe(0, 4, CuckooFilterParams{});

@@ -16,15 +16,14 @@ using namespace barre::bench;
 int
 main(int argc, char **argv)
 {
+    (void)argc;
+    (void)argv;
     ResultStore store;
     std::vector<NamedConfig> configs{{"baseline",
                                       SystemConfig::baselineAts()}};
     const auto &apps = standardSuite();
     const auto specs = soloSpecs(apps);
-    registerRuns(store, configs, specs, envScale());
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
+    runAll(store, configs, specs, envScale());
 
     TextTable table({"app", "full name", "class", "paper MPKI",
                      "measured MPKI"});

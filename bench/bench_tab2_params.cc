@@ -5,8 +5,6 @@
  * auditable against the paper's table.
  */
 
-#include <benchmark/benchmark.h>
-
 #include "bench/common.hh"
 #include "sim/logging.hh"
 
@@ -16,43 +14,37 @@ using namespace barre::bench;
 namespace
 {
 
+/** Panics (exit code) if a default drifted from the paper's table. */
 void
-BM_DefaultsMatchTableII(benchmark::State &state)
+assertDefaultsMatchTableII(const SystemConfig &cfg)
 {
-    for (auto _ : state) {
-        SystemConfig cfg = SystemConfig::fbarreCfg(2);
-        cfg.normalize();
-        barre_assert(cfg.chiplets == 4, "chiplets");
-        barre_assert(cfg.cus_per_chiplet == 64, "4 SAs x 16 CUs");
-        barre_assert(cfg.chiplet.l2_tlb.entries == 512, "L2 TLB");
-        barre_assert(cfg.chiplet.l2_tlb.ways == 16, "L2 TLB ways");
-        barre_assert(cfg.chiplet.l2_tlb.lookup_latency == 10, "L2 lat");
-        barre_assert(cfg.chiplet.l1_tlb.entries == 64, "L1 TLB");
-        barre_assert(cfg.iommu.ptws == 16, "PTWs");
-        barre_assert(cfg.iommu.walk_latency == 500, "walk latency");
-        barre_assert(cfg.iommu.pw_queue_entries == 48, "PW-queue");
-        barre_assert(cfg.fbarre.filter.rows == 256, "cuckoo rows");
-        barre_assert(cfg.fbarre.filter.ways == 4, "cuckoo ways");
-        barre_assert(cfg.fbarre.filter.fingerprint_bits == 9,
-                     "fingerprint");
-        barre_assert(cfg.driver.merge_limit == 2, "2-merge default");
-        barre_assert(cfg.fbarre.pec_buffer_entries == 5, "PEC buffer");
-        benchmark::DoNotOptimize(cfg);
-    }
+    barre_assert(cfg.chiplets == 4, "chiplets");
+    barre_assert(cfg.cus_per_chiplet == 64, "4 SAs x 16 CUs");
+    barre_assert(cfg.chiplet.l2_tlb.entries == 512, "L2 TLB");
+    barre_assert(cfg.chiplet.l2_tlb.ways == 16, "L2 TLB ways");
+    barre_assert(cfg.chiplet.l2_tlb.lookup_latency == 10, "L2 lat");
+    barre_assert(cfg.chiplet.l1_tlb.entries == 64, "L1 TLB");
+    barre_assert(cfg.iommu.ptws == 16, "PTWs");
+    barre_assert(cfg.iommu.walk_latency == 500, "walk latency");
+    barre_assert(cfg.iommu.pw_queue_entries == 48, "PW-queue");
+    barre_assert(cfg.fbarre.filter.rows == 256, "cuckoo rows");
+    barre_assert(cfg.fbarre.filter.ways == 4, "cuckoo ways");
+    barre_assert(cfg.fbarre.filter.fingerprint_bits == 9,
+                 "fingerprint");
+    barre_assert(cfg.driver.merge_limit == 2, "2-merge default");
+    barre_assert(cfg.fbarre.pec_buffer_entries == 5, "PEC buffer");
 }
-BENCHMARK(BM_DefaultsMatchTableII)->Iterations(1);
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    int rc = runBenchmarks(argc, argv);
-    if (rc != 0)
-        return rc;
-
+    (void)argc;
+    (void)argv;
     SystemConfig cfg = SystemConfig::fbarreCfg(2);
     cfg.normalize();
+    assertDefaultsMatchTableII(cfg);
     TextTable t({"parameter", "value", "paper (Table II)"});
     t.addRow({"GPU chiplets", std::to_string(cfg.chiplets), "4"});
     t.addRow({"CUs", std::to_string(cfg.chiplets *

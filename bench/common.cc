@@ -111,43 +111,4 @@ runAll(ResultStore &store, const std::vector<NamedConfig> &configs,
     }
 }
 
-void
-registerRuns(ResultStore &store, const std::vector<NamedConfig> &configs,
-             const std::vector<ScenarioSpec> &specs, double scale)
-{
-    for (const auto &nc : configs) {
-        for (const auto &spec : specs) {
-            SystemConfig cfg = nc.cfg;
-            cfg.workload_scale *= scale;
-            std::string cfg_name = nc.name;
-            std::string bench_name = cfg_name + "/" + spec.label();
-            benchmark::RegisterBenchmark(
-                bench_name.c_str(),
-                [&store, cfg, spec, cfg_name](benchmark::State &state) {
-                    for (auto _ : state) {
-                        RunMetrics m = runScenario(cfg, spec);
-                        store.put(cfg_name, m.app, m);
-                        state.counters["sim_cycles"] =
-                            static_cast<double>(m.runtime);
-                        state.counters["ats_packets"] =
-                            static_cast<double>(m.ats_packets);
-                        state.counters["l2_mpki"] = m.l2_mpki;
-                    }
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kMillisecond);
-        }
-    }
-}
-
-int
-runBenchmarks(int argc, char **argv)
-{
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
-}
-
 } // namespace barre::bench

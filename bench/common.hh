@@ -2,20 +2,19 @@
  * @file
  * Shared infrastructure for the benchmark harness.
  *
- * Each bench binary reproduces one figure/table of the paper: it
- * registers one google-benchmark per (configuration, application) cell,
- * runs every cell once, and then prints the paper-shaped series
- * (applications as rows, configurations as columns, geometric-mean
- * summary row) next to the paper's reported numbers.
+ * Each bench binary reproduces one figure/table of the paper: it runs
+ * one simulation per (configuration, application) cell — fanned out
+ * over host cores by runAll() — and then prints the paper-shaped
+ * series (applications as rows, configurations as columns,
+ * geometric-mean summary row) next to the paper's reported numbers.
  *
  * Environment:
  *   BARRE_SCALE - workload scale factor (default 1.0). Use e.g.
  *                 BARRE_SCALE=0.1 for a quick pass.
+ *   BARRE_JOBS  - worker cap for the cell fan-out (1 = serial).
  */
 
 #pragma once
-
-#include <benchmark/benchmark.h>
 
 #include <map>
 #include <string>
@@ -59,18 +58,6 @@ class ResultStore
   private:
     std::map<std::string, RunMetrics> cells_;
 };
-
-/**
- * Register one google-benchmark per (config, scenario); each runs the
- * simulation once and deposits its metrics into @p store. Counters
- * exposed: sim cycles, ATS packets, L2 MPKI.
- */
-void registerRuns(ResultStore &store,
-                  const std::vector<NamedConfig> &configs,
-                  const std::vector<ScenarioSpec> &specs, double scale);
-
-/** Initialize + run google-benchmark (call from main after register). */
-int runBenchmarks(int argc, char **argv);
 
 /**
  * Run every (config, scenario) cell through runMany() — parallel

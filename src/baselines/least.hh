@@ -61,6 +61,14 @@ class LeastService : public SimObject,
 
     void attachL2Tlb(ChipletId c, Tlb *tlb) { l2_tlbs_[c] = tlb; }
 
+    /**
+     * Package-shared L2 TLB hypothetical: with one physical L2 there
+     * is nothing to share or spill between chiplets (and the structure
+     * is host-owned, unreachable synchronously). The sharing layer
+     * disables itself; every miss takes the conventional ATS path.
+     */
+    void setSharedL2Bypass() { shared_bypass_ = true; }
+
     /** Bind each chiplet's tracker replica + counters to its tag. */
     void
     bindDomains(DomainGuard *guard)
@@ -76,6 +84,12 @@ class LeastService : public SimObject,
     translate(ProcessId pid, Vpn vpn, ChipletId src,
               Iommu::ResponseHandler done) override
     {
+        if (shared_bypass_) {
+            // May run host-side (the shared block drives misses from
+            // there); touches no chiplet shard.
+            iommu_.sendAts(pid, vpn, src, std::move(done));
+            return;
+        }
         PerChiplet &ch = chips_[src];
         ch.domainCheck("translate");
         std::uint32_t mask = 0;
@@ -106,6 +120,8 @@ class LeastService : public SimObject,
     void
     onL2Insert(ChipletId chiplet, const TlbEntry &entry) override
     {
+        if (shared_bypass_)
+            return; // fills land host-side; no trackers to maintain
         chips_[chiplet].domainCheck("onL2Insert");
         broadcastPresence(chiplet, entry.pid, entry.vpn, true);
     }
@@ -113,6 +129,8 @@ class LeastService : public SimObject,
     void
     onL2Evict(ChipletId chiplet, const TlbEntry &entry) override
     {
+        if (shared_bypass_)
+            return;
         PerChiplet &ch = chips_[chiplet];
         ch.domainCheck("onL2Evict");
         broadcastPresence(chiplet, entry.pid, entry.vpn, false);
@@ -245,6 +263,7 @@ class LeastService : public SimObject,
     Iommu &iommu_;
     Interconnect &noc_;
     LeastParams params_;
+    bool shared_bypass_ = false;
     // domain-owner:chiplet domain-cross:message — indexed by the
     // executing context only (own lookups, probe service at the peer);
     // cross-chiplet reads/spills ride Interconnect::send.

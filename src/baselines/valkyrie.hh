@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "gpu/shared_tlb.hh"
 #include "gpu/translation_service.hh"
 #include "sim/domain_guard.hh"
 #include "sim/stats.hh"
@@ -55,6 +56,16 @@ class ValkyrieService : public TranslationService
     {}
 
     void attachL2Tlb(ChipletId c, Tlb *tlb) { l2_tlbs_[c] = tlb; }
+
+    /**
+     * Under the shared-L2-TLB hypothetical the attached TLBs all alias
+     * the host-owned shared structure; prefetch fills must cross back
+     * to it as messages instead of inserting from chiplet context.
+     */
+    void connectSharedTlb(SharedTlbService *svc) { shared_ = svc; }
+
+    /** The prefetcher shard is chiplet state; see SharedTlbService. */
+    bool translateNeedsRequester() const override { return true; }
 
     /** Bind each chiplet's prefetcher shard to its tag. */
     void
@@ -99,7 +110,11 @@ class ValkyrieService : public TranslationService
         for (std::uint32_t d = 1; d <= params_.prefetch_degree; ++d) {
             Vpn pv = vpn + d;
             std::uint64_t key = (std::uint64_t{pid} << 52) ^ pv;
-            if (l2_tlbs_[src]->peek(pid, pv) || ch.pending.contains(key))
+            // The host-owned shared TLB cannot be peeked from chiplet
+            // context; the pending set alone gates duplicates then.
+            const bool cached =
+                shared_ == nullptr && l2_tlbs_[src]->peek(pid, pv);
+            if (cached || ch.pending.contains(key))
                 continue;
             ch.pending.insert(key);
             ++ch.prefetches;
@@ -112,6 +127,14 @@ class ValkyrieService : public TranslationService
                                c2.pending.erase(key);
                                if (resp.pfn == invalid_pfn)
                                    return;
+                               ++c2.prefetch_fills;
+                               if (shared_) {
+                                   // Host-owned shared TLB: the fill
+                                   // crosses back as a message.
+                                   shared_->unsolicitedFillFrom(src,
+                                                                resp);
+                                   return;
+                               }
                                TlbEntry te;
                                te.pid = pid;
                                te.vpn = pv;
@@ -119,7 +142,6 @@ class ValkyrieService : public TranslationService
                                te.coal = resp.coal;
                                te.valid = true;
                                l2_tlbs_[src]->insert(te);
-                               ++c2.prefetch_fills;
                            });
         }
     }
@@ -174,6 +196,8 @@ class ValkyrieService : public TranslationService
 
     Iommu &iommu_;
     ValkyrieParams params_;
+    // domain-cross:message — fills travel the shared block's links.
+    SharedTlbService *shared_ = nullptr;
     // domain-owner:chiplet domain-cross:message — indexed only by the
     // executing chiplet (l2_tlbs_[src]); fills arrive via the IOMMU
     // response path, which delivers under src's tag.

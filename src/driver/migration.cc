@@ -80,6 +80,11 @@ AcudMigrator::startRound(const MigReq &req)
     round_start_ = now;
     round_acks_ = 0;
 
+    // Host-owned structures (the shared L2 TLB) are shot down right
+    // here, at broadcast launch, in the driver's own context.
+    if (host_invalidate_)
+        host_invalidate_(req.pid, res->stale_vpns);
+
     // Broadcast the shootdown; the driver proceeds on all-acks.
     for (std::uint32_t c = 0; c < shards_.size(); ++c) {
         pcie_.toDevice(

@@ -77,6 +77,9 @@ class AcudMigrator : public SimObject, public DomainOwned
     /** Shoot down chiplet @p c 's stale translations for (pid, vpns). */
     using InvalidateHook =
         InlineFn<void(ChipletId, ProcessId, const std::vector<Vpn> &)>;
+    /** Host-side shootdown (e.g. the package-shared L2 TLB). */
+    using HostInvalidateHook =
+        InlineFn<void(ProcessId, const std::vector<Vpn> &)>;
 
     AcudMigrator(EventQueue &eq, std::string name, GpuDriver &driver,
                  Pcie &pcie, std::uint32_t chiplets,
@@ -86,6 +89,18 @@ class AcudMigrator : public SimObject, public DomainOwned
     {}
 
     void setInvalidateHook(InvalidateHook h) { invalidate_ = std::move(h); }
+
+    /**
+     * Invoked in host context when a round's shootdown broadcast
+     * launches, so host-owned TLB structures (the package-shared L2
+     * TLB) drop their stale entries without a chiplet reaching across
+     * the domain boundary.
+     */
+    void
+    setHostInvalidateHook(HostInvalidateHook h)
+    {
+        host_invalidate_ = std::move(h);
+    }
 
     /**
      * When wired, page copies are injected into the interconnect so
@@ -186,6 +201,7 @@ class AcudMigrator : public SimObject, public DomainOwned
     Pcie &pcie_;
     MigrationParams params_;
     InvalidateHook invalidate_;
+    HostInvalidateHook host_invalidate_;
     Interconnect *noc_ = nullptr;
 
     std::vector<Shard> shards_;

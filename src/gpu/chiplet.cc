@@ -244,7 +244,10 @@ Chiplet::shootdownVpns(ProcessId pid, const std::vector<Vpn> &vpns)
     for (Vpn vpn : vpns) {
         for (auto &l1 : l1_tlbs_)
             l1->invalidate(pid, vpn);
-        l2_tlb_->invalidate(pid, vpn);
+        // The shared-L2 hypothetical's TLB is host-owned; the migrator
+        // invalidates it host-side when it launches the broadcast.
+        if (!shared_svc_)
+            l2_tlb_->invalidate(pid, vpn);
     }
 }
 

@@ -128,6 +128,14 @@ void
 FBarreService::translate(ProcessId pid, Vpn vpn, ChipletId src,
                          Iommu::ResponseHandler done)
 {
+    if (shared_bypass_) {
+        // May run host-side (the shared block drives misses from
+        // there); touches no chiplet-owned filter or buffer.
+        ++fallbacks_;
+        fallback_.translate(pid, vpn, src, std::move(done));
+        return;
+    }
+
     // Step 1: local coalesced calculation.
     Cycles local_lat = 0;
     if (auto local = tryCalcAt(src, pid, vpn, false, local_lat)) {
@@ -211,6 +219,8 @@ FBarreService::translate(ProcessId pid, Vpn vpn, ChipletId src,
 void
 FBarreService::onResponse(ChipletId chiplet, const AtsResponse &resp)
 {
+    if (shared_bypass_)
+        return; // responses complete host-side; PEC buffers are idle
     if (resp.has_pec)
         pec_buffers_[chiplet]->insert(resp.pec);
 }
@@ -257,6 +267,8 @@ FBarreService::sendFilterUpdates(ChipletId from, ChipletId to, bool add,
 void
 FBarreService::onL2Insert(ChipletId chiplet, const TlbEntry &entry)
 {
+    if (shared_bypass_)
+        return;
     engines_[chiplet]->lcfInsert(entry.pid, entry.vpn);
     // The insert just restored TLB ⊆ LCF on this chiplet (the evict
     // listener already removed the victim from both); a safe point to
@@ -282,7 +294,7 @@ void
 FBarreService::auditFilterCoherence(ChipletId chiplet) const
 {
     const Tlb *tlb = l2_tlbs_[chiplet];
-    if (!tlb)
+    if (!tlb || shared_bypass_)
         return;
     const FilterEngine &eng = *engines_[chiplet];
     if (eng.lcfLossyInserts() > 0)
@@ -305,6 +317,8 @@ FBarreService::auditFilterCoherence() const
 void
 FBarreService::onL2Evict(ChipletId chiplet, const TlbEntry &entry)
 {
+    if (shared_bypass_)
+        return;
     engines_[chiplet]->lcfErase(entry.pid, entry.vpn);
     if (!entry.coal.coalesced() || !params_.peer_sharing)
         return;
@@ -323,6 +337,8 @@ FBarreService::onL2Evict(ChipletId chiplet, const TlbEntry &entry)
 void
 FBarreService::onShootdown()
 {
+    if (shared_bypass_)
+        return; // the filters were never populated
     for (auto &e : engines_)
         e->reset();
 }

@@ -73,6 +73,15 @@ class FBarreService : public SimObject,
     /** Wire each chiplet's L2 TLB for peeking. */
     void attachL2Tlb(ChipletId chiplet, Tlb *tlb);
 
+    /**
+     * Package-shared L2 TLB hypothetical: the per-chiplet TLBs the
+     * intra-MCM layer keys off collapse into one host-owned structure,
+     * so steps 1–2 are moot (a miss there already missed for every
+     * chiplet). The layer disables itself; every miss takes the
+     * fallback path (IOMMU-side PEC coalescing still applies).
+     */
+    void setSharedL2Bypass() { shared_bypass_ = true; }
+
     /** Bind each chiplet's filter engine + PEC buffer to its tag. */
     void
     bindDomains(DomainGuard *guard)
@@ -165,6 +174,7 @@ class FBarreService : public SimObject,
                            ProcessId pid, std::vector<Vpn> vpns);
 
     FBarreParams params_;
+    bool shared_bypass_ = false;
     std::uint32_t chiplets_;
     Interconnect &noc_;
     const MemoryMap &map_;

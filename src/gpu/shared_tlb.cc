@@ -70,16 +70,28 @@ SharedTlbService::serveAtHost(ChipletId src, ProcessId pid, Vpn vpn,
         return; // merged onto the in-flight miss
 
     barre_assert(service_ != nullptr, "no translation service wired");
-    service_->translate(
-        pid, vpn, src, [this, src, key](const AtsResponse &resp) {
-            // The response lands at the requesting chiplet (PCIe
-            // downstream); bounce the fill back to the shared block
-            // over that chiplet's request wire.
-            req_links_[src]->sendTo(kHostTag, params_.resp_bytes,
-                                    [this, src, key, resp]() {
-                                        completeAtHost(src, key, resp);
-                                    });
-        });
+    auto launch = [this, pid, vpn, src, key]() {
+        service_->translate(
+            pid, vpn, src, [this, src, key](const AtsResponse &resp) {
+                // The response lands at the requesting chiplet (PCIe
+                // downstream); bounce the fill back to the shared block
+                // over that chiplet's request wire.
+                req_links_[src]->sendTo(kHostTag, params_.resp_bytes,
+                                        [this, src, key, resp]() {
+                                            completeAtHost(src, key,
+                                                           resp);
+                                        });
+            });
+    };
+    if (service_->translateNeedsRequester()) {
+        // Per-chiplet translate state (Valkyrie's prefetcher shard)
+        // must be driven from the requester's context; ship the miss
+        // back over the response wire first.
+        resp_links_[src]->sendTo(chipletTag(src), params_.req_bytes,
+                                 std::move(launch));
+        return;
+    }
+    launch();
 }
 
 void

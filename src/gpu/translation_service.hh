@@ -38,6 +38,15 @@ class TranslationService
     virtual void translate(ProcessId pid, Vpn vpn, ChipletId src,
                            Iommu::ResponseHandler done) = 0;
 
+    /**
+     * True when translate() must execute in the requesting chiplet's
+     * context because it touches per-chiplet sharded state (e.g.
+     * Valkyrie's prefetcher). The shared-L2-TLB block, which takes
+     * misses host-side, bounces the launch back over the requester's
+     * response link before calling translate() when this is set.
+     */
+    virtual bool translateNeedsRequester() const { return false; }
+
     /** Mirrored from the chiplet's L2 TLB. */
     virtual void onL2Insert(ChipletId, const TlbEntry &) {}
     virtual void onL2Evict(ChipletId, const TlbEntry &) {}

@@ -89,11 +89,12 @@ struct SystemConfig
      * partition-independent event ordering — the reference the
      * multi-domain runs are proven bitwise-identical to); >= 2 gives
      * the host its own domain and round-robins chiplets over the rest.
-     * Clamped to chiplets + 1. The few configurations whose components
-     * still reach across chiplet boundaries synchronously (demand
-     * paging, and exotic combinations layered on the shared L2 TLB —
-     * see System::partitionBlocker) fall back to the serial queue with
-     * a warning; everything else partitions.
+     * Clamped to chiplets + 1. The two configurations with read-side
+     * races across domain boundaries (migration's PTE surgery under
+     * GMMU-side walks, and validated demand paging — see
+     * System::partitionBlocker) fall back to the serial queue with a
+     * warning; everything else — including plain demand paging and
+     * every service layered on the shared L2 TLB — partitions.
      */
     std::uint32_t sim_domains = 0;
 
@@ -103,6 +104,17 @@ struct SystemConfig
      * never affects results, only wall time.
      */
     std::uint32_t sim_threads = 0;
+
+    /**
+     * Scheduler for partitioned runs. true (default): asynchronous
+     * per-channel conservative scheduling — each domain advances to
+     * min over incoming channels of (sender clock + channel
+     * lookahead), so NoC-coupled domains never wait for PCIe-grained
+     * synchronization. false: the lock-step epoch scheduler bounded by
+     * the global minimum lookahead, kept as a differential-testing
+     * reference. Both fire events in bitwise-identical order.
+     */
+    bool sim_async = true;
 
     bool operator==(const SystemConfig &) const = default;
 

@@ -1,9 +1,11 @@
 #include "harness/domain_scheduler.hh"
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "harness/pool.hh"
 #include "sim/logging.hh"
@@ -57,19 +59,48 @@ clampAdd(Tick a, Tick b)
 }
 
 /**
- * One process-wide pinned worker pool shared by all partitioned runs.
- * The mutex is held for a run's whole duration; a second concurrent
- * partitioned run (e.g. cells inside runMany) falls back to
- * single-threaded epochs, which produce identical results by
- * construction.
+ * Idle scheduler pools, checked out for the duration of one run and
+ * returned afterwards. Keeping a small cache amortizes thread spawns
+ * across the frequent short runs of sweeps and benches; concurrent
+ * runs each check out (or create) their own pool, so none of them
+ * degrades to serial execution just because another run is active.
  */
-std::mutex g_pool_mu;
+std::mutex g_pools_mu;
+std::vector<std::unique_ptr<ThreadPool>> g_idle_pools;
 
-std::unique_ptr<ThreadPool> &
-schedulerPool()
+std::unique_ptr<ThreadPool>
+checkoutPool(unsigned workers)
 {
-    static std::unique_ptr<ThreadPool> pool;
-    return pool;
+    {
+        std::lock_guard<std::mutex> lk(g_pools_mu);
+        std::size_t best = g_idle_pools.size();
+        for (std::size_t i = 0; i < g_idle_pools.size(); ++i) {
+            if (g_idle_pools[i]->workers() < workers)
+                continue;
+            if (best == g_idle_pools.size() ||
+                g_idle_pools[i]->workers() <
+                    g_idle_pools[best]->workers()) {
+                best = i;
+            }
+        }
+        if (best != g_idle_pools.size()) {
+            std::unique_ptr<ThreadPool> p =
+                std::move(g_idle_pools[best]);
+            g_idle_pools.erase(g_idle_pools.begin() +
+                               std::ptrdiff_t(best));
+            return p;
+        }
+    }
+    return std::make_unique<ThreadPool>(workers);
+}
+
+void
+returnPool(std::unique_ptr<ThreadPool> p)
+{
+    std::lock_guard<std::mutex> lk(g_pools_mu);
+    // Cap the cache; an excess pool joins its threads on destruction.
+    if (g_idle_pools.size() < 4)
+        g_idle_pools.push_back(std::move(p));
 }
 
 /** Epoch loop on the calling thread only (still epoch-structured, so
@@ -78,13 +109,6 @@ void
 serialEpochs(TaggedEngine &eng, Tick lookahead)
 {
     const std::uint32_t domains = eng.domains();
-    if (domains == 1) {
-        // One domain stages nothing; a single unbounded epoch drains
-        // the run without barrier overhead.
-        eng.beginEpoch(max_tick);
-        eng.runEpoch(0, max_tick);
-        return;
-    }
     for (;;) {
         const Tick next = eng.nextEventTick();
         if (next == max_tick)
@@ -147,15 +171,121 @@ parallelEpochs(TaggedEngine &eng, Tick lookahead, ThreadPool &pool,
     });
 }
 
+/**
+ * Shared state of one async run. The generation counter and the idle
+ * mirror follow the classic no-missed-wakeup discipline: a sleeper
+ * publishes itself idle *before* re-checking the generation (both
+ * seq_cst), a producer bumps the generation *before* checking for
+ * idlers, so at least one of them observes the other.
+ */
+struct AsyncShared
+{
+    TaggedEngine &eng;
+    unsigned workers;
+    std::atomic<std::uint64_t> gen{0};
+    std::atomic<unsigned> idle{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+};
+
+void
+asyncWorker(AsyncShared &sh, std::size_t w)
+{
+    TaggedEngine &eng = sh.eng;
+    const std::uint32_t domains = eng.domains();
+    try {
+        for (;;) {
+            const std::uint64_t g =
+                sh.gen.load(std::memory_order_acquire);
+            bool progress = false;
+            for (std::uint32_t d = std::uint32_t(w); d < domains;
+                 d += sh.workers) {
+                progress = eng.serviceDomain(d) || progress;
+            }
+            if (progress) {
+                sh.gen.fetch_add(1, std::memory_order_seq_cst);
+                if (sh.idle.load(std::memory_order_seq_cst) > 0) {
+                    std::lock_guard<std::mutex> lk(sh.mu);
+                    sh.cv.notify_all();
+                }
+                continue;
+            }
+            std::unique_lock<std::mutex> lk(sh.mu);
+            if (sh.done)
+                return;
+            if (sh.gen.load(std::memory_order_acquire) != g)
+                continue; // someone progressed since our pass began
+            if (sh.idle.load(std::memory_order_acquire) + 1 ==
+                sh.workers) {
+                // Last runner standing with nothing to do; everyone
+                // else is parked in wait() below, so no domain is
+                // being serviced and global state is quiescent enough
+                // to inspect.
+                if (eng.liveEvents() == 0) {
+                    sh.done = true;
+                    sh.cv.notify_all();
+                    return;
+                }
+                const Tick jump = eng.stallBreak();
+                barre_assert(jump != max_tick,
+                             "async stall with %lld live events but "
+                             "no pending work found",
+                             (long long)eng.liveEvents());
+                sh.gen.fetch_add(1, std::memory_order_seq_cst);
+                sh.cv.notify_all();
+                continue;
+            }
+            sh.idle.fetch_add(1, std::memory_order_seq_cst);
+            sh.cv.wait(lk, [&] {
+                return sh.done ||
+                       sh.gen.load(std::memory_order_seq_cst) != g;
+            });
+            sh.idle.fetch_sub(1, std::memory_order_seq_cst);
+            if (sh.done)
+                return;
+        }
+    } catch (...) {
+        // Unblock every parked peer before propagating (the pool
+        // rethrows the first error once all workers returned).
+        std::lock_guard<std::mutex> lk(sh.mu);
+        sh.done = true;
+        sh.cv.notify_all();
+        throw;
+    }
+}
+
+void
+asyncRun(TaggedEngine &eng, ThreadPool *pool, unsigned workers)
+{
+    AsyncShared sh{eng, workers};
+    if (workers <= 1 || pool == nullptr) {
+        sh.workers = 1;
+        asyncWorker(sh, 0);
+        return;
+    }
+    pool->runPinned(workers,
+                    [&sh](std::size_t w) { asyncWorker(sh, w); });
+}
+
 } // namespace
 
+WorkerBudget &
+DomainScheduler::budget()
+{
+    static WorkerBudget b(ThreadPool::defaultWorkers());
+    return b;
+}
+
 std::uint64_t
-DomainScheduler::run(EventQueue &eq, Tick lookahead, unsigned threads)
+DomainScheduler::run(EventQueue &eq, Tick lookahead, unsigned threads,
+                     bool async)
 {
     TaggedEngine *eng = eq.taggedEngine();
     barre_assert(eng != nullptr,
                  "DomainScheduler::run on an untagged queue");
-    barre_assert(lookahead >= 1, "epoch lookahead must be >= 1");
+    barre_assert(lookahead >= 1, "scheduler lookahead must be >= 1");
+    eng->defaultLookahead(lookahead);
     const std::uint64_t fired_before = eng->fired();
     const std::uint32_t domains = eng->domains();
 
@@ -165,24 +295,47 @@ DomainScheduler::run(EventQueue &eq, Tick lookahead, unsigned threads)
     if (want < 1)
         want = 1;
 
+    eng->setAsync(async && eng->multiDomain());
     eng->setRunning(true);
-    if (want == 1) {
-        serialEpochs(*eng, lookahead);
-    } else {
-        std::unique_lock<std::mutex> lk(g_pool_mu, std::try_to_lock);
-        if (!lk.owns_lock()) {
-            // Another partitioned run holds the worker pool; results
-            // don't depend on the thread count, so run single-threaded
-            // rather than oversubscribing.
+    if (domains == 1) {
+        // One domain stages nothing; a single unbounded epoch drains
+        // the run without any scheduling overhead in either mode.
+        eng->beginEpoch(max_tick);
+        eng->runEpoch(0, max_tick);
+    } else if (want == 1) {
+        if (async)
+            asyncRun(*eng, nullptr, 1);
+        else
             serialEpochs(*eng, lookahead);
+    } else {
+        const unsigned granted = budget().acquire(want);
+        if (granted == 1) {
+            // Budget exhausted by concurrent runs; results don't
+            // depend on the thread count, so run single-threaded
+            // rather than oversubscribing.
+            if (async)
+                asyncRun(*eng, nullptr, 1);
+            else
+                serialEpochs(*eng, lookahead);
+            budget().release(granted);
         } else {
-            std::unique_ptr<ThreadPool> &pool = schedulerPool();
-            if (!pool || pool->workers() < want)
-                pool = std::make_unique<ThreadPool>(want);
-            parallelEpochs(*eng, lookahead, *pool, want);
+            std::unique_ptr<ThreadPool> pool = checkoutPool(granted);
+            try {
+                if (async)
+                    asyncRun(*eng, pool.get(), granted);
+                else
+                    parallelEpochs(*eng, lookahead, *pool, granted);
+            } catch (...) {
+                returnPool(std::move(pool));
+                budget().release(granted);
+                throw;
+            }
+            returnPool(std::move(pool));
+            budget().release(granted);
         }
     }
     eng->setRunning(false);
+    eng->setAsync(false);
     barre_assert(eng->empty(), "partitioned run left staged events");
     return eng->fired() - fired_before;
 }

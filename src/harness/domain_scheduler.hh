@@ -1,30 +1,112 @@
 /**
  * @file
- * Lock-step epoch driver for a partitioned (tagged) EventQueue.
+ * Drivers for a partitioned (tagged) EventQueue.
  *
- * Domains advance in epochs [S, S + lookahead): every domain fires its
- * events below the horizon in parallel, then one thread drains the
- * cross-domain staging buffers and picks the next epoch start — the
- * earliest pending tick anywhere, so idle stretches are skipped in one
- * hop instead of crawled over horizon by horizon. The conservative
- * lookahead (min over cross-domain links of 1 serialization cycle +
- * latency) guarantees drained arrivals always land at or beyond the
- * horizon, so no domain ever receives an event in its past.
+ * Async mode (default): the classic Chandy–Misra–Bryant conservative
+ * protocol. Every domain publishes a monotone clock; each worker
+ * repeatedly services its domains — merge incoming channel lanes,
+ * replay the safe prefix of shared-resource arbitration, run to
+ *     safe = min over incoming channels (sender clock + channel
+ *     lookahead),
+ * republish — and parks on a condition variable when a full pass makes
+ * no hard progress. Any worker that does make progress bumps a
+ * generation counter and wakes the parked ones; the last worker to
+ * park either detects global quiescence (no live events anywhere →
+ * done) or breaks the stall by jumping every clock to the earliest
+ * pending tick in one hop (replacing the slow null-message creep
+ * across idle stretches). There is no barrier: domains connected only
+ * by NoC links run ahead at NoC granularity while host traffic syncs
+ * at PCIe granularity.
  *
- * Worker threads come from a process-wide pinned ThreadPool shared by
- * all partitioned runs (one run at a time; concurrent callers — e.g. a
- * partitioned cell inside runMany — fall back to single-threaded epoch
- * execution, which by construction produces identical results).
+ * Epoch mode (`async = false`, the differential reference): domains
+ * advance in lock-step epochs [S, S + lookahead) — every domain fires
+ * its events below the horizon in parallel, then one thread drains the
+ * cross-domain staging lanes and picks the next epoch start. The
+ * global conservative lookahead (min over cross-domain links of
+ * 1 serialization cycle + latency) guarantees drained arrivals always
+ * land at or beyond the horizon.
+ *
+ * Both schedulers fire events in identical (when, birth, key) order,
+ * so CSVs, stats, and per-tag digests are bitwise identical across
+ * {async, epoch} × any domain count × any thread count.
+ *
+ * Worker threads come from a process-wide budget: concurrent
+ * partitioned runs (e.g. cells inside runMany) each lease a share of
+ * the host's cores instead of one run taking a global lock and the
+ * rest degrading to fully serial execution. Results never depend on
+ * the lease outcome.
  */
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "sim/event_queue.hh"
 
 namespace barre
 {
+
+/**
+ * Process-wide lease accounting for scheduler worker threads. The
+ * capacity is the host's worker budget (ThreadPool::defaultWorkers());
+ * each concurrent partitioned run leases the extra threads it wants
+ * (its calling thread is free — it always participates), clamped to
+ * what is still unleased. A run that arrives when the budget is
+ * exhausted simply runs single-threaded — results are identical by
+ * construction, only wall time differs.
+ */
+class WorkerBudget
+{
+  public:
+    explicit WorkerBudget(unsigned capacity)
+        : cap_(capacity ? capacity : 1)
+    {
+    }
+
+    /**
+     * Lease up to @p want - 1 extra threads (the caller is the first
+     * worker). @return the granted total worker count, in
+     * [1, want]; pass it to release() when the run finishes.
+     */
+    unsigned
+    acquire(unsigned want)
+    {
+        if (want <= 1)
+            return 1;
+        const unsigned extra = want - 1;
+        unsigned cur = used_.load(std::memory_order_relaxed);
+        unsigned grant;
+        do {
+            const unsigned avail = cap_ > cur + 1 ? cap_ - 1 - cur : 0;
+            grant = extra < avail ? extra : avail;
+        } while (!used_.compare_exchange_weak(
+            cur, cur + grant, std::memory_order_acq_rel,
+            std::memory_order_relaxed));
+        return 1 + grant;
+    }
+
+    /** Return a lease obtained from acquire(). */
+    void
+    release(unsigned granted)
+    {
+        if (granted > 1)
+            used_.fetch_sub(granted - 1, std::memory_order_acq_rel);
+    }
+
+    unsigned capacity() const { return cap_; }
+
+    /** Extra threads currently leased across all runs. */
+    unsigned
+    inUse() const
+    {
+        return used_.load(std::memory_order_acquire);
+    }
+
+  private:
+    const unsigned cap_;
+    std::atomic<unsigned> used_{0};
+};
 
 class DomainScheduler
 {
@@ -33,14 +115,23 @@ class DomainScheduler
      * Run @p eq 's tagged engine to completion.
      *
      * @param eq        an EventQueue with enableTags() applied.
-     * @param lookahead epoch length in ticks (>= 1); must not exceed
-     *                  any cross-domain link's minimum delivery delay.
+     * @param lookahead global conservative lookahead in ticks (>= 1);
+     *                  must not exceed any cross-domain link's minimum
+     *                  delivery delay. Async mode uses it as the
+     *                  default for channels without a tighter
+     *                  per-channel bound
+     *                  (TaggedEngine::setChannelLookahead).
      * @param threads   worker threads to use (clamped to the domain
      *                  count; 0 = ThreadPool::defaultWorkers()).
+     * @param async     per-channel asynchronous scheduling (default);
+     *                  false selects the lock-step epoch reference.
      * @return events fired during this run.
      */
     static std::uint64_t run(EventQueue &eq, Tick lookahead,
-                             unsigned threads);
+                             unsigned threads, bool async = true);
+
+    /** The process-wide worker-thread budget shared by all runs. */
+    static WorkerBudget &budget();
 };
 
 } // namespace barre

@@ -98,6 +98,16 @@ System::System(SystemConfigHandle cfg)
                    const std::vector<Vpn> &vpns) {
                 chiplets_[c]->shootdownVpns(pid, vpns);
             });
+        // The package-shared L2 TLB is host-owned; its stale entries
+        // drop in the driver's context when the broadcast launches,
+        // not from the chiplet-side hooks above.
+        if (shared_tlb_svc_) {
+            migrator_->setHostInvalidateHook(
+                [this](ProcessId pid, const std::vector<Vpn> &vpns) {
+                    for (Vpn vpn : vpns)
+                        shared_tlb_svc_->tlb().invalidate(pid, vpn);
+                });
+        }
         for (auto &c : chiplets_)
             c->setMigrator(migrator_.get());
     }
@@ -165,6 +175,8 @@ System::buildService()
             *iommu_, cfg_.valkyrie, cfg_.chiplets);
         for (std::uint32_t c = 0; c < cfg_.chiplets; ++c)
             valkyrie_->attachL2Tlb(c, &chiplets_[c]->l2Tlb());
+        if (shared_tlb_svc_)
+            valkyrie_->connectSharedTlb(shared_tlb_svc_.get());
         active_service_ = valkyrie_.get();
         break;
       case TranslationMode::least:
@@ -172,6 +184,8 @@ System::buildService()
             eq_, "least", *iommu_, *noc_, cfg_.chiplets, cfg_.least);
         for (std::uint32_t c = 0; c < cfg_.chiplets; ++c)
             least_->attachL2Tlb(c, &chiplets_[c]->l2Tlb());
+        if (cfg_.shared_l2_tlb)
+            least_->setSharedL2Bypass();
         active_service_ = least_.get();
         break;
       case TranslationMode::fbarre:
@@ -180,6 +194,8 @@ System::buildService()
             *fallback);
         for (std::uint32_t c = 0; c < cfg_.chiplets; ++c)
             fbarre_->attachL2Tlb(c, &chiplets_[c]->l2Tlb());
+        if (cfg_.shared_l2_tlb)
+            fbarre_->setSharedL2Bypass();
         active_service_ = fbarre_.get();
         break;
     }
@@ -194,16 +210,18 @@ System::partitionBlocker(const SystemConfig &cfg)
     // Anything that reaches across a chiplet (or chiplet/host) boundary
     // synchronously — without going through a latency-bearing link —
     // would be racy and non-deterministic under partitioned execution.
-    // Valkyrie, least, the shared L2 TLB, migration, and the F-Barre
-    // oracle all cross over message paths now; only the combinations
-    // below still touch remote state synchronously.
-    if (cfg.driver.demand_paging)
-        return "demand paging's driver page-table mutation";
-    if (cfg.shared_l2_tlb && cfg.mode != TranslationMode::baseline &&
-        cfg.mode != TranslationMode::barre)
-        return "a TLB-sharing service layered on the shared L2 TLB";
-    if (cfg.shared_l2_tlb && cfg.migration.enabled)
-        return "migration shootdowns into the host-owned shared L2 TLB";
+    // Every translation service (including layered on the shared L2
+    // TLB), migration (including shared-TLB shootdowns), demand
+    // paging, and the F-Barre oracle now cross over message paths;
+    // only the read-side races below remain — both invisible to the
+    // write-instrumented domain guard, hence blocked by construction
+    // rather than by audit.
+    if (cfg.driver.demand_paging && cfg.validate_translations &&
+        !cfg.migration.enabled) {
+        // Chiplet-side validators walk the page table the host-side
+        // fault handler is mutating mid-run.
+        return "validated demand paging's chiplet-side table walks";
+    }
     if (cfg.migration.enabled && cfg.use_gmmu)
         return "migration's PTE surgery under GMMU-side walks";
     return nullptr;
@@ -265,6 +283,36 @@ System::setupPartition()
     pdes_.domains = domains;
     pdes_.lookahead = lookahead;
     eq_.enableTags(std::move(tag_domain), domains);
+
+    // Per-directed-channel lookaheads for the async scheduler: the
+    // host/chiplet boundary is only crossed by PCIe (and, in shared-TLB
+    // mode, the shared-TLB request/response links); chiplet<->chiplet
+    // traffic rides the NoC (or the oracle's fixed-latency hop). The
+    // async scheduler lets each channel sync at its own granularity
+    // instead of the global minimum above; any link that beats its
+    // channel's bound trips the engine's cross-send audit.
+    if (domains >= 2) {
+        Tick host_ch = 1 + cfg_.pcie.latency;
+        if (cfg_.shared_l2_tlb) {
+            host_ch = std::min<Tick>(host_ch,
+                                     1 + cfg_.shared_tlb.latency);
+        }
+        Tick chip_ch = 1 + cfg_.noc.latency;
+        if (cfg_.mode == TranslationMode::fbarre &&
+            cfg_.fbarre.oracle_sharing) {
+            chip_ch = std::min<Tick>(chip_ch,
+                                     cfg_.fbarre.oracle_latency);
+        }
+        TaggedEngine *eng = eq_.taggedEngine();
+        for (std::uint32_t s = 0; s < domains; ++s) {
+            for (std::uint32_t d = 0; d < domains; ++d) {
+                if (s == d)
+                    continue;
+                eng->setChannelLookahead(
+                    s, d, (s == 0 || d == 0) ? host_ch : chip_ch);
+            }
+        }
+    }
     if (fbarre_)
         fbarre_->shardStats(tags);
     if (gmmu_)
@@ -664,7 +712,7 @@ System::run()
             }
         }
         fired = DomainScheduler::run(eq_, pdes_.lookahead,
-                                     cfg_.sim_threads);
+                                     cfg_.sim_threads, cfg_.sim_async);
         for (const TagDone &td : tag_done_) {
             cus_done_ += td.done;
             finish_tick_ = std::max(finish_tick_, td.finish);

@@ -111,6 +111,8 @@ class System
     bool partitioned() const { return pdes_.on; }
     /** The epoch lookahead the partition plan computed (1 when off). */
     Tick pdesLookahead() const { return pdes_.lookahead; }
+    /** Why @p cfg cannot be partitioned, or nullptr if it can. */
+    static const char *partitionBlocker(const SystemConfig &cfg);
     /// @}
 
   private:
@@ -134,8 +136,6 @@ class System
     /** Why @p cfg cannot run a dynamic scenario, or nullptr. */
     const char *scenarioBlocker() const;
     void buildService();
-    /** Why @p cfg cannot be partitioned, or nullptr if it can. */
-    static const char *partitionBlocker(const SystemConfig &cfg);
     /** Apply cfg_.sim_domains: tag/domain map, lookahead, enableTags. */
     void setupPartition();
     /** Bind every component to its owning sequencing tag. */

@@ -135,28 +135,20 @@ struct BlockedConfig
 std::vector<BlockedConfig>
 blockedConfigs()
 {
-    // The message-path conversions retired the simple blocked configs
-    // (valkyrie, least, shared_l2_tlb, migration, fbarre_oracle) — they
-    // now live in PartitionableConfigsAuditCleanAndBitwiseIdentical.
-    // What remains blocked: demand paging (racy page-table reads the
-    // instrumented mutators cannot witness) and the exotic combinations
-    // that layer a second user onto the host-owned shared L2 TLB.
+    // The message-path conversions retired every write-side crossing —
+    // valkyrie/least/fbarre (plain and layered on the shared L2 TLB),
+    // migration (including shared-TLB shootdowns), and demand paging
+    // all live in PartitionableConfigsAuditCleanAndBitwiseIdentical
+    // now. The two configs still blocked both race on *reads* (a
+    // chiplet walking the page table while the host mutates it), which
+    // the write-instrumented guard cannot witness: their runs must
+    // stay audit-silent, and the golden stays empty.
     std::vector<BlockedConfig> out;
 
     SystemConfig demand = SystemConfig::baselineAts();
     demand.driver.demand_paging = true;
-    out.push_back({"demand_paging", demand});
-
-    SystemConfig sv = SystemConfig::valkyrieCfg();
-    sv.shared_l2_tlb = true;
-    out.push_back({"shared+valkyrie", sv});
-
-    SystemConfig sm = SystemConfig::baselineAts();
-    sm.shared_l2_tlb = true;
-    sm.migration.enabled = true;
-    sm.migration.threshold = 4;
-    sm.driver.policy = MappingPolicyKind::round_robin;
-    out.push_back({"shared+migration", sm});
+    demand.validate_translations = true;
+    out.push_back({"demand_paging+validate", demand});
 
     SystemConfig mg = SystemConfig::baselineAts();
     mg.use_gmmu = true;
@@ -198,31 +190,32 @@ TEST(DomainAudit, NonPartitionableConfigsMatchGolden)
            "over a Link/message path instead (DESIGN.md §8).";
 }
 
-TEST(DomainAudit, KnownSynchronousConfigsActuallyReport)
+TEST(DomainAudit, BlockedConfigsAreReadRaceOnly)
 {
-    // The ratchet is only meaningful if the dynamic layer sees the
-    // synchronous paths the blocklist claims exist. (demand_paging and
-    // migration+gmmu are exempt: their blockers are racy page-table
-    // *reads* during driver mutation, which the instrumented mutators
-    // cannot witness.)
+    // Every remaining blocker is a read-side race the write-
+    // instrumented guard cannot witness — so a blocked config that
+    // *does* report has grown a new synchronous write path, and one
+    // whose blocker disappears from partitionBlocker without review
+    // would wrongly partition. Pin both directions: the runs stay
+    // audit-silent AND the blocker is still in force.
     for (auto &bc : blockedConfigs()) {
-        const std::string name = bc.name;
-        if (name == "demand_paging" || name == "migration+gmmu")
-            continue;
-        EXPECT_FALSE(auditRun(bc.cfg).empty())
-            << bc.name << " reported no violations — either the "
-            << "config became partitionable (remove it from "
-            << "System::partitionBlocker) or instrumentation was lost";
+        EXPECT_TRUE(auditRun(bc.cfg).empty())
+            << bc.name << " reported violations — a synchronous "
+            << "write-side crossing appeared; route it over a "
+            << "Link/message path (DESIGN.md §8)";
+        EXPECT_NE(System::partitionBlocker(bc.cfg), nullptr)
+            << bc.name << " is no longer blocked — if its read race "
+            << "was actually removed, move it to the partitionable "
+            << "identity suite";
     }
 }
 
 TEST(DomainAudit, GoldenOnlyShrinks)
 {
     // CI ratchet: the golden may only shrink. The message-path PRs
-    // brought it from 21 entries down to the current count; lower this
-    // ceiling whenever another synchronous path is converted, and
-    // never raise it.
-    constexpr std::size_t kCeiling = 5;
+    // brought it from 21 entries down to zero; it must never grow
+    // again — every cross-domain touch rides a Link/message path.
+    constexpr std::size_t kCeiling = 0;
     const std::string golden_path =
         std::string(BARRE_TESTS_DIR) + "/harness/domain_audit_golden.txt";
     std::ifstream in(golden_path);
@@ -275,7 +268,7 @@ TEST(DomainAudit, PartitionableConfigsAuditCleanAndBitwiseIdentical)
     gmmu.mode = TranslationMode::barre;
     cfgs.emplace_back("gmmu", gmmu);
 
-    // The five configs the message-path conversions unblocked.
+    // The configs the message-path conversions unblocked.
     cfgs.emplace_back("valkyrie", SystemConfig::valkyrieCfg());
     cfgs.emplace_back("least", SystemConfig::leastCfg());
     SystemConfig shared = SystemConfig::baselineAts();
@@ -289,6 +282,27 @@ TEST(DomainAudit, PartitionableConfigsAuditCleanAndBitwiseIdentical)
     SystemConfig oracle = SystemConfig::fbarreCfg();
     oracle.fbarre.oracle_sharing = true;
     cfgs.emplace_back("fbarre_oracle", oracle);
+
+    // And the second wave: demand paging, services layered on the
+    // shared L2 TLB, and shared-TLB migration shootdowns.
+    SystemConfig demand = SystemConfig::baselineAts();
+    demand.driver.demand_paging = true;
+    cfgs.emplace_back("demand_paging", demand);
+    SystemConfig sv = SystemConfig::valkyrieCfg();
+    sv.shared_l2_tlb = true;
+    cfgs.emplace_back("shared+valkyrie", sv);
+    SystemConfig sl = SystemConfig::leastCfg();
+    sl.shared_l2_tlb = true;
+    cfgs.emplace_back("shared+least", sl);
+    SystemConfig sf = SystemConfig::fbarreCfg();
+    sf.shared_l2_tlb = true;
+    cfgs.emplace_back("shared+fbarre", sf);
+    SystemConfig sm = SystemConfig::baselineAts();
+    sm.shared_l2_tlb = true;
+    sm.migration.enabled = true;
+    sm.migration.threshold = 4;
+    sm.driver.policy = MappingPolicyKind::round_robin;
+    cfgs.emplace_back("shared+migration", sm);
 
     for (auto &[name, cfg] : cfgs) {
         const CleanRun serial = cleanRun(cfg, 1);

@@ -86,8 +86,24 @@ cfgFor(const std::string &name)
         cfg.driver.demand_paging = true;
         return cfg;
     }
+    if (name == "demand_paging+validate") {
+        SystemConfig cfg = SystemConfig::baselineAts();
+        cfg.driver.demand_paging = true;
+        cfg.validate_translations = true;
+        return cfg;
+    }
     if (name == "shared+valkyrie") {
         SystemConfig cfg = SystemConfig::valkyrieCfg();
+        cfg.shared_l2_tlb = true;
+        return cfg;
+    }
+    if (name == "shared+least") {
+        SystemConfig cfg = SystemConfig::leastCfg();
+        cfg.shared_l2_tlb = true;
+        return cfg;
+    }
+    if (name == "shared+fbarre") {
+        SystemConfig cfg = SystemConfig::fbarreCfg();
         cfg.shared_l2_tlb = true;
         return cfg;
     }
@@ -129,9 +145,7 @@ TEST_P(PartitionFallback, WarnsOnceAndMatchesSerialBitwise)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBlockedConfigs, PartitionFallback,
-                         ::testing::Values("demand_paging",
-                                           "shared+valkyrie",
-                                           "shared+migration",
+                         ::testing::Values("demand_paging+validate",
                                            "migration+gmmu"));
 
 class PartitionUnblocked : public ::testing::TestWithParam<const char *>
@@ -151,6 +165,11 @@ TEST_P(PartitionUnblocked, PartitionsWithoutWarning)
 INSTANTIATE_TEST_SUITE_P(AllUnblockedConfigs, PartitionUnblocked,
                          ::testing::Values("valkyrie", "least",
                                            "shared_l2_tlb", "migration",
-                                           "fbarre_oracle"));
+                                           "fbarre_oracle",
+                                           "demand_paging",
+                                           "shared+valkyrie",
+                                           "shared+least",
+                                           "shared+fbarre",
+                                           "shared+migration"));
 
 } // namespace

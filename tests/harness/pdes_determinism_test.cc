@@ -2,8 +2,10 @@
  * @file
  * End-to-end bitwise-identity proof for partitioned simulation: a full
  * F-Barre run produces byte-identical metrics (csvRow), stats dumps,
- * and per-tag firing digests for sim_domains in {1, 2, 4, 8} and
- * thread counts in {1, 8}. Also covers the PDES-compatible feature
+ * and per-tag firing digests across the whole scheduler matrix —
+ * {async, epoch} × sim_domains {1, 2, 4, 8} × sim_threads {1, 2, 8} —
+ * with the heap-only queue and the epoch scheduler kept as
+ * differential references. Also covers the PDES-compatible feature
  * set (GMMU platform, multicast, validation) and the documented
  * fallback: non-partitionable configurations run the legacy serial
  * queue and match sim_domains=0 exactly.
@@ -72,7 +74,7 @@ expectIdentical(const RunOut &a, const RunOut &b, const char *what)
     EXPECT_TRUE(a.digests == b.digests) << what;
 }
 
-TEST(PdesDeterminism, FBarreRunIsIdenticalAcrossDomainsAndThreads)
+TEST(PdesDeterminism, FBarreRunIsIdenticalAcrossSchedulersDomainsThreads)
 {
     SystemConfig base = fbarreSmall();
     base.sim_domains = 1;
@@ -80,20 +82,32 @@ TEST(PdesDeterminism, FBarreRunIsIdenticalAcrossDomainsAndThreads)
     const RunOut ref = runCfg(base);
     ASSERT_TRUE(ref.tagged);
 
-    for (std::uint32_t domains : {2u, 4u, 8u}) {
-        for (std::uint32_t threads : {1u, 8u}) {
-            SystemConfig cfg = fbarreSmall();
-            cfg.sim_domains = domains;
-            cfg.sim_threads = threads;
-            const RunOut got = runCfg(cfg);
-            EXPECT_TRUE(got.tagged);
-            expectIdentical(
-                ref, got,
-                ("domains=" + std::to_string(domains) +
-                 " threads=" + std::to_string(threads))
-                    .c_str());
+    for (bool async : {true, false}) {
+        for (std::uint32_t domains : {2u, 4u, 8u}) {
+            for (std::uint32_t threads : {1u, 2u, 8u}) {
+                SystemConfig cfg = fbarreSmall();
+                cfg.sim_async = async;
+                cfg.sim_domains = domains;
+                cfg.sim_threads = threads;
+                const RunOut got = runCfg(cfg);
+                EXPECT_TRUE(got.tagged);
+                expectIdentical(
+                    ref, got,
+                    (std::string(async ? "async" : "epoch") +
+                     " domains=" + std::to_string(domains) +
+                     " threads=" + std::to_string(threads))
+                        .c_str());
+            }
         }
     }
+
+    // Differential reference #2: the pure-heap queue must not change
+    // the schedule either (heap vs calendar front, async scheduler).
+    SystemConfig heap = fbarreSmall();
+    heap.heap_only_queue = true;
+    heap.sim_domains = 4;
+    heap.sim_threads = 8;
+    expectIdentical(ref, runCfg(heap), "heap_only domains=4 threads=8");
 }
 
 TEST(PdesDeterminism, GmmuPlatformIsIdenticalAcrossDomains)
@@ -133,9 +147,13 @@ TEST(PdesDeterminism, MulticastAndValidationRunPartitioned)
 
 TEST(PdesDeterminism, NonPartitionableConfigFallsBackToLegacy)
 {
+    // Plain demand paging partitions now; adding chiplet-side
+    // validation reintroduces the read race (validators walk the page
+    // table the host-side fault handler mutates) and must fall back.
     SystemConfig legacy;
     legacy.mode = TranslationMode::baseline;
     legacy.driver.demand_paging = true;
+    legacy.validate_translations = true;
     legacy.workload_scale = 0.02;
     legacy.sim_domains = 0;
     const RunOut ref = runCfg(legacy);
@@ -177,6 +195,24 @@ class NewlyPartitioned : public ::testing::TestWithParam<const char *>
             cfg.driver.policy = MappingPolicyKind::round_robin;
             return cfg;
         }
+        if (name == "demand_paging") {
+            SystemConfig cfg = SystemConfig::baselineAts();
+            cfg.driver.demand_paging = true;
+            return cfg;
+        }
+        if (name == "shared+valkyrie") {
+            SystemConfig cfg = SystemConfig::valkyrieCfg();
+            cfg.shared_l2_tlb = true;
+            return cfg;
+        }
+        if (name == "shared+migration") {
+            SystemConfig cfg = SystemConfig::baselineAts();
+            cfg.shared_l2_tlb = true;
+            cfg.migration.enabled = true;
+            cfg.migration.threshold = 4;
+            cfg.driver.policy = MappingPolicyKind::round_robin;
+            return cfg;
+        }
         SystemConfig cfg = SystemConfig::fbarreCfg();
         cfg.fbarre.oracle_sharing = true;
         return cfg;
@@ -209,12 +245,24 @@ TEST_P(NewlyPartitioned, IdenticalAcrossDomainsAndThreads)
                     .c_str());
         }
     }
+
+    // The epoch reference scheduler must land on the same schedule.
+    SystemConfig epoch = cfgFor(GetParam());
+    epoch.workload_scale = 0.04;
+    epoch.sim_async = false;
+    epoch.sim_domains = 4;
+    epoch.sim_threads = 8;
+    expectIdentical(ref, runCfg(epoch),
+                    (std::string(GetParam()) + " epoch domains=4").c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllUnblockedConfigs, NewlyPartitioned,
                          ::testing::Values("valkyrie", "least",
                                            "shared_l2_tlb", "migration",
-                                           "fbarre_oracle"));
+                                           "fbarre_oracle",
+                                           "demand_paging",
+                                           "shared+valkyrie",
+                                           "shared+migration"));
 
 TEST(PdesLookahead, TrueMinimumOverAllCrossDomainLinks)
 {

@@ -6,8 +6,9 @@
 # Exercises the verdict matrix on synthetic BENCH-shaped JSON: clean
 # pass, wall-time and throughput regressions beyond the threshold,
 # jitter inside the threshold, the identical_results correctness gate,
-# a disappeared bench member, and the host-shape (env) mismatch
-# downgrade with its --ignore-env override.
+# a disappeared bench member, the host-shape (env) mismatch downgrade
+# with its --ignore-env override, and array flattening with
+# name/scheduler-keyed elements (stable under reordering).
 set -eu
 
 PERF_DIFF=${1:?usage: perf_diff_test.sh <perf_diff>}
@@ -130,5 +131,72 @@ rc=0
 "$PERF_DIFF" "$workdir/base.json" "$workdir/v1.json" >/dev/null 2>&1 \
     || rc=$?
 [ "$rc" -eq 2 ] || fail "versioned vs unversioned must exit 2 (got $rc)"
+
+# 12. Arrays flatten under name/scheduler-derived keys, so element
+#     order does not matter but per-element regressions still gate.
+cat > "$workdir/arr_base.json" <<'EOF'
+{
+  "schema_version": 2,
+  "host_cores": 4,
+  "configs": [
+    {"name": "fbarre", "runs": [
+      {"scheduler": "epoch", "threads": 4, "wall_s": 2.0,
+       "identical_results": true},
+      {"scheduler": "async", "threads": 4, "wall_s": 1.0,
+       "identical_results": true}
+    ]},
+    {"name": "valkyrie", "runs": [
+      {"scheduler": "async", "threads": 4, "wall_s": 3.0,
+       "identical_results": true}
+    ]}
+  ]
+}
+EOF
+"$PERF_DIFF" "$workdir/arr_base.json" "$workdir/arr_base.json" \
+    >/dev/null || fail "array self-diff must pass"
+
+# Reordering the config list must not shuffle the comparison.
+cat > "$workdir/arr_reorder.json" <<'EOF'
+{
+  "schema_version": 2,
+  "host_cores": 4,
+  "configs": [
+    {"name": "valkyrie", "runs": [
+      {"scheduler": "async", "threads": 4, "wall_s": 3.0,
+       "identical_results": true}
+    ]},
+    {"name": "fbarre", "runs": [
+      {"scheduler": "async", "threads": 4, "wall_s": 1.0,
+       "identical_results": true},
+      {"scheduler": "epoch", "threads": 4, "wall_s": 2.0,
+       "identical_results": true}
+    ]}
+  ]
+}
+EOF
+"$PERF_DIFF" "$workdir/arr_base.json" "$workdir/arr_reorder.json" \
+    >/dev/null || fail "reordered arrays must still match"
+
+# A regression inside one element gates.
+sed 's/"scheduler": "async", "threads": 4, "wall_s": 1.0/"scheduler": "async", "threads": 4, "wall_s": 9.0/' \
+    "$workdir/arr_base.json" > "$workdir/arr_slow.json"
+if "$PERF_DIFF" "$workdir/arr_base.json" "$workdir/arr_slow.json" \
+    >/dev/null; then
+    fail "regression inside an array element must be flagged"
+fi
+
+# 13. A thread-sweep cell that disappears because the host shrank is
+#     informational; the same disappearance on the same host gates.
+sed -e 's/"host_cores": 4/"host_cores": 2/' \
+    -e '/"scheduler": "epoch", "threads": 4, "wall_s": 2.0,/,+1d' \
+    "$workdir/arr_base.json" > "$workdir/arr_small_host.json"
+"$PERF_DIFF" "$workdir/arr_base.json" "$workdir/arr_small_host.json" \
+    >/dev/null || fail "missing sweep cell on a smaller host must pass"
+sed -e '/"scheduler": "epoch", "threads": 4, "wall_s": 2.0,/,+1d' \
+    "$workdir/arr_base.json" > "$workdir/arr_gone.json"
+if "$PERF_DIFF" "$workdir/arr_base.json" "$workdir/arr_gone.json" \
+    >/dev/null; then
+    fail "missing sweep cell on the same host must gate"
+fi
 
 echo "perf_diff contract OK"

@@ -5,9 +5,13 @@
  *
  *   perf_diff [--threshold PCT] [--ignore-env] old.json new.json
  *
- * The files are the flat one-or-two-level objects our self-benchmarks
- * write; members are flattened to dotted keys ("pdes_speedup.
- * partitioned_wall_s") and classified by name:
+ * The files are the JSON objects our self-benchmarks write; members
+ * are flattened to dotted keys ("pdes_speedup.partitioned_wall_s") and
+ * classified by name. Array elements flatten under a stable segment:
+ * the element's "name" member when it has one ("configs.fbarre..."),
+ * else its "scheduler" member plus thread count ("runs.async@4..."),
+ * else its index — so reordering a config list does not shuffle every
+ * comparison. Key classes:
  *
  *   - throughput/speedup metrics (events_per_s, *_eps, speedup, gain):
  *     higher is better;
@@ -19,9 +23,12 @@
  * only counts as a regression when it is worse by more than
  * --threshold percent (default 20). And two runs are only comparable
  * at all when they came from the same-shaped host — if any host_cores
- * or jobs member differs between the files, the comparison is reported
- * but downgraded to informational (exit 0) unless --ignore-env forces
- * it, so "CI got smaller" never masquerades as "code got slower".
+ * or jobs member differs between the files, regressions (and missing
+ * members, whose keys legitimately change when a thread sweep
+ * shrinks with the host) are reported but downgraded to informational
+ * (exit 0) unless --ignore-env forces them, so "CI got smaller" never
+ * masquerades as "code got slower". Correctness flags
+ * (identical_results) always gate.
  *
  * Schema gate: the writers stamp a top-level "schema_version" member.
  * Two files are only diffed when their schema versions match (a file
@@ -50,6 +57,9 @@ struct Parser
     const std::string &s;
     std::size_t i = 0;
     bool ok = true;
+    /** String members of the object currently being parsed, keyed by
+     *  their flattened name. Used to label array elements. */
+    std::map<std::string, std::string> strings;
 
     explicit Parser(const std::string &text) : s(text) {}
 
@@ -91,8 +101,46 @@ struct Parser
         return out;
     }
 
+    /** Parse any JSON value at the cursor, flattening numeric/bool
+     *  leaves into @p out under @p prefix. String leaves land in
+     *  `strings` (they label array elements; they are not compared). */
+    void
+    parseValue(const std::string &prefix,
+               std::map<std::string, double> &out)
+    {
+        skipWs();
+        if (i >= s.size()) {
+            ok = false;
+            return;
+        }
+        if (s[i] == '{') {
+            parseObject(prefix, out);
+        } else if (s[i] == '[') {
+            parseArray(prefix, out);
+        } else if (s[i] == '"') {
+            strings[prefix] = parseString();
+        } else if (s.compare(i, 4, "true") == 0) {
+            out[prefix] = 1.0;
+            i += 4;
+        } else if (s.compare(i, 5, "false") == 0) {
+            out[prefix] = 0.0;
+            i += 5;
+        } else if (s.compare(i, 4, "null") == 0) {
+            i += 4;
+        } else {
+            char *end = nullptr;
+            const double v = std::strtod(s.c_str() + i, &end);
+            if (end == s.c_str() + i) {
+                ok = false;
+                return;
+            }
+            out[prefix] = v;
+            i = static_cast<std::size_t>(end - s.c_str());
+        }
+    }
+
     /** Parse an object, flattening numeric/bool members into @p out
-     *  with dot-joined keys under @p prefix. Strings are ignored. */
+     *  with dot-joined keys under @p prefix. */
     void
     parseObject(const std::string &prefix,
                 std::map<std::string, double> &out)
@@ -110,39 +158,67 @@ struct Parser
                 return;
             const std::string full =
                 prefix.empty() ? key : prefix + "." + key;
-            skipWs();
-            if (i >= s.size()) {
-                ok = false;
+            parseValue(full, out);
+            if (!ok)
                 return;
-            }
-            if (s[i] == '{') {
-                parseObject(full, out);
-            } else if (s[i] == '"') {
-                parseString(); // label member; not compared
-            } else if (s.compare(i, 4, "true") == 0) {
-                out[full] = 1.0;
-                i += 4;
-            } else if (s.compare(i, 5, "false") == 0) {
-                out[full] = 0.0;
-                i += 5;
-            } else if (s.compare(i, 4, "null") == 0) {
-                i += 4;
-            } else {
-                char *end = nullptr;
-                const double v = std::strtod(s.c_str() + i, &end);
-                if (end == s.c_str() + i) {
-                    ok = false;
-                    return;
-                }
-                out[full] = v;
-                i = static_cast<std::size_t>(end - s.c_str());
-            }
             skipWs();
             if (i < s.size() && s[i] == ',') {
                 ++i;
                 continue;
             }
             expect('}');
+            return;
+        }
+    }
+
+    /** Parse an array, flattening each element under a stable key
+     *  segment: the element's "name" member when present, else its
+     *  "scheduler" member plus thread count, else the index. */
+    void
+    parseArray(const std::string &prefix,
+               std::map<std::string, double> &out)
+    {
+        if (!expect('['))
+            return;
+        skipWs();
+        if (i < s.size() && s[i] == ']') {
+            ++i;
+            return;
+        }
+        std::size_t idx = 0;
+        while (ok) {
+            // Parse the element into scratch maps so its key segment
+            // can be derived from its own members before merging.
+            std::map<std::string, double> elem;
+            std::map<std::string, std::string> outer_strings;
+            outer_strings.swap(strings);
+            parseValue("", elem);
+            std::string seg;
+            if (auto it = strings.find("name"); it != strings.end()) {
+                seg = it->second;
+            } else if (auto sc = strings.find("scheduler");
+                       sc != strings.end()) {
+                seg = sc->second;
+                if (auto th = elem.find("threads"); th != elem.end())
+                    seg += "@" + std::to_string(
+                                     static_cast<long>(th->second));
+            }
+            strings.swap(outer_strings);
+            if (!ok)
+                return;
+            if (seg.empty())
+                seg = std::to_string(idx);
+            for (const auto &[k, v] : elem) {
+                out[prefix + "." + seg + (k.empty() ? "" : "." + k)] =
+                    v;
+            }
+            ++idx;
+            skipWs();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            expect(']');
             return;
         }
     }
@@ -345,8 +421,19 @@ main(int argc, char **argv)
         return 1;
     }
     if (missing > 0) {
-        std::printf("%d benchmark member(s) disappeared\n", missing);
-        return 1;
+        // Thread-sweep members come and go with the host shape (a
+        // 2-core runner records no @4 cells), so a disappearance only
+        // gates when the environment matches.
+        if (env_mismatch && !ignore_env) {
+            std::printf("%d member(s) missing, but the host shape "
+                        "changed — not comparable (use --ignore-env "
+                        "to enforce)\n",
+                        missing);
+        } else {
+            std::printf("%d benchmark member(s) disappeared\n",
+                        missing);
+            return 1;
+        }
     }
     if (regressions > 0 && env_mismatch && !ignore_env) {
         std::printf("%d regression(s), but the host shape changed — "

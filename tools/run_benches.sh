@@ -23,10 +23,14 @@ cmake --build "$build" -j "$(nproc)" --target bench_runner_speedup \
 
 # One file per bench family; each carries its own schema_version so a
 # stale baseline from an older schema is rejected rather than
-# mis-compared.
+# mis-compared. bench_pdes_speedup writes its family file
+# (BENCH_pdes.json) to the working directory and additionally splices a
+# summary member into the runner trajectory file passed as its
+# argument, so run from the repo root.
+cd "$root"
 "$build/bench/bench_runner_speedup" "$root/BENCH_runner.json"
 "$build/bench/bench_event_queue" "$root/BENCH_event_queue.json"
-"$build/bench/bench_pdes_speedup" "$root/BENCH_pdes.json"
+"$build/bench/bench_pdes_speedup" "$root/BENCH_runner.json"
 "$build/bench/bench_tenants" "$root/BENCH_tenants.json"
 for family in runner event_queue pdes tenants; do
     echo "--- BENCH_$family.json"
